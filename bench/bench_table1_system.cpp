@@ -1,0 +1,48 @@
+/// Regenerates paper Table I: "Component Overview of the Frontier
+/// Supercomputer" from the machine descriptor, proving the twin's
+/// configuration carries the published inventory and power constants.
+
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "config/system_config.hpp"
+
+using namespace exadigit;
+
+int main() {
+  const SystemConfig c = frontier_system_config();
+
+  std::printf("=== Paper Table I: Component overview of the Frontier supercomputer ===\n\n");
+
+  AsciiTable counts({"Component", "Quantity"});
+  counts.add_row({"Number of CDUs", AsciiTable::integer(c.cdu_count)});
+  counts.add_row({"Racks per CDU", AsciiTable::integer(c.racks_per_cdu)});
+  counts.add_row({"Chassis per Rack", AsciiTable::integer(c.rack.chassis_per_rack)});
+  counts.add_row({"Rectifiers per Rack", AsciiTable::integer(c.rack.rectifiers_per_rack)});
+  counts.add_row({"Blades per Rack", AsciiTable::integer(c.rack.blades_per_rack)});
+  counts.add_row({"Nodes per Rack", AsciiTable::integer(c.rack.nodes_per_rack)});
+  counts.add_row({"SIVOCs per Rack", AsciiTable::integer(c.rack.sivocs_per_rack)});
+  counts.add_row({"Switches per Rack", AsciiTable::integer(c.rack.switches_per_rack)});
+  counts.add_row({"Nodes Total", AsciiTable::integer(c.total_nodes())});
+  std::printf("%s\n", counts.render().c_str());
+
+  AsciiTable power({"Component", "Power"});
+  power.add_row({"GPU (Idle)", AsciiTable::num(c.node.gpu_idle_w, 0) + " W"});
+  power.add_row({"GPU (Max)", AsciiTable::num(c.node.gpu_peak_w, 0) + " W"});
+  power.add_row({"CPU (Idle)", AsciiTable::num(c.node.cpu_idle_w, 0) + " W"});
+  power.add_row({"CPU (Max)", AsciiTable::num(c.node.cpu_peak_w, 0) + " W"});
+  power.add_row({"RAM (Avg)", AsciiTable::num(c.node.ram_avg_w, 0) + " W"});
+  power.add_row({"NVMe (Avg)",
+                 AsciiTable::num(c.node.nvme_per_node * c.node.nvme_w, 0) + " W"});
+  power.add_row({"NIC (Avg)",
+                 AsciiTable::num(c.node.nics_per_node * c.node.nic_w, 0) + " W"});
+  power.add_row({"Switch (Avg)", AsciiTable::num(c.rack.switch_avg_w, 0) + " W"});
+  power.add_row({"CDU (Avg)", AsciiTable::num(c.cooling.cdu.pump_avg_w, 0) + " W"});
+  std::printf("%s\n", power.render().c_str());
+
+  std::printf("Node power model (Eq. 3): idle %.0f W, peak %.0f W\n",
+              c.node.idle_power_w(), c.node.peak_power_w());
+  std::printf("Paper values: 25 CDUs, 74 racks implied (9472 nodes / 128), "
+              "idle 626 W, peak 2704 W per node.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// Regenerates paper Section IV-3 what-if 1: "smart load-sharing
+/// rectifiers" — rectifiers are staged on as needed so each operates near
+/// its 96.3 % / 7.5 kW optimum instead of sharing the chassis load across
+/// all four. The paper reports a modest efficiency gain (~0.1 %) worth
+/// ~$120k/yr over the 183-day dataset.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/whatif.hpp"
+#include "power/conversion.hpp"
+#include "raps/workload.hpp"
+
+using namespace exadigit;
+
+int main() {
+  const char* env = std::getenv("EXADIGIT_BENCH_WHATIF_DAYS");
+  const double days = env != nullptr ? std::atof(env) : 2.0;
+  const double duration = days * units::kSecondsPerDay;
+  const SystemConfig config = frontier_system_config();
+
+  std::printf("=== Paper what-if 1: smart load-sharing rectifiers (%.0f-day replay) ===\n\n",
+              days);
+
+  // Staging behaviour across the load range (the mechanism).
+  PowerChainConfig smart_cfg = config.power;
+  smart_cfg.load_sharing = LoadSharingPolicy::kSmartStaging;
+  ConversionChain shared(config.power);
+  ConversionChain smart(smart_cfg);
+  AsciiTable mech({"Group load (kW)", "Shared eta", "Smart eta", "Staged", "Gain (pts)"});
+  for (double kw : {5.0, 10.0, 16.0, 24.0, 32.0, 43.0}) {
+    const ConversionResult a = shared.convert(kw * 1e3);
+    const ConversionResult b = smart.convert(kw * 1e3);
+    mech.add_row({AsciiTable::num(kw, 0), AsciiTable::num(a.eta_chain, 4),
+                  AsciiTable::num(b.eta_chain, 4), AsciiTable::integer(b.staged_rectifiers),
+                  AsciiTable::num(100.0 * (b.eta_chain - a.eta_chain), 2)});
+  }
+  std::printf("%s\n", mech.render().c_str());
+
+  // Replay the same workload under both policies.
+  WorkloadGenerator gen(config.workload, config, Rng(183));
+  const std::vector<JobRecord> jobs = gen.generate(0.0, duration);
+  const WhatIfResult r = run_smart_rectifier_whatif(config, jobs, duration);
+  std::printf("%s\n", r.to_string().c_str());
+  std::printf("paper: ~0.1%% efficiency gain, ~$120k/yr. Shape target: a small but\n"
+              "positive gain concentrated at light load, with savings in the\n"
+              "$10k-$300k/yr band depending on the day's utilization mix.\n");
+  return 0;
+}

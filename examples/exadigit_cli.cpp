@@ -1,0 +1,218 @@
+/// The terminal console interface (paper Fig. 6 top-right): a CLI over the
+/// twin's main workflows, driven by JSON descriptors (Section V).
+///
+///   exadigit_cli simulate  [--hours H] [--seed S] [--config system.json]
+///   exadigit_cli replay    <dataset_dir> [--config system.json] [--no-cooling]
+///   exadigit_cli record    <output_dir> [--hours H] [--seed S]
+///   exadigit_cli whatif    <smart_rectifiers|dc380> [--hours H]
+///   exadigit_cli optimize  [--power-mw P] [--wetbulb C]
+///   exadigit_cli scene     <output.json>
+///   exadigit_cli config    <output.json>      # dump the Frontier descriptor
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "config/config_json.hpp"
+#include "core/autonomous.hpp"
+#include "core/physical_twin.hpp"
+#include "core/replay.hpp"
+#include "core/whatif.hpp"
+#include "raps/workload.hpp"
+#include "telemetry/store.hpp"
+#include "telemetry/weather.hpp"
+#include "viz/dashboard.hpp"
+#include "viz/scene_export.hpp"
+
+using namespace exadigit;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  double hours = 1.0;
+  std::uint64_t seed = 42;
+  double power_mw = 17.0;
+  double wetbulb_c = 16.0;
+  std::string config_path;
+  bool cooling = true;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw ConfigError("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--hours") args.hours = std::stod(next());
+    else if (a == "--seed") args.seed = std::stoull(next());
+    else if (a == "--power-mw") args.power_mw = std::stod(next());
+    else if (a == "--wetbulb") args.wetbulb_c = std::stod(next());
+    else if (a == "--config") args.config_path = next();
+    else if (a == "--no-cooling") args.cooling = false;
+    else args.positional.push_back(a);
+  }
+  return args;
+}
+
+SystemConfig load_config(const Args& args) {
+  if (args.config_path.empty()) return frontier_system_config();
+  return system_config_from_json(Json::load_file(args.config_path));
+}
+
+TimeSeries synthetic_wetbulb(double duration_s, std::uint64_t seed) {
+  SyntheticWeather weather(WeatherConfig{}, Rng(seed));
+  TimeSeries raw = weather.generate(120.0 * units::kSecondsPerDay, duration_s + 120.0);
+  TimeSeries shifted;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    shifted.push_back(static_cast<double>(i) * 60.0, raw.value(i));
+  }
+  return shifted;
+}
+
+int cmd_simulate(const Args& args) {
+  const SystemConfig config = load_config(args);
+  DigitalTwinOptions options;
+  options.enable_cooling = args.cooling;
+  DigitalTwin twin(config, options);
+  const double duration = args.hours * units::kSecondsPerHour;
+  if (args.cooling) twin.set_wetbulb_series(synthetic_wetbulb(duration, args.seed + 1));
+  WorkloadGenerator gen(config.workload, config, Rng(args.seed));
+  twin.submit_all(gen.generate(0.0, duration));
+  twin.run_until(duration);
+  std::printf("%s\n", twin.report().to_string().c_str());
+  DashboardOptions dash;
+  dash.use_color = false;
+  std::printf("%s", render_dashboard(twin, dash).c_str());
+  return 0;
+}
+
+int cmd_record(const Args& args) {
+  if (args.positional.empty()) throw ConfigError("record requires an output directory");
+  const SystemConfig config = load_config(args);
+  const double duration = args.hours * units::kSecondsPerHour;
+  WorkloadGenerator gen(config.workload, config, Rng(args.seed));
+  SyntheticPhysicalTwin physical(config, PhysicalTwinOptions{});
+  const TelemetryDataset dataset =
+      physical.record(gen.generate(0.0, duration), synthetic_wetbulb(duration, args.seed + 1),
+                      duration);
+  save_dataset(dataset, args.positional[0]);
+  std::printf("recorded %zu jobs over %.1f h into %s\n", dataset.jobs.size(), args.hours,
+              args.positional[0].c_str());
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  if (args.positional.empty()) throw ConfigError("replay requires a dataset directory");
+  const SystemConfig config = load_config(args);
+  const TelemetryDataset dataset = load_dataset(args.positional[0]);
+  const PowerReplayResult r = replay_power(config, dataset, args.cooling);
+  std::printf("replayed %zu jobs over %.1f h\n", dataset.jobs.size(),
+              dataset.duration_s / 3600.0);
+  std::printf("power: RMSE %.3f MW | MAE %.3f MW | MAPE %.2f %% | r %.4f\n",
+              r.power_score.rmse, r.power_score.mae, r.power_score.mape_pct,
+              r.power_score.pearson);
+  if (args.cooling) {
+    const CoolingValidationResult cv = validate_cooling(config, dataset);
+    std::printf("cooling: flow RMSE %.1f gpm | return RMSE %.2f C | PUE within %.2f %%\n",
+                cv.cdu_pri_flow.rmse, cv.cdu_return_temp.rmse,
+                100.0 * cv.pue_max_rel_error);
+  }
+  std::printf("%s\n", r.report.to_string().c_str());
+  return 0;
+}
+
+int cmd_whatif(const Args& args) {
+  if (args.positional.empty()) throw ConfigError("whatif requires a scenario name");
+  const SystemConfig config = load_config(args);
+  const double duration = args.hours * units::kSecondsPerHour;
+  WorkloadGenerator gen(config.workload, config, Rng(args.seed));
+  const std::vector<JobRecord> jobs = gen.generate(0.0, duration);
+  const std::string& scenario = args.positional[0];
+  WhatIfResult r;
+  if (scenario == "smart_rectifiers") {
+    r = run_smart_rectifier_whatif(config, jobs, duration);
+  } else if (scenario == "dc380") {
+    r = run_dc380_whatif(config, jobs, duration);
+  } else {
+    throw ConfigError("unknown scenario: " + scenario +
+                      " (expected smart_rectifiers or dc380)");
+  }
+  std::printf("%s\n", r.to_string().c_str());
+  return 0;
+}
+
+int cmd_optimize(const Args& args) {
+  const SystemConfig config = load_config(args);
+  const SetpointOptimizationResult r = optimize_basin_setpoint(
+      config, units::watts_from_mw(args.power_mw), args.wetbulb_c);
+  std::printf("autonomous basin-setpoint optimization @ %.1f MW, wet bulb %.1f C\n\n",
+              args.power_mw, args.wetbulb_c);
+  std::printf("  baseline: offset %.2f K -> PUE %.4f (HTWS %.2f C, fans %.0f kW)\n",
+              r.baseline.basin_offset_k, r.baseline.pue, r.baseline.htws_c,
+              r.baseline.fan_power_w / 1e3);
+  std::printf("  optimum:  offset %.2f K -> PUE %.4f (HTWS %.2f C, fans %.0f kW)%s\n",
+              r.best.basin_offset_k, r.best.pue, r.best.htws_c,
+              r.best.fan_power_w / 1e3, r.best.feasible ? "" : "  [INFEASIBLE]");
+  std::printf("  PUE improvement %.4f | auxiliary savings ~$%.0f/yr | %zu candidates\n",
+              r.pue_improvement, r.annual_savings_usd, r.evaluated.size());
+  return 0;
+}
+
+int cmd_scene(const Args& args) {
+  if (args.positional.empty()) throw ConfigError("scene requires an output path");
+  const SystemConfig config = load_config(args);
+  const SceneGraph scene = build_scene(config);
+  export_scene(scene, args.positional[0]);
+  std::printf("wrote %zu assets to %s\n", scene.assets.size(), args.positional[0].c_str());
+  return 0;
+}
+
+int cmd_config(const Args& args) {
+  if (args.positional.empty()) throw ConfigError("config requires an output path");
+  system_config_to_json(frontier_system_config()).save_file(args.positional[0]);
+  std::printf("wrote the Frontier descriptor to %s\n", args.positional[0].c_str());
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "exadigit_cli — console interface to the ExaDigiT digital twin\n\n"
+      "commands:\n"
+      "  simulate  [--hours H] [--seed S] [--config f.json] [--no-cooling]\n"
+      "  record    <dir> [--hours H] [--seed S]\n"
+      "  replay    <dir> [--config f.json] [--no-cooling]\n"
+      "  whatif    <smart_rectifiers|dc380> [--hours H]\n"
+      "  optimize  [--power-mw P] [--wetbulb C]\n"
+      "  scene     <out.json>\n"
+      "  config    <out.json>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args = parse_args(argc, argv);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "record") return cmd_record(args);
+    if (command == "replay") return cmd_replay(args);
+    if (command == "whatif") return cmd_whatif(args);
+    if (command == "optimize") return cmd_optimize(args);
+    if (command == "scene") return cmd_scene(args);
+    if (command == "config") return cmd_config(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,44 @@
+/// Quickstart: build the Frontier digital twin, run one synthetic hour of
+/// workload with the cooling plant coupled, and print the RAPS report.
+///
+///   $ ./quickstart
+///
+/// This is the smallest complete use of the public API: descriptor ->
+/// twin -> workload -> run -> report.
+
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "core/digital_twin.hpp"
+#include "raps/workload.hpp"
+
+using namespace exadigit;
+
+int main() {
+  // 1. Machine descriptor. frontier_system_config() is the paper's machine;
+  //    any other system is a JSON file away (see telemetry_replay.cpp).
+  const SystemConfig config = frontier_system_config();
+
+  // 2. The digital twin couples the RAPS engine with the cooling-plant FMU
+  //    on the paper's 15 s quantum.
+  DigitalTwin twin(config);
+  twin.set_wetbulb_constant(16.0);  // mild spring day
+
+  // 3. A synthetic workload (Poisson arrivals, Eq. 5) plus one HPL run.
+  WorkloadGenerator generator(config.workload, config, Rng(/*seed=*/42));
+  twin.submit_all(generator.generate(0.0, units::kSecondsPerHour));
+  twin.submit(make_hpl_job(/*submit=*/20.0 * 60.0, /*wall=*/25.0 * 60.0));
+
+  // 4. Run one simulated hour.
+  twin.run_until(units::kSecondsPerHour);
+
+  // 5. Report (paper Section III-B5 statistics).
+  std::printf("%s\n", twin.report().to_string().c_str());
+
+  const PlantOutputs& plant = twin.cooling().outputs();
+  std::printf("cooling plant: HTWS %.1f C, PUE %.4f, %d CT cells, %d HTWPs staged\n",
+              plant.pri_supply_t_c, plant.pue, plant.ct_cells_staged, plant.htwp_staged);
+  std::printf("peak predicted power: %.1f MW\n",
+              twin.engine().power_series_mw().max_value());
+  return 0;
+}

@@ -1,0 +1,59 @@
+/// The paper's "what-if" studies (Section IV-3 plus a requirements-analysis
+/// use case) run back to back on the same workload:
+///   1. smart load-sharing rectifiers,
+///   2. direct 380 V DC facility power,
+///   3. virtually extending the cooling plant for a future secondary HPC
+///      system,
+/// plus a Monte-Carlo UQ band around the baseline prediction.
+///
+///   $ ./whatif_scenarios
+
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "core/whatif.hpp"
+#include "raps/uq.hpp"
+#include "raps/workload.hpp"
+
+using namespace exadigit;
+
+int main() {
+  const SystemConfig config = frontier_system_config();
+  const double duration = 6.0 * units::kSecondsPerHour;
+  WorkloadGenerator gen(config.workload, config, Rng(2024));
+  const std::vector<JobRecord> jobs = gen.generate(0.0, duration);
+  std::printf("workload: %zu jobs over %.0f h\n\n", jobs.size(), duration / 3600.0);
+
+  // --- What-if 1: smart load-sharing rectifiers -------------------------
+  const WhatIfResult smart = run_smart_rectifier_whatif(config, jobs, duration);
+  std::printf("%s\n", smart.to_string().c_str());
+
+  // --- What-if 2: direct 380 V DC ---------------------------------------
+  const WhatIfResult dc = run_dc380_whatif(config, jobs, duration);
+  std::printf("%s\n", dc.to_string().c_str());
+
+  // --- What-if 3: cooling plant extension --------------------------------
+  const CoolingExtensionResult ext =
+      run_cooling_extension_whatif(config, /*base=*/17.0e6, /*extra=*/8.0e6,
+                                   /*wetbulb=*/18.0);
+  std::printf("What-if scenario: +8 MW future system on the existing plant\n");
+  std::printf("  HTWS temperature: %.2f C -> %.2f C\n", ext.base_htws_c, ext.extended_htws_c);
+  std::printf("  CT cells staged:  %d -> %d\n", ext.base_ct_cells, ext.extended_ct_cells);
+  std::printf("  PUE:              %.4f -> %.4f\n", ext.base_pue, ext.extended_pue);
+  std::printf("  HTW setpoint %s\n\n",
+              ext.setpoint_held ? "HELD — the plant can absorb the extension"
+                                : "LOST — the plant needs more tower capacity");
+
+  // --- UQ band around the baseline ---------------------------------------
+  UqConfig uq;
+  uq.samples = 16;
+  const UqResult band = run_power_uq(config, jobs, duration, uq, Rng(9));
+  std::printf("uncertainty (n=%d replicas, efficiency/utilization/idle-power draws):\n",
+              uq.samples);
+  std::printf("  avg power %.2f +/- %.2f MW   [%.2f, %.2f]\n", band.avg_power_mw.mean(),
+              band.avg_power_mw.stddev(), band.avg_power_mw.min(), band.avg_power_mw.max());
+  std::printf("  loss      %.3f +/- %.3f MW\n", band.loss_mw.mean(), band.loss_mw.stddev());
+  std::printf("  carbon    %.1f +/- %.1f t\n", band.carbon_tons.mean(),
+              band.carbon_tons.stddev());
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+CsvDocument::CsvDocument(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "csv requires non-empty header");
+}
+
+void CsvDocument::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(), "csv row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::size_t CsvDocument::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw TelemetryError("csv column not found: " + name);
+}
+
+std::vector<double> CsvDocument::numeric_column(const std::string& name) const {
+  const std::size_t c = column(name);
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::size_t consumed = 0;
+    double v = 0.0;
+    try {
+      v = std::stod(row[c], &consumed);
+    } catch (const std::exception&) {
+      throw TelemetryError("csv non-numeric cell in column " + name + ": '" + row[c] + "'");
+    }
+    if (consumed != row[c].size()) {
+      throw TelemetryError("csv trailing junk in column " + name + ": '" + row[c] + "'");
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void write_cell(std::ostream& os, const std::string& cell) {
+  if (!needs_quoting(cell)) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char c : cell) {
+    if (c == '"') os << "\"\"";
+    else os << c;
+  }
+  os << '"';
+}
+
+void write_row(std::ostream& os, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) os << ',';
+    write_cell(os, row[i]);
+  }
+  os << '\n';
+}
+
+/// Parses one logical CSV record (may span lines inside quotes). Returns
+/// false at end of stream with no data.
+bool parse_record(std::istream& is, std::vector<std::string>& out) {
+  out.clear();
+  std::string cell;
+  bool in_quotes = false;
+  bool saw_any = false;
+  int ch = 0;
+  while ((ch = is.get()) != std::char_traits<char>::eof()) {
+    saw_any = true;
+    const char c = static_cast<char>(ch);
+    if (in_quotes) {
+      if (c == '"') {
+        if (is.peek() == '"') {
+          cell += '"';
+          is.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      out.push_back(std::move(cell));
+      cell.clear();
+    } else if (c == '\n') {
+      break;
+    } else if (c == '\r') {
+      // Swallow; a following '\n' ends the record on the next iteration.
+    } else {
+      cell += c;
+    }
+  }
+  if (!saw_any) return false;
+  out.push_back(std::move(cell));
+  return true;
+}
+
+}  // namespace
+
+void CsvDocument::write(std::ostream& os) const {
+  write_row(os, header_);
+  for (const auto& row : rows_) write_row(os, row);
+}
+
+void CsvDocument::save(const std::string& path) const {
+  std::ofstream f(path);
+  require(f.good(), "cannot open csv for writing: " + path);
+  write(f);
+}
+
+CsvDocument CsvDocument::parse(std::istream& is) {
+  std::vector<std::string> record;
+  require(parse_record(is, record), "csv stream is empty");
+  CsvDocument doc(record);
+  while (parse_record(is, record)) {
+    if (record.size() == 1 && record.front().empty()) continue;  // blank line
+    doc.add_row(record);
+  }
+  return doc;
+}
+
+CsvDocument CsvDocument::load(const std::string& path) {
+  std::ifstream f(path);
+  require(f.good(), "cannot open csv for reading: " + path);
+  return parse(f);
+}
+
+}  // namespace exadigit

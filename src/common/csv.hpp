@@ -1,0 +1,49 @@
+#pragma once
+
+/// @file csv.hpp
+/// Minimal CSV persistence for experiment results and telemetry datasets.
+///
+/// The reference deployment stores experiment outputs in Apache Druid; this
+/// library persists them as CSV files so runs can be saved and recalled
+/// without external services.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace exadigit {
+
+/// An in-memory CSV document: a header row plus string cells.
+class CsvDocument {
+ public:
+  CsvDocument() = default;
+  explicit CsvDocument(std::vector<std::string> header);
+
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Adds a row; width must match the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Column index by name; throws TelemetryError when absent.
+  [[nodiscard]] std::size_t column(const std::string& name) const;
+
+  /// Numeric view of one column (throws on non-numeric cells).
+  [[nodiscard]] std::vector<double> numeric_column(const std::string& name) const;
+
+  /// Serializes with RFC-4180-style quoting where needed.
+  void write(std::ostream& os) const;
+  void save(const std::string& path) const;
+
+  /// Parses a document (handles quoted cells, embedded commas/newlines).
+  static CsvDocument parse(std::istream& is);
+  static CsvDocument load(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace exadigit

@@ -1,0 +1,69 @@
+#pragma once
+
+/// @file curve.hpp
+/// Piecewise-linear 1-D curves.
+///
+/// Technical-specification data for the twin (rectifier/SIVOC efficiency vs
+/// load, pump head vs flow, cold-plate thermal resistance vs flow, cooling
+/// tower approach vs load) arrives as tabulated curves. PiecewiseLinearCurve
+/// stores sorted (x, y) knots and evaluates with linear interpolation and
+/// configurable extrapolation.
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace exadigit {
+
+/// How a curve behaves outside its knot range.
+enum class Extrapolation {
+  kClamp,   ///< hold the boundary value (default: physical curves saturate)
+  kLinear,  ///< extend the boundary segment's slope
+};
+
+/// A monotone-x piecewise-linear curve y = f(x).
+class PiecewiseLinearCurve {
+ public:
+  PiecewiseLinearCurve() = default;
+
+  /// Builds a curve from (x, y) knots. Knots are sorted by x; duplicate x
+  /// values are rejected. Requires at least one knot.
+  PiecewiseLinearCurve(std::initializer_list<std::pair<double, double>> knots,
+                       Extrapolation extrapolation = Extrapolation::kClamp);
+  PiecewiseLinearCurve(std::vector<double> xs, std::vector<double> ys,
+                       Extrapolation extrapolation = Extrapolation::kClamp);
+
+  /// Evaluates the curve at `x`.
+  [[nodiscard]] double operator()(double x) const;
+
+  /// Derivative dy/dx at `x` (one-sided at knots; 0 in clamped regions).
+  [[nodiscard]] double slope(double x) const;
+
+  /// Inverse evaluation: smallest x with f(x) == y. Requires the curve to be
+  /// strictly monotone in y; throws SolverError otherwise.
+  [[nodiscard]] double inverse(double y) const;
+
+  /// True when the curve's y values are non-decreasing / non-increasing in x.
+  [[nodiscard]] bool is_monotone_increasing() const;
+  [[nodiscard]] bool is_monotone_decreasing() const;
+
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] double x_min() const;
+  [[nodiscard]] double x_max() const;
+  [[nodiscard]] const std::vector<double>& xs() const { return xs_; }
+  [[nodiscard]] const std::vector<double>& ys() const { return ys_; }
+
+  /// Returns a new curve with every y multiplied by `factor`.
+  [[nodiscard]] PiecewiseLinearCurve scaled_y(double factor) const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  Extrapolation extrapolation_ = Extrapolation::kClamp;
+};
+
+/// Linear interpolation between (x0,y0) and (x1,y1); clamps outside.
+[[nodiscard]] double lerp_clamped(double x, double x0, double y0, double x1, double y1);
+
+}  // namespace exadigit

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace exadigit {
+
+/// Base class for all errors thrown by the ExaDigiT library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A user-supplied configuration value is missing, malformed, or out of range.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// A numerical routine failed to converge or was fed an ill-posed problem.
+class SolverError : public Error {
+ public:
+  explicit SolverError(const std::string& what) : Error("solver error: " + what) {}
+};
+
+/// Telemetry data is inconsistent with the schema it claims to follow.
+class TelemetryError : public Error {
+ public:
+  explicit TelemetryError(const std::string& what) : Error("telemetry error: " + what) {}
+};
+
+/// Throws ConfigError with `what` when `cond` is false. Used to validate
+/// descriptor files and public-API arguments at module boundaries.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw ConfigError(what);
+}
+
+}  // namespace exadigit

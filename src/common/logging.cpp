@@ -1,0 +1,56 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace exadigit {
+
+namespace {
+
+std::mutex g_mutex;
+LogLevel g_level = LogLevel::kWarn;
+std::function<void(LogLevel, const std::string&)> g_sink;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  std::lock_guard lock(g_mutex);
+  g_level = level;
+}
+
+LogLevel log_level() {
+  std::lock_guard lock(g_mutex);
+  return g_level;
+}
+
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  std::lock_guard lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  std::function<void(LogLevel, const std::string&)> sink;
+  {
+    std::lock_guard lock(g_mutex);
+    if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, message);
+  } else {
+    std::fprintf(stderr, "[exadigit %s] %s\n", level_name(level), message.c_str());
+  }
+}
+
+}  // namespace exadigit

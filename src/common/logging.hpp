@@ -1,0 +1,55 @@
+#pragma once
+
+/// @file logging.hpp
+/// Lightweight leveled logging.
+///
+/// The twin's long replays (183 days of telemetry) need progress and anomaly
+/// reporting without drowning bench output; loggers default to warnings-only
+/// and are explicitly verbose in examples.
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace exadigit {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Replaces the sink (default writes to stderr). Pass nullptr to restore
+/// the default sink. The sink receives the formatted line without newline.
+void set_log_sink(std::function<void(LogLevel, const std::string&)> sink);
+
+/// Emits one log line through the current sink when `level` is enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  std::ostringstream os;
+  explicit LogLine(LogLevel l) : level(l) {}
+  ~LogLine() { log_message(level, os.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+};
+}  // namespace detail
+
+}  // namespace exadigit
+
+#define EXADIGIT_LOG(level_)                                  \
+  if (static_cast<int>(level_) < static_cast<int>(::exadigit::log_level())) { \
+  } else                                                      \
+    ::exadigit::detail::LogLine(level_)
+
+#define EXADIGIT_DEBUG EXADIGIT_LOG(::exadigit::LogLevel::kDebug)
+#define EXADIGIT_INFO EXADIGIT_LOG(::exadigit::LogLevel::kInfo)
+#define EXADIGIT_WARN EXADIGIT_LOG(::exadigit::LogLevel::kWarn)
+#define EXADIGIT_ERROR EXADIGIT_LOG(::exadigit::LogLevel::kError)

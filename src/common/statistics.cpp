@@ -1,0 +1,131 @@
+#include "common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+void SummaryStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void SummaryStats::merge(const SummaryStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double SummaryStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double SummaryStats::min() const {
+  require(n_ > 0, "min of empty stats");
+  return min_;
+}
+
+double SummaryStats::max() const {
+  require(n_ > 0, "max of empty stats");
+  return max_;
+}
+
+double SummaryStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+void check_lengths(std::span<const double> a, std::span<const double> b) {
+  require(a.size() == b.size() && !a.empty(), "error metric requires equal non-empty spans");
+}
+}  // namespace
+
+double rmse(std::span<const double> predicted, std::span<const double> reference) {
+  check_lengths(predicted, reference);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double e = predicted[i] - reference[i];
+    acc += e * e;
+  }
+  return std::sqrt(acc / static_cast<double>(predicted.size()));
+}
+
+double mae(std::span<const double> predicted, std::span<const double> reference) {
+  check_lengths(predicted, reference);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    acc += std::abs(predicted[i] - reference[i]);
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+double mape(std::span<const double> predicted, std::span<const double> reference) {
+  check_lengths(predicted, reference);
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (reference[i] == 0.0) continue;
+    acc += std::abs((predicted[i] - reference[i]) / reference[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : 100.0 * acc / static_cast<double>(n);
+}
+
+double max_abs_error(std::span<const double> predicted, std::span<const double> reference) {
+  check_lengths(predicted, reference);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    worst = std::max(worst, std::abs(predicted[i] - reference[i]));
+  }
+  return worst;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  check_lengths(a, b);
+  SummaryStats sa, sb;
+  for (double x : a) sa.add(x);
+  for (double x : b) sb.add(x);
+  if (sa.stddev() == 0.0 || sb.stddev() == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+  }
+  cov /= static_cast<double>(a.size() - 1);
+  return cov / (sa.stddev() * sb.stddev());
+}
+
+double percentile(std::vector<double> values, double p) {
+  require(!values.empty(), "percentile of empty vector");
+  require(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double idx = p / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+}  // namespace exadigit

@@ -1,0 +1,60 @@
+#pragma once
+
+/// @file statistics.hpp
+/// Streaming summary statistics and model-vs-telemetry error metrics.
+///
+/// The paper's V&V methodology (Section IV) scores model predictions against
+/// replayed telemetry using RMSE and MAE, and its Table IV reports
+/// min/avg/max/std daily statistics over a 183-day replay. This file provides
+/// both: a Welford-style streaming accumulator and vector error metrics.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace exadigit {
+
+/// Streaming min/mean/max/std accumulator (Welford's algorithm, numerically
+/// stable for long replays).
+class SummaryStats {
+ public:
+  void add(double x);
+  void merge(const SummaryStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Root-mean-square error between prediction and reference (equal length).
+[[nodiscard]] double rmse(std::span<const double> predicted, std::span<const double> reference);
+
+/// Mean absolute error.
+[[nodiscard]] double mae(std::span<const double> predicted, std::span<const double> reference);
+
+/// Mean absolute percentage error (%); reference entries equal to zero are skipped.
+[[nodiscard]] double mape(std::span<const double> predicted, std::span<const double> reference);
+
+/// Maximum absolute error.
+[[nodiscard]] double max_abs_error(std::span<const double> predicted,
+                                   std::span<const double> reference);
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+[[nodiscard]] double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Linear-interpolated percentile (p in [0,100]) of a copy of `values`.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+}  // namespace exadigit

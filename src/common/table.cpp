@@ -1,0 +1,99 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  require(!headers_.empty(), "table requires at least one column");
+  alignment_.assign(headers_.size(), Align::kRight);
+  alignment_.front() = Align::kLeft;
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(), "table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::set_alignment(std::vector<Align> alignment) {
+  require(alignment.size() == headers_.size(), "table alignment width mismatch");
+  alignment_ = std::move(alignment);
+}
+
+std::string AsciiTable::num(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string AsciiTable::integer(long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", value);
+  return buf;
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      os << (c == 0 ? "" : "  ");
+      if (alignment_[c] == Align::kRight) os << std::string(pad, ' ') << row[c];
+      else os << row[c] << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+  std::ostringstream os;
+  emit_row(os, headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(os, row);
+  return os.str();
+}
+
+std::string ascii_bar(double value, double max_value, int width) {
+  if (max_value <= 0.0 || width <= 0) return "";
+  const double frac = std::clamp(value / max_value, 0.0, 1.0);
+  const int n = static_cast<int>(std::lround(frac * width));
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+std::string sparkline(const std::vector<double>& values, int max_points) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty() || max_points <= 0) return "";
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  const std::size_t n = values.size();
+  const std::size_t points = std::min<std::size_t>(n, static_cast<std::size_t>(max_points));
+  std::string out;
+  for (std::size_t p = 0; p < points; ++p) {
+    // Downsample by averaging each bucket.
+    const std::size_t b0 = p * n / points;
+    const std::size_t b1 = std::max(b0 + 1, (p + 1) * n / points);
+    double acc = 0.0;
+    for (std::size_t i = b0; i < b1; ++i) acc += values[i];
+    acc /= static_cast<double>(b1 - b0);
+    int level = 0;
+    if (hi > lo) {
+      level = static_cast<int>((acc - lo) / (hi - lo) * 7.0 + 0.5);
+      level = std::clamp(level, 0, 7);
+    }
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace exadigit

@@ -1,0 +1,53 @@
+#pragma once
+
+/// @file table.hpp
+/// ASCII table rendering for bench/report output.
+///
+/// Every experiment bench regenerates a table or figure from the paper; this
+/// formatter produces aligned, paper-style rows on stdout so the shape of a
+/// result is readable without plotting tools.
+
+#include <string>
+#include <vector>
+
+namespace exadigit {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple fixed-column ASCII table builder.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Adds a fully formatted row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number formatting helper: fixed decimals.
+  static std::string num(double value, int decimals = 2);
+
+  /// Number formatting helper: integer with no decorations.
+  static std::string integer(long long value);
+
+  /// Sets per-column alignment (defaults: first column left, rest right).
+  void set_alignment(std::vector<Align> alignment);
+
+  /// Renders with a header rule and column padding.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> alignment_;
+};
+
+/// Renders a one-line horizontal bar of width proportional to
+/// value/max_value (used for figure-style bench output).
+[[nodiscard]] std::string ascii_bar(double value, double max_value, int width = 48);
+
+/// Renders a compact unicode sparkline of a series (8-level blocks).
+[[nodiscard]] std::string sparkline(const std::vector<double>& values, int max_points = 96);
+
+}  // namespace exadigit

@@ -1,0 +1,72 @@
+#pragma once
+
+/// @file time_series.hpp
+/// Uniformly- and irregularly-sampled scalar time series.
+///
+/// Telemetry channels in the twin arrive at wildly different resolutions
+/// (1 s system power, 15 s CDU sensors, 60 s wet bulb, 10 min pump power —
+/// paper Table II). TimeSeries provides the resampling and interpolation
+/// needed to align them on a common clock for replay and validation scoring.
+
+#include <cstddef>
+#include <vector>
+
+namespace exadigit {
+
+/// How values between samples are reconstructed.
+enum class SampleHold {
+  kPrevious,  ///< zero-order hold (telemetry counters, staging integers)
+  kLinear,    ///< linear interpolation (continuous physical quantities)
+};
+
+/// A scalar time series: strictly increasing timestamps (seconds) + values.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Builds a series from parallel arrays. Timestamps must be strictly
+  /// increasing and the arrays equally sized.
+  TimeSeries(std::vector<double> times, std::vector<double> values);
+
+  /// Builds a uniformly sampled series starting at `t0` with period `dt`.
+  static TimeSeries uniform(double t0, double dt, std::vector<double> values);
+
+  /// Appends a sample; its timestamp must exceed the last one.
+  void push_back(double time, double value);
+
+  [[nodiscard]] std::size_t size() const { return times_.size(); }
+  [[nodiscard]] bool empty() const { return times_.empty(); }
+  [[nodiscard]] double time(std::size_t i) const { return times_.at(i); }
+  [[nodiscard]] double value(std::size_t i) const { return values_.at(i); }
+  [[nodiscard]] const std::vector<double>& times() const { return times_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] double start_time() const;
+  [[nodiscard]] double end_time() const;
+
+  /// Value at time `t` with the requested reconstruction. Outside the series
+  /// range the boundary value is held.
+  [[nodiscard]] double at(double t, SampleHold hold = SampleHold::kLinear) const;
+
+  /// Resamples onto a uniform grid [t0, t0+dt, ...] with `n` samples.
+  [[nodiscard]] TimeSeries resample(double t0, double dt, std::size_t n,
+                                    SampleHold hold = SampleHold::kLinear) const;
+
+  /// Restricts the series to samples with t in [t_begin, t_end].
+  [[nodiscard]] TimeSeries slice(double t_begin, double t_end) const;
+
+  /// Time-weighted mean over the sampled span (trapezoidal for kLinear,
+  /// rectangle rule for kPrevious). Returns 0 for an empty series.
+  [[nodiscard]] double time_weighted_mean(SampleHold hold = SampleHold::kLinear) const;
+
+  /// Integral of the series over its span (e.g. W -> J).
+  [[nodiscard]] double integral(SampleHold hold = SampleHold::kLinear) const;
+
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double max_value() const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace exadigit

@@ -1,0 +1,59 @@
+#pragma once
+
+/// @file units.hpp
+/// Unit conversions and physical constants used throughout the twin.
+///
+/// The library computes in SI internally (W, Pa, m^3/s, degC for
+/// temperatures, s for time). Facility engineering data arrives in US
+/// customary units (gpm, psi, degF, feet of head), so conversion helpers are
+/// provided and used at the boundaries only.
+
+namespace exadigit::units {
+
+// --- time -------------------------------------------------------------
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+inline constexpr double kHoursPerYear = 8766.0;  ///< mean Gregorian year
+
+// --- power / energy ---------------------------------------------------
+inline constexpr double watts_from_kw(double kw) { return kw * 1e3; }
+inline constexpr double watts_from_mw(double mw) { return mw * 1e6; }
+inline constexpr double kw_from_watts(double w) { return w * 1e-3; }
+inline constexpr double mw_from_watts(double w) { return w * 1e-6; }
+/// Joules -> megawatt-hours.
+inline constexpr double mwh_from_joules(double j) { return j / 3.6e9; }
+/// Megawatt-hours -> joules.
+inline constexpr double joules_from_mwh(double mwh) { return mwh * 3.6e9; }
+
+// --- volumetric flow ----------------------------------------------------
+/// US gallons per minute -> m^3/s.
+inline constexpr double m3s_from_gpm(double gpm) { return gpm * 6.309019640e-5; }
+/// m^3/s -> US gallons per minute.
+inline constexpr double gpm_from_m3s(double m3s) { return m3s / 6.309019640e-5; }
+/// Liters per second -> m^3/s.
+inline constexpr double m3s_from_lps(double lps) { return lps * 1e-3; }
+
+// --- pressure -----------------------------------------------------------
+/// psi -> Pa.
+inline constexpr double pa_from_psi(double psi) { return psi * 6894.757293; }
+/// Pa -> psi.
+inline constexpr double psi_from_pa(double pa) { return pa / 6894.757293; }
+/// kPa -> Pa.
+inline constexpr double pa_from_kpa(double kpa) { return kpa * 1e3; }
+/// Feet of water head -> Pa (at 20 degC water density).
+inline constexpr double pa_from_ft_head(double ft) { return ft * 0.3048 * 998.2 * 9.80665; }
+
+// --- temperature ----------------------------------------------------------
+inline constexpr double degc_from_degf(double f) { return (f - 32.0) * 5.0 / 9.0; }
+inline constexpr double degf_from_degc(double c) { return c * 9.0 / 5.0 + 32.0; }
+inline constexpr double kelvin_from_degc(double c) { return c + 273.15; }
+
+// --- mass -------------------------------------------------------------
+/// Pounds -> metric tons. Used by the paper's Eq. (6) carbon factor.
+inline constexpr double kLbsPerMetricTon = 2204.6;
+
+// --- physical constants -------------------------------------------------
+inline constexpr double kGravity = 9.80665;  ///< m/s^2
+
+}  // namespace exadigit::units

@@ -1,0 +1,24 @@
+#pragma once
+
+/// @file config_json.hpp
+/// JSON (de)serialization of system descriptors.
+///
+/// The generalized twin (paper Section V) is driven by JSON input files
+/// describing "the system architecture, the cooling system, the scheduler,
+/// and the power system". These functions define that exchange format. A
+/// round-trip (`system_config_from_json(system_config_to_json(c))`) is
+/// lossless; missing optional fields take the Frontier defaults.
+
+#include "config/system_config.hpp"
+#include "json/json.hpp"
+
+namespace exadigit {
+
+[[nodiscard]] Json system_config_to_json(const SystemConfig& config);
+[[nodiscard]] SystemConfig system_config_from_json(const Json& j);
+
+/// Curve exchange helpers (arrays of [x, y] pairs).
+[[nodiscard]] Json curve_to_json(const PiecewiseLinearCurve& curve);
+[[nodiscard]] PiecewiseLinearCurve curve_from_json(const Json& j);
+
+}  // namespace exadigit

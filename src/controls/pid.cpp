@@ -1,0 +1,102 @@
+#include "controls/pid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+Pid::Pid(const PidConfig& config) : config_(config) {
+  require(config_.out_max > config_.out_min, "pid requires out_max > out_min");
+  require(config_.kp >= 0.0 && config_.ki >= 0.0 && config_.kd >= 0.0,
+          "pid gains must be non-negative (use reverse_acting for inverse loops)");
+  last_output_ = config_.out_min;
+}
+
+double Pid::update(double setpoint, double measurement, double dt) {
+  require(dt > 0.0, "pid update requires dt > 0");
+  const double error =
+      config_.reverse_acting ? (measurement - setpoint) : (setpoint - measurement);
+
+  // Derivative on error with optional low-pass filtering; suppressed on the
+  // first sample to avoid a spike from an undefined previous error.
+  double derivative = 0.0;
+  if (primed_ && config_.kd > 0.0) {
+    const double raw = (error - last_error_) / dt;
+    if (config_.derivative_tau_s > 0.0) {
+      const double alpha = dt / (config_.derivative_tau_s + dt);
+      derivative_state_ += alpha * (raw - derivative_state_);
+      derivative = derivative_state_;
+    } else {
+      derivative = raw;
+    }
+  }
+  last_error_ = error;
+  primed_ = true;
+
+  const double unsat =
+      config_.kp * error + config_.ki * (integral_ + error * dt) + config_.kd * derivative;
+  const double sat = std::clamp(unsat, config_.out_min, config_.out_max);
+
+  // Conditional integration: only accumulate when not pushing further into
+  // the saturated rail.
+  const bool winding_up = (unsat > config_.out_max && error > 0.0) ||
+                          (unsat < config_.out_min && error < 0.0);
+  if (config_.ki > 0.0 && !winding_up) {
+    integral_ += error * dt;
+  }
+
+  last_output_ = sat;
+  return sat;
+}
+
+void Pid::reset(double output) {
+  const double clamped = std::clamp(output, config_.out_min, config_.out_max);
+  integral_ = config_.ki > 0.0 ? clamped / config_.ki : 0.0;
+  last_error_ = 0.0;
+  derivative_state_ = 0.0;
+  last_output_ = clamped;
+  primed_ = false;
+}
+
+FirstOrderLag::FirstOrderLag(double tau_s, double initial)
+    : tau_s_(tau_s), state_(initial) {}
+
+double FirstOrderLag::update(double input, double dt) {
+  require(dt > 0.0, "lag update requires dt > 0");
+  if (tau_s_ <= 0.0) {
+    state_ = input;
+    return state_;
+  }
+  // Exact discretization of y' = (u - y)/tau over a constant-input step.
+  const double a = std::exp(-dt / tau_s_);
+  state_ = input + (state_ - input) * a;
+  return state_;
+}
+
+void FirstOrderLag::reset(double value) { state_ = value; }
+
+TransportDelay::TransportDelay(double delay_s, double step_s, double initial) {
+  require(step_s > 0.0, "transport delay requires step > 0");
+  require(delay_s >= 0.0, "transport delay must be non-negative");
+  const std::size_t depth =
+      static_cast<std::size_t>(std::lround(delay_s / step_s)) + 1;
+  buffer_.assign(depth, initial);
+}
+
+double TransportDelay::update(double input) {
+  const double out = buffer_[head_];
+  buffer_[head_] = input;
+  head_ = (head_ + 1) % buffer_.size();
+  return out;
+}
+
+void TransportDelay::reset(double value) {
+  std::fill(buffer_.begin(), buffer_.end(), value);
+  head_ = 0;
+}
+
+double TransportDelay::value() const { return buffer_[head_]; }
+
+}  // namespace exadigit

@@ -1,0 +1,88 @@
+#pragma once
+
+/// @file pid.hpp
+/// PID controller and first-order lag blocks.
+///
+/// Frontier's plant control (paper Section III-C5) regulates CDU pump
+/// speeds on loop differential pressure, primary-side control valves on
+/// secondary supply temperature, HTWP speeds on loop pressure, and CTWP
+/// speeds on the tower supply header pressure — all with PID loops whose
+/// parameters were "taken from the physical controller where available and
+/// tuned using telemetry data" otherwise. The non-linear CT/EHX staging
+/// interaction is smoothed by a delay transfer function, modeled here as a
+/// first-order lag.
+
+#include <cstddef>
+#include <vector>
+
+namespace exadigit {
+
+/// Gains and limits for a Pid instance.
+struct PidConfig {
+  double kp = 1.0;
+  double ki = 0.0;          ///< 1/s
+  double kd = 0.0;          ///< s
+  double out_min = 0.0;
+  double out_max = 1.0;
+  /// Derivative low-pass time constant (s); 0 disables filtering.
+  double derivative_tau_s = 0.0;
+  /// When true the error is (measurement - setpoint): output rises when the
+  /// process variable exceeds the setpoint (e.g. valve opens on temperature).
+  bool reverse_acting = false;
+};
+
+/// Discrete PID with clamped output and conditional-integration anti-windup.
+class Pid {
+ public:
+  explicit Pid(const PidConfig& config);
+
+  /// Advances the controller by `dt` seconds and returns the new output.
+  double update(double setpoint, double measurement, double dt);
+
+  /// Resets the internal state; `output` seeds the integral term so the
+  /// controller resumes bumplessly from a known actuator position.
+  void reset(double output = 0.0);
+
+  [[nodiscard]] double output() const { return last_output_; }
+  [[nodiscard]] const PidConfig& config() const { return config_; }
+
+ private:
+  PidConfig config_;
+  double integral_ = 0.0;
+  double last_error_ = 0.0;
+  double derivative_state_ = 0.0;
+  double last_output_ = 0.0;
+  bool primed_ = false;
+};
+
+/// First-order lag y' = (u - y)/tau, integrated exactly per step.
+class FirstOrderLag {
+ public:
+  /// `tau_s` <= 0 degenerates to a pass-through.
+  explicit FirstOrderLag(double tau_s, double initial = 0.0);
+
+  double update(double input, double dt);
+  void reset(double value);
+  [[nodiscard]] double value() const { return state_; }
+
+ private:
+  double tau_s_;
+  double state_;
+};
+
+/// Pure transport delay realized as a small ring buffer sampled on a fixed
+/// step; used where the plant exhibits dead time rather than a lag.
+class TransportDelay {
+ public:
+  TransportDelay(double delay_s, double step_s, double initial = 0.0);
+
+  double update(double input);
+  void reset(double value);
+  [[nodiscard]] double value() const;
+
+ private:
+  std::size_t head_ = 0;
+  std::vector<double> buffer_;
+};
+
+}  // namespace exadigit

@@ -1,0 +1,77 @@
+#pragma once
+
+/// @file staging.hpp
+/// Discrete equipment staging with hysteresis and anti-short-cycling.
+///
+/// The central energy plant stages pumps, heat exchangers, and cooling
+/// towers up/down (paper Section III-C5): HTWPs stage on the relative speed
+/// of the running pumps, CTWPs on header pressure in concert with speed,
+/// and cooling towers on header pressure plus the gradient of the HTW
+/// supply temperature. These controllers share a pattern — a scalar signal,
+/// up/down thresholds, a dwell time to prevent short cycling — captured by
+/// SpeedStagingController and BandStagingController.
+
+#include <cstddef>
+
+namespace exadigit {
+
+/// Stages N identical units based on how hard the running ones are working
+/// (e.g. relative pump speed): above `up_threshold` for `min_interval_s`
+/// stages one on; below `down_threshold` stages one off.
+class SpeedStagingController {
+ public:
+  struct Config {
+    int min_units = 1;
+    int max_units = 4;
+    double up_threshold = 0.92;
+    double down_threshold = 0.45;
+    double min_interval_s = 300.0;  ///< dwell between staging actions
+  };
+
+  SpeedStagingController(const Config& config, int initial_units);
+
+  /// Advances by `dt` with the current load signal; returns staged count.
+  int update(double signal, double dt);
+
+  [[nodiscard]] int staged() const { return staged_; }
+  void reset(int units);
+
+ private:
+  Config config_;
+  int staged_;
+  double since_last_change_s_ = 1e18;  ///< allow an immediate first action
+};
+
+/// Stages units on a process-variable band: stage up when `value` exceeds
+/// setpoint + band (and, optionally, is still rising), down when below
+/// setpoint - band. Used for cooling-tower cells on HTW supply temperature.
+class BandStagingController {
+ public:
+  struct Config {
+    int min_units = 1;
+    int max_units = 20;
+    double band = 1.5;              ///< half-width around the setpoint
+    double min_interval_s = 600.0;
+    /// Require the signal gradient to agree with the staging direction
+    /// (paper: CTs stage on header pressure *and* the HTWS gradient).
+    bool use_gradient = true;
+  };
+
+  BandStagingController(const Config& config, int initial_units);
+
+  /// Advances by `dt`; `value` is the process variable, `setpoint` its
+  /// target. Returns the staged unit count.
+  int update(double value, double setpoint, double dt);
+
+  [[nodiscard]] int staged() const { return staged_; }
+  void reset(int units);
+
+ private:
+  Config config_;
+  int staged_;
+  double since_last_change_s_ = 1e18;
+  double last_value_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace exadigit

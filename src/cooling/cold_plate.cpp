@@ -1,0 +1,77 @@
+#include "cooling/cold_plate.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "cooling/fluid.hpp"
+
+namespace exadigit {
+
+ColdPlate::ColdPlate(PiecewiseLinearCurve resistance_k_per_w) : r_(std::move(resistance_k_per_w)) {
+  require(!r_.empty(), "cold plate resistance curve missing");
+  require(r_.is_monotone_decreasing(), "cold plate resistance must fall with flow");
+}
+
+double ColdPlate::die_temperature_c(double power_w, double coolant_c, double flow_m3s) const {
+  require(power_w >= 0.0, "cold plate power must be non-negative");
+  return coolant_c + r_(std::max(flow_m3s, 0.0)) * power_w;
+}
+
+ColdPlate frontier_gpu_cold_plate() {
+  // R_th (K/W) vs plate flow; ~0.07 K/W at the design 0.5 L/min per plate.
+  return ColdPlate(PiecewiseLinearCurve{{1.0e-6, 0.260},
+                                        {4.0e-6, 0.110},
+                                        {8.0e-6, 0.072},
+                                        {1.2e-5, 0.058},
+                                        {2.0e-5, 0.048}});
+}
+
+ColdPlate frontier_cpu_cold_plate() {
+  return ColdPlate(PiecewiseLinearCurve{{1.0e-6, 0.300},
+                                        {4.0e-6, 0.130},
+                                        {8.0e-6, 0.085},
+                                        {1.2e-5, 0.068},
+                                        {2.0e-5, 0.056}});
+}
+
+BladeThermalModel::BladeThermalModel(ColdPlate cpu_plate, ColdPlate gpu_plate)
+    : BladeThermalModel(std::move(cpu_plate), std::move(gpu_plate), Limits{}) {}
+
+BladeThermalModel::BladeThermalModel(ColdPlate cpu_plate, ColdPlate gpu_plate, Limits limits)
+    : cpu_plate_(std::move(cpu_plate)), gpu_plate_(std::move(gpu_plate)), limits_(limits) {
+  require(limits_.cpu_throttle_c > 0.0 && limits_.gpu_throttle_c > 0.0,
+          "throttle limits must be positive");
+}
+
+NodeThermalState BladeThermalModel::evaluate_node(double cpu_power_w, double gpu_power_w_each,
+                                                  int gpu_count, double coolant_in_c,
+                                                  double blade_flow_m3s,
+                                                  double blockage_factor) const {
+  require(gpu_count >= 0, "gpu count must be non-negative");
+  require(blockage_factor > 0.0 && blockage_factor <= 1.0,
+          "blockage factor must be in (0,1]");
+  NodeThermalState s;
+  // Each blade carries two nodes; the node's share of blade flow is then
+  // split over its plates (1 CPU + gpu_count GPU in parallel channels).
+  const double node_flow = 0.5 * blade_flow_m3s * blockage_factor;
+  const int plates = 1 + gpu_count;
+  const double plate_flow = plates > 0 ? node_flow / plates : 0.0;
+
+  // Coolant warms as it absorbs the node's heat; plates along the path see
+  // the mean coolant temperature.
+  const double total_w = cpu_power_w + gpu_power_w_each * gpu_count;
+  const double c_rate = capacity_rate(Coolant::kPg25, coolant_in_c, std::max(node_flow, 1e-9));
+  const double coolant_rise = total_w / c_rate;
+  const double mean_coolant = coolant_in_c + 0.5 * coolant_rise;
+
+  s.cpu_die_c = cpu_plate_.die_temperature_c(cpu_power_w, mean_coolant, plate_flow);
+  s.cpu_throttled = s.cpu_die_c >= limits_.cpu_throttle_c;
+  s.gpu_die_c.resize(static_cast<std::size_t>(gpu_count));
+  for (auto& t : s.gpu_die_c) {
+    t = gpu_plate_.die_temperature_c(gpu_power_w_each, mean_coolant, plate_flow);
+    s.gpu_throttled = s.gpu_throttled || t >= limits_.gpu_throttle_c;
+  }
+  return s;
+}
+
+}  // namespace exadigit

@@ -1,0 +1,79 @@
+#pragma once
+
+/// @file cold_plate.hpp
+/// Blade-level cold plates and die-temperature estimation.
+///
+/// Each Frontier blade carries two nodes; per node the coolant path crosses
+/// one CPU cold plate and four GPU cold plates (paper Section III-C1).
+/// Cold-plate thermal resistance falls with coolant flow; die temperature
+/// is local coolant temperature plus R_th(Q) * P. This supports the
+/// requirements-analysis use cases the paper lists: early detection of
+/// thermal throttling, and detection of flow blockages (biological growth)
+/// from temperature anomalies.
+
+#include <vector>
+
+#include "common/curve.hpp"
+
+namespace exadigit {
+
+/// Thermal-resistance model of one cold plate.
+class ColdPlate {
+ public:
+  /// `resistance_k_per_w`: R_th vs coolant flow (m^3/s through the plate).
+  explicit ColdPlate(PiecewiseLinearCurve resistance_k_per_w);
+
+  /// Die temperature for `power_w` dissipated into coolant at
+  /// `coolant_c` flowing at `flow_m3s`.
+  [[nodiscard]] double die_temperature_c(double power_w, double coolant_c,
+                                         double flow_m3s) const;
+
+  [[nodiscard]] const PiecewiseLinearCurve& resistance_curve() const { return r_; }
+
+ private:
+  PiecewiseLinearCurve r_;
+};
+
+/// Factory curves fit to vendor-style data for the Frontier blade.
+[[nodiscard]] ColdPlate frontier_gpu_cold_plate();
+[[nodiscard]] ColdPlate frontier_cpu_cold_plate();
+
+/// Die temperatures for one node on a blade.
+struct NodeThermalState {
+  double cpu_die_c = 0.0;
+  std::vector<double> gpu_die_c;  ///< one per GPU
+  bool cpu_throttled = false;
+  bool gpu_throttled = false;
+};
+
+/// Per-blade thermal model: splits blade coolant flow over the plates in a
+/// node's series path and flags thermal throttling.
+class BladeThermalModel {
+ public:
+  struct Limits {
+    double cpu_throttle_c = 95.0;
+    double gpu_throttle_c = 105.0;
+  };
+
+  BladeThermalModel(ColdPlate cpu_plate, ColdPlate gpu_plate);
+  BladeThermalModel(ColdPlate cpu_plate, ColdPlate gpu_plate, Limits limits);
+
+  /// Evaluates one node: `blade_flow_m3s` is the blade branch flow (shared
+  /// by the two nodes), `coolant_in_c` the blade inlet coolant temperature.
+  /// `blockage_factor` in (0,1] scales the flow actually reaching the node
+  /// (1 = clean channel); low factors model the biological-growth blockages
+  /// the paper's use-case analysis calls out.
+  [[nodiscard]] NodeThermalState evaluate_node(double cpu_power_w, double gpu_power_w_each,
+                                               int gpu_count, double coolant_in_c,
+                                               double blade_flow_m3s,
+                                               double blockage_factor = 1.0) const;
+
+  [[nodiscard]] const Limits& limits() const { return limits_; }
+
+ private:
+  ColdPlate cpu_plate_;
+  ColdPlate gpu_plate_;
+  Limits limits_;
+};
+
+}  // namespace exadigit

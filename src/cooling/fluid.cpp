@@ -1,0 +1,52 @@
+#include "cooling/fluid.hpp"
+
+#include <algorithm>
+
+namespace exadigit {
+
+namespace {
+// Quadratic fits to IAPWS liquid-water data, 5-60 degC.
+double water_density(double t_c) {
+  const double t = std::clamp(t_c, 0.0, 90.0);
+  return 1001.2 - 0.075 * t - 0.00375 * t * t;
+}
+
+double water_cp(double t_c) {
+  const double t = std::clamp(t_c, 0.0, 90.0);
+  return 4209.0 - 1.31 * t + 0.014 * t * t;
+}
+
+// PG25 (25 % propylene glycol by volume), ASHRAE-style fit.
+double pg25_density(double t_c) {
+  const double t = std::clamp(t_c, 0.0, 90.0);
+  return 1024.0 - 0.30 * t;
+}
+
+double pg25_cp(double t_c) {
+  const double t = std::clamp(t_c, 0.0, 90.0);
+  return 3930.0 + 2.5 * t;
+}
+}  // namespace
+
+double coolant_density(Coolant coolant, double t_c) {
+  return coolant == Coolant::kWater ? water_density(t_c) : pg25_density(t_c);
+}
+
+double coolant_cp(Coolant coolant, double t_c) {
+  return coolant == Coolant::kWater ? water_cp(t_c) : pg25_cp(t_c);
+}
+
+double coolant_rho_cp(Coolant coolant, double t_c) {
+  return coolant_density(coolant, t_c) * coolant_cp(coolant, t_c);
+}
+
+double capacity_rate(Coolant coolant, double t_c, double q_m3s) {
+  return coolant_rho_cp(coolant, t_c) * q_m3s;
+}
+
+double stream_heat_w(Coolant coolant, double q_m3s, double t_in_c, double t_out_c) {
+  const double t_mean = 0.5 * (t_in_c + t_out_c);
+  return capacity_rate(coolant, t_mean, q_m3s) * (t_out_c - t_in_c);
+}
+
+}  // namespace exadigit

@@ -1,0 +1,34 @@
+#pragma once
+
+/// @file fluid.hpp
+/// Coolant property models.
+///
+/// The facility loops run treated water; the blade-level loops run a
+/// propylene-glycol/water mix (PG25). Properties are smooth polynomial fits
+/// valid over the plant's 5-60 degC operating range — the paper's
+/// system-level model (Modelica.Media incompressible tables) needs nothing
+/// finer.
+
+namespace exadigit {
+
+/// Which coolant a loop circulates.
+enum class Coolant { kWater, kPg25 };
+
+/// Density (kg/m^3) at temperature `t_c` (degC).
+[[nodiscard]] double coolant_density(Coolant coolant, double t_c);
+
+/// Specific heat capacity (J/(kg K)) at `t_c` (degC).
+[[nodiscard]] double coolant_cp(Coolant coolant, double t_c);
+
+/// Volumetric heat capacity rho*cp (J/(m^3 K)) at `t_c`.
+[[nodiscard]] double coolant_rho_cp(Coolant coolant, double t_c);
+
+/// Capacity rate C = rho * cp * Q (W/K) for volumetric flow `q_m3s`.
+[[nodiscard]] double capacity_rate(Coolant coolant, double t_c, double q_m3s);
+
+/// Heat carried by a stream between two temperatures (paper Eq. (7)):
+/// H = rho * Q * dT * cp, evaluated at the mean temperature.
+[[nodiscard]] double stream_heat_w(Coolant coolant, double q_m3s, double t_in_c,
+                                   double t_out_c);
+
+}  // namespace exadigit

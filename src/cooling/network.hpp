@@ -1,0 +1,116 @@
+#pragma once
+
+/// @file network.hpp
+/// Steady incompressible flow-network solver.
+///
+/// Each cooling loop in the plant (25 CDU secondary loops, the primary HTW
+/// loop, the cooling-tower loop — paper Fig. 5) is a pipe network of pumps,
+/// quadratic resistances, and control valves. Because the fluid transients
+/// are far faster than the thermal ones, hydraulics are solved as a steady
+/// network at every cooling step: Newton iteration on nodal pressures with
+/// mass conservation residuals, which is the staggered-grid momentum/mass
+/// formulation of Modelica.Fluid collapsed to its steady limit.
+///
+/// Branch characteristics are regularized near zero pressure drop so the
+/// Jacobian stays finite, and pumps carry integral check valves (no
+/// backflow), matching the physical plant.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace exadigit {
+
+/// Handle for a network node.
+using NodeId = std::size_t;
+/// Handle for a network branch.
+using BranchId = std::size_t;
+
+/// Branch kind; determines how flow responds to the pressure difference.
+enum class BranchKind {
+  kResistance,  ///< dP = K Q |Q|
+  kValve,       ///< resistance with position-dependent K
+  kPump,        ///< head rise dP = s^2 H0 - a (Q/n)^2, Q >= 0 (check valve)
+};
+
+/// One network branch with mutable operating parameters.
+struct Branch {
+  BranchKind kind = BranchKind::kResistance;
+  NodeId from = 0;
+  NodeId to = 0;
+  std::string name;
+  // Resistance / valve:
+  double k = 0.0;           ///< Pa/(m^3/s)^2 at fully open
+  double position = 1.0;    ///< valve opening in (0, 1]
+  double min_position = 0.02;
+  // Pump:
+  double shutoff_head_pa = 0.0;  ///< H0 at full speed
+  double curve_coeff = 0.0;      ///< a in dP = s^2 H0 - a (Q/n)^2
+  double speed = 1.0;            ///< relative speed s in [0, 1]
+  int parallel_units = 1;        ///< n identical units sharing the branch
+};
+
+/// Converged network state.
+struct NetworkSolution {
+  std::vector<double> node_pressure_pa;  ///< relative to the reference node
+  std::vector<double> branch_flow_m3s;   ///< positive from -> to
+  int iterations = 0;
+  double residual_m3s = 0.0;  ///< worst nodal mass imbalance
+};
+
+/// A flow network: build once, mutate branch parameters (speeds, valve
+/// positions, blockage factors) between solves, and re-solve warm-started.
+class FlowNetwork {
+ public:
+  /// Diagnostic label included in solver-failure messages.
+  void set_label(std::string label) { label_ = std::move(label); }
+  [[nodiscard]] const std::string& label() const { return label_; }
+
+  /// Adds a node; the first node added is the pressure reference (0 Pa).
+  NodeId add_node(std::string name = {});
+
+  /// Adds a quadratic resistance with coefficient `k` (Pa s^2/m^6).
+  BranchId add_resistance(NodeId from, NodeId to, double k, std::string name = {});
+
+  /// Adds a valve: fully open resistance `k_open`; effective K is
+  /// k_open / position^2 (clamped at min_position).
+  BranchId add_valve(NodeId from, NodeId to, double k_open, std::string name = {});
+
+  /// Adds a pump bank of `parallel_units` identical pumps from suction
+  /// `from` to discharge `to`.
+  BranchId add_pump(NodeId from, NodeId to, double shutoff_head_pa, double curve_coeff,
+                    int parallel_units = 1, std::string name = {});
+
+  [[nodiscard]] Branch& branch(BranchId id) { return branches_.at(id); }
+  [[nodiscard]] const Branch& branch(BranchId id) const { return branches_.at(id); }
+  [[nodiscard]] std::size_t node_count() const { return node_names_.size(); }
+  [[nodiscard]] std::size_t branch_count() const { return branches_.size(); }
+
+  /// Solves mass conservation; throws SolverError when Newton fails.
+  /// `flow_scale_m3s` sets the convergence tolerance (1e-6 of it).
+  [[nodiscard]] NetworkSolution solve(double flow_scale_m3s = 0.1) const;
+
+  /// Flow through a branch under a solution.
+  [[nodiscard]] double flow(const NetworkSolution& sol, BranchId id) const {
+    return sol.branch_flow_m3s.at(id);
+  }
+
+  /// Pressure rise across a branch (to minus from) under a solution.
+  [[nodiscard]] double pressure_rise(const NetworkSolution& sol, BranchId id) const;
+
+ private:
+  std::string label_;
+  std::vector<std::string> node_names_;
+  std::vector<Branch> branches_;
+  mutable std::vector<double> warm_pressures_;
+
+  [[nodiscard]] NetworkSolution solve_impl(double flow_scale_m3s, bool use_warm_start) const;
+
+  /// Flow and dQ/d(dp) for a branch at pressure drop `dp = P_from - P_to`.
+  void branch_flow(const Branch& b, double dp, double& q, double& dq_ddp) const;
+};
+
+/// Resistance coefficient K from a design point: dP_design = K Q_design^2.
+[[nodiscard]] double k_from_design(double dp_pa, double q_m3s);
+
+}  // namespace exadigit

@@ -1,0 +1,39 @@
+#include "cooling/pump.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+PumpModel::PumpModel(const PumpConfig& config) : config_(config) {
+  require(config_.design_flow_m3s > 0.0, "pump design flow must be positive");
+  require(config_.design_head_pa > 0.0, "pump design head must be positive");
+  require(config_.shutoff_head_pa > config_.design_head_pa,
+          "pump shutoff head must exceed design head");
+  require(config_.efficiency > 0.0 && config_.efficiency <= 1.0,
+          "pump efficiency must be in (0,1]");
+  curve_coeff_ = (config_.shutoff_head_pa - config_.design_head_pa) /
+                 (config_.design_flow_m3s * config_.design_flow_m3s);
+}
+
+double PumpModel::head_pa(double q_m3s, double speed) const {
+  const double s = std::clamp(speed, 0.0, 1.2);
+  return s * s * config_.shutoff_head_pa - curve_coeff_ * q_m3s * q_m3s;
+}
+
+double PumpModel::electric_power_w(double q_m3s, double head_pa) const {
+  if (q_m3s <= 0.0 || head_pa <= 0.0) {
+    // Spinning against a closed valve or idling: a small hotel load remains.
+    return 0.05 * config_.rated_power_w;
+  }
+  const double hydraulic = q_m3s * head_pa;
+  // Wire-to-water efficiency falls off away from the best-efficiency point.
+  const double load_frac = std::clamp(q_m3s / config_.design_flow_m3s, 0.05, 1.3);
+  const double eff =
+      config_.efficiency * std::clamp(0.55 + 0.45 * load_frac, 0.55, 1.0);
+  return hydraulic / eff;
+}
+
+}  // namespace exadigit

@@ -1,0 +1,40 @@
+#pragma once
+
+/// @file pump.hpp
+/// Centrifugal pump model: quadratic head curve, affinity laws, and
+/// wire-to-water electric power.
+///
+/// Head model (see PumpConfig): dP(Q, s) = s^2 H0 - a (Q/n)^2 for a bank of
+/// n identical units at relative speed s. The affinity laws fall out of the
+/// s^2 scaling; electric power is hydraulic power over a speed-degraded
+/// wire-to-water efficiency.
+
+#include "config/system_config.hpp"
+
+namespace exadigit {
+
+/// Helper over PumpConfig turning the config's design point into curve
+/// coefficients and power estimates.
+class PumpModel {
+ public:
+  explicit PumpModel(const PumpConfig& config);
+
+  /// Curve coefficient a such that dP(Q_design, 1) = design_head_pa.
+  [[nodiscard]] double curve_coeff() const { return curve_coeff_; }
+  [[nodiscard]] double shutoff_head_pa() const { return config_.shutoff_head_pa; }
+
+  /// Head (Pa) produced by one unit at flow `q_m3s` and speed `s`.
+  [[nodiscard]] double head_pa(double q_m3s, double speed) const;
+
+  /// Electric power (W) of one unit moving `q_m3s` against `head_pa`.
+  /// Efficiency derates at low load so idle pumps still draw power.
+  [[nodiscard]] double electric_power_w(double q_m3s, double head_pa) const;
+
+  [[nodiscard]] const PumpConfig& config() const { return config_; }
+
+ private:
+  PumpConfig config_;
+  double curve_coeff_;
+};
+
+}  // namespace exadigit

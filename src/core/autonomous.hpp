@@ -1,0 +1,56 @@
+#pragma once
+
+/// @file autonomous.hpp
+/// The L5 "autonomous twin": closed-loop setpoint optimization.
+///
+/// The paper's taxonomy tops out at L5 — agents that "make autonomous
+/// decisions for system optimization", its example being "automated
+/// setpoint control for improved cooling efficiency" (Section III, citing
+/// the NREL AIOps work); the conclusions name L5 agents as future work.
+/// This module implements that loop against the plant model: a
+/// derivative-free search over the cooling-tower basin setpoint that
+/// minimizes PUE subject to the HTW supply temperature holding its band.
+/// Warmer basins save fan power; too warm and the EHX can no longer hold
+/// HTWS — the optimizer finds the knee for the current load and weather.
+
+#include <vector>
+
+#include "config/system_config.hpp"
+
+namespace exadigit {
+
+/// One evaluated candidate setpoint.
+struct SetpointCandidate {
+  double basin_offset_k = 0.0;  ///< basin setpoint minus HTWS setpoint (< 0)
+  double pue = 0.0;
+  double htws_c = 0.0;
+  double fan_power_w = 0.0;
+  bool feasible = false;  ///< HTWS within its staging band
+};
+
+/// Optimizer configuration.
+struct SetpointOptimizerConfig {
+  double offset_min_k = -8.0;   ///< coldest basin considered
+  double offset_max_k = -1.0;   ///< warmest basin considered
+  int coarse_steps = 6;         ///< coarse scan resolution
+  int refine_steps = 3;         ///< bisection refinements around the best
+  double settle_hours = 2.5;    ///< plant settling time per evaluation
+  double htws_margin_k = 0.25;  ///< extra feasibility margin on the band
+};
+
+/// Optimization outcome.
+struct SetpointOptimizationResult {
+  SetpointCandidate best;
+  SetpointCandidate baseline;        ///< the config's default (-4 K)
+  double pue_improvement = 0.0;      ///< baseline PUE - best PUE
+  double annual_savings_usd = 0.0;   ///< fan-power saving at the tariff
+  std::vector<SetpointCandidate> evaluated;
+};
+
+/// Searches basin setpoints for the given steady operating point (system
+/// power + weather) and reports the best feasible one. Deterministic.
+[[nodiscard]] SetpointOptimizationResult optimize_basin_setpoint(
+    const SystemConfig& config, double system_power_w, double wetbulb_c,
+    const SetpointOptimizerConfig& optimizer = {});
+
+}  // namespace exadigit

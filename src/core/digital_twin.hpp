@@ -1,0 +1,103 @@
+#pragma once
+
+/// @file digital_twin.hpp
+/// The ExaDigiT digital twin: RAPS co-simulated with the cooling FMU.
+///
+/// This is the paper's integration layer (Fig. 1): the RAPS engine advances
+/// in 1 s ticks, and every 15 s cooling quantum it hands the per-CDU heat
+/// load, the ambient wet bulb, and P_system to the cooling FMU, steps it,
+/// and records the coupled series (PUE, HTWS temperature, cooling
+/// efficiency eta_cooling = H / P_system, per-CDU flows and temperatures).
+/// Cooling can be disabled for power-only sweeps — the paper's "three
+/// minutes instead of nine" replay path.
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/time_series.hpp"
+#include "fmi/cooling_fmu.hpp"
+#include "raps/engine.hpp"
+#include "raps/workload.hpp"
+
+namespace exadigit {
+
+/// Construction options for a twin instance.
+struct DigitalTwinOptions {
+  bool enable_cooling = true;
+  bool collect_series = true;
+  double start_time_s = 0.0;
+  double ambient_c = 20.0;  ///< initial plant temperature seed
+};
+
+/// Per-CDU series recorded during a coupled run.
+struct CduSeries {
+  TimeSeries pri_flow_gpm;     ///< station 12 primary flow
+  TimeSeries sec_flow_gpm;     ///< station 14 secondary flow
+  TimeSeries return_temp_c;    ///< station 12 primary return temperature
+  TimeSeries supply_temp_c;    ///< station 15 secondary supply temperature
+  TimeSeries pump_power_w;
+};
+
+/// The coupled supercomputer + central-energy-plant twin.
+class DigitalTwin {
+ public:
+  explicit DigitalTwin(const SystemConfig& config);
+  DigitalTwin(const SystemConfig& config, const DigitalTwinOptions& options);
+
+  /// Ambient boundary condition: a wet-bulb series (60 s telemetry) or a
+  /// constant; the series wins when both are set.
+  void set_wetbulb_series(TimeSeries series);
+  void set_wetbulb_constant(double wetbulb_c);
+
+  void submit(JobRecord job) { engine_.submit(std::move(job)); }
+  void submit_all(std::vector<JobRecord> jobs) { engine_.submit_all(std::move(jobs)); }
+
+  /// Advances the coupled simulation.
+  void run_until(double t_end_s);
+
+  [[nodiscard]] RapsEngine& engine() { return engine_; }
+  [[nodiscard]] const RapsEngine& engine() const { return engine_; }
+  /// The cooling FMU; throws when cooling is disabled.
+  [[nodiscard]] CoolingFmu& cooling();
+  [[nodiscard]] const CoolingFmu& cooling() const;
+  [[nodiscard]] bool cooling_enabled() const { return fmu_ != nullptr; }
+
+  // --- coupled series (cooling quantum resolution) -----------------------
+  [[nodiscard]] const TimeSeries& pue_series() const { return pue_series_; }
+  [[nodiscard]] const TimeSeries& htws_temp_series() const { return htws_series_; }
+  [[nodiscard]] const TimeSeries& pri_return_temp_series() const { return pri_return_series_; }
+  [[nodiscard]] const TimeSeries& htw_supply_pressure_series() const { return pri_dp_series_; }
+  [[nodiscard]] const TimeSeries& cooling_efficiency_series() const {
+    return cooling_eff_series_;
+  }
+  [[nodiscard]] const std::vector<CduSeries>& cdu_series() const { return cdu_series_; }
+  /// Wall power per CDU over time (cooling-model input channel).
+  [[nodiscard]] const std::vector<TimeSeries>& cdu_rack_power_series() const {
+    return cdu_power_series_;
+  }
+
+  [[nodiscard]] Report report() const { return engine_.report(); }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+ private:
+  SystemConfig config_;
+  RapsEngine engine_;
+  std::unique_ptr<CoolingFmu> fmu_;
+  std::optional<TimeSeries> wetbulb_series_;
+  double wetbulb_constant_ = 15.0;
+  bool collect_series_;
+
+  TimeSeries pue_series_;
+  TimeSeries htws_series_;
+  TimeSeries pri_return_series_;
+  TimeSeries pri_dp_series_;
+  TimeSeries cooling_eff_series_;
+  std::vector<CduSeries> cdu_series_;
+  std::vector<TimeSeries> cdu_power_series_;
+
+  void on_cooling_quantum(double now_s);
+  [[nodiscard]] double wetbulb_at(double t_s) const;
+};
+
+}  // namespace exadigit

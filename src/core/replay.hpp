@@ -1,0 +1,77 @@
+#pragma once
+
+/// @file replay.hpp
+/// Telemetry replay and V&V scoring (paper Section IV).
+///
+/// "One of the most effective ways to perform verification and validation
+/// studies of the power and cooling models is by replaying system telemetry
+/// at multiple levels through the digital twin" (Finding 8). Two replay
+/// levels are implemented:
+///   - power replay (Fig. 9): jobs replay on their recorded schedule, the
+///     predicted P_system is scored against the measured channel;
+///   - cooling validation (Fig. 7): the cooling FMU alone is driven by the
+///     telemetry heat + wet bulb, and its flows, temperatures, pressures,
+///     and PUE are scored against the measured channels.
+
+#include "core/digital_twin.hpp"
+#include "telemetry/schema.hpp"
+
+namespace exadigit {
+
+/// Error metrics of one predicted channel vs its measured counterpart.
+struct SeriesScore {
+  double rmse = 0.0;
+  double mae = 0.0;
+  double mape_pct = 0.0;
+  double pearson = 0.0;
+};
+
+/// Scores `predicted` against `measured` on a common uniform grid.
+[[nodiscard]] SeriesScore score_series(const TimeSeries& predicted,
+                                       const TimeSeries& measured, double dt_s);
+
+/// Result of a power replay (Fig. 9).
+struct PowerReplayResult {
+  TimeSeries predicted_power_mw;
+  TimeSeries measured_power_mw;
+  TimeSeries eta_system;       ///< Eq. (1) over time
+  TimeSeries cooling_eff;      ///< eta_cooling = H / P_system (with cooling)
+  TimeSeries utilization;
+  TimeSeries pue;              ///< empty when cooling disabled
+  SeriesScore power_score;
+  Report report;
+};
+
+/// Replays a telemetry dataset's jobs through the twin and scores the
+/// predicted system power. `with_cooling` enables the coupled plant (the
+/// paper's 9-minute path) or skips it (3-minute path).
+[[nodiscard]] PowerReplayResult replay_power(const SystemConfig& config,
+                                             const TelemetryDataset& dataset,
+                                             bool with_cooling);
+
+/// Result of the cooling-model validation (Fig. 7(a-d)).
+struct CoolingValidationResult {
+  SeriesScore cdu_pri_flow;        ///< station 12 flow, averaged over CDUs
+  SeriesScore cdu_return_temp;     ///< station 12 temperature
+  SeriesScore htw_supply_pressure; ///< station 10 pressure
+  SeriesScore pue;
+  double pue_max_rel_error = 0.0;  ///< paper: within 1.4 %
+  // Fleet-average series for plotting/benches.
+  TimeSeries predicted_flow_gpm;
+  TimeSeries measured_flow_gpm;
+  TimeSeries predicted_return_c;
+  TimeSeries measured_return_c;
+  TimeSeries predicted_pressure_pa;
+  TimeSeries measured_pressure_pa;
+  TimeSeries predicted_pue;
+  TimeSeries measured_pue;
+};
+
+/// Drives the cooling FMU with the dataset's heat and wet-bulb channels
+/// only (paper: "the only inputs to the model is the power supplied to the
+/// 25 CDUs ... and the wet-bulb temperature") and scores stations 10/12 and
+/// the PUE against telemetry.
+[[nodiscard]] CoolingValidationResult validate_cooling(const SystemConfig& config,
+                                                       const TelemetryDataset& dataset);
+
+}  // namespace exadigit

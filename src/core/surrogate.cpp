@@ -1,0 +1,135 @@
+#include "core/surrogate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+std::array<double, 4> PowerSurrogate::features(double a, double cu, double gu) {
+  return {1.0, a, a * cu, a * gu};
+}
+
+void PowerSurrogate::fit(std::span<const SurrogateSample> samples, double ridge_lambda) {
+  require(samples.size() >= 8, "surrogate fit requires at least 8 samples");
+  require(ridge_lambda >= 0.0, "ridge lambda must be non-negative");
+  constexpr int n = 4;
+  // Normal equations A w = b with Tikhonov regularization.
+  double a_mat[n][n] = {};
+  double b_vec[n] = {};
+  for (int i = 0; i < 3; ++i) {
+    lo_[i] = 1e300;
+    hi_[i] = -1e300;
+  }
+  for (const SurrogateSample& s : samples) {
+    const auto f = features(s.active_fraction, s.cpu_util, s.gpu_util);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) a_mat[r][c] += f[static_cast<std::size_t>(r)] *
+                                                 f[static_cast<std::size_t>(c)];
+      b_vec[r] += f[static_cast<std::size_t>(r)] * s.power_w;
+    }
+    const double in[3] = {s.active_fraction, s.cpu_util, s.gpu_util};
+    for (int i = 0; i < 3; ++i) {
+      lo_[i] = std::min(lo_[i], in[i]);
+      hi_[i] = std::max(hi_[i], in[i]);
+    }
+  }
+  const double scale = static_cast<double>(samples.size());
+  for (int r = 0; r < n; ++r) a_mat[r][r] += ridge_lambda * scale;
+
+  // Gaussian elimination with partial pivoting on the 4x4 system.
+  double w[n];
+  for (int i = 0; i < n; ++i) w[i] = b_vec[i];
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::abs(a_mat[r][col]) > std::abs(a_mat[pivot][col])) pivot = r;
+    }
+    if (std::abs(a_mat[pivot][col]) < 1e-12) {
+      throw SolverError("surrogate design matrix is singular (degenerate samples)");
+    }
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) std::swap(a_mat[col][c], a_mat[pivot][c]);
+      std::swap(w[col], w[pivot]);
+    }
+    for (int r = col + 1; r < n; ++r) {
+      const double f = a_mat[r][col] / a_mat[col][col];
+      for (int c = col; c < n; ++c) a_mat[r][c] -= f * a_mat[col][c];
+      w[r] -= f * w[col];
+    }
+  }
+  weights_.assign(n, 0.0);
+  for (int i = n - 1; i >= 0; --i) {
+    double acc = w[i];
+    for (int c = i + 1; c < n; ++c) acc -= a_mat[i][c] * weights_[static_cast<std::size_t>(c)];
+    weights_[static_cast<std::size_t>(i)] = acc / a_mat[i][i];
+  }
+  trained_ = true;
+}
+
+double PowerSurrogate::predict_w(double active_fraction, double cpu_util,
+                                 double gpu_util) const {
+  require(trained_, "surrogate must be trained before prediction");
+  const auto f = features(active_fraction, cpu_util, gpu_util);
+  double p = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) p += weights_[i] * f[i];
+  return p;
+}
+
+bool PowerSurrogate::in_training_envelope(double active_fraction, double cpu_util,
+                                          double gpu_util) const {
+  require(trained_, "surrogate must be trained before envelope queries");
+  const double in[3] = {active_fraction, cpu_util, gpu_util};
+  for (int i = 0; i < 3; ++i) {
+    if (in[i] < lo_[i] - 1e-9 || in[i] > hi_[i] + 1e-9) return false;
+  }
+  return true;
+}
+
+double PowerSurrogate::mape_pct(std::span<const SurrogateSample> samples) const {
+  require(!samples.empty(), "mape requires samples");
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const SurrogateSample& s : samples) {
+    if (s.power_w <= 0.0) continue;
+    acc += std::abs(predict_w(s.active_fraction, s.cpu_util, s.gpu_util) - s.power_w) /
+           s.power_w;
+    ++n;
+  }
+  return n == 0 ? 0.0 : 100.0 * acc / static_cast<double>(n);
+}
+
+std::vector<SurrogateSample> harvest_samples(const SystemConfig& config,
+                                             const TelemetryDataset& dataset) {
+  dataset.validate();
+  require(!dataset.measured_system_power_w.empty(),
+          "dataset has no measured power channel");
+  const double quantum = dataset.trace_quantum_s;
+  const double total_nodes = static_cast<double>(config.total_nodes());
+  std::vector<SurrogateSample> samples;
+  for (double t = dataset.start_time_s + quantum;
+       t < dataset.start_time_s + dataset.duration_s; t += quantum) {
+    double active = 0.0;
+    double cpu_acc = 0.0;
+    double gpu_acc = 0.0;
+    for (const JobRecord& j : dataset.jobs) {
+      const double start = j.is_replay() ? j.fixed_start_time_s : j.submit_time_s;
+      if (t < start || t >= start + j.wall_time_s) continue;
+      const double nodes = static_cast<double>(j.node_count);
+      active += nodes;
+      cpu_acc += nodes * j.cpu_util_at(t - start, quantum);
+      gpu_acc += nodes * j.gpu_util_at(t - start, quantum);
+    }
+    SurrogateSample s;
+    s.active_fraction = active / total_nodes;
+    s.cpu_util = active > 0.0 ? cpu_acc / active : 0.0;
+    s.gpu_util = active > 0.0 ? gpu_acc / active : 0.0;
+    s.power_w = dataset.measured_system_power_w.at(t, SampleHold::kPrevious);
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+}  // namespace exadigit

@@ -1,0 +1,72 @@
+#pragma once
+
+/// @file surrogate.hpp
+/// The L3 "predictive twin": a data-driven power surrogate.
+///
+/// The paper's digital-twin taxonomy (Section III) distinguishes L4
+/// first-principles simulation from L3 machine-learned models trained on
+/// telemetry, noting that the latter run in real time but "are
+/// fundamentally interpolative and thus often do not extrapolate well",
+/// and that simulations can generate training data for surrogates. This
+/// module implements that layer: a ridge-regression power surrogate on
+/// scheduler-level features (active-node fraction, fleet-mean CPU/GPU
+/// utilization), trainable from a Table II telemetry dataset or from
+/// simulation output, with honest reporting of its training envelope.
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "config/system_config.hpp"
+#include "telemetry/schema.hpp"
+
+namespace exadigit {
+
+/// One training/inference point for the surrogate.
+struct SurrogateSample {
+  double active_fraction = 0.0;  ///< allocated nodes / total nodes
+  double cpu_util = 0.0;         ///< fleet-mean CPU utilization of active nodes
+  double gpu_util = 0.0;         ///< fleet-mean GPU utilization of active nodes
+  double power_w = 0.0;          ///< measured P_system (label)
+};
+
+/// Linear ridge-regression surrogate: P ~ w0 + w1*a + w2*a*ucpu + w3*a*ugpu.
+/// The feature map mirrors Eq. (3)'s structure so in-distribution accuracy
+/// is high with four coefficients.
+class PowerSurrogate {
+ public:
+  /// Fits by regularized normal equations; throws SolverError when the
+  /// sample set is degenerate.
+  void fit(std::span<const SurrogateSample> samples, double ridge_lambda = 1e-6);
+
+  [[nodiscard]] bool trained() const { return trained_; }
+  [[nodiscard]] const std::vector<double>& coefficients() const { return weights_; }
+
+  /// Predicted P_system (W). Throws when untrained.
+  [[nodiscard]] double predict_w(double active_fraction, double cpu_util,
+                                 double gpu_util) const;
+
+  /// Training envelope: min/max of each input seen during fit. Predictions
+  /// outside it are extrapolations (the paper's caveat).
+  [[nodiscard]] bool in_training_envelope(double active_fraction, double cpu_util,
+                                          double gpu_util) const;
+
+  /// Mean absolute percentage error over a sample set.
+  [[nodiscard]] double mape_pct(std::span<const SurrogateSample> samples) const;
+
+ private:
+  std::vector<double> weights_;
+  bool trained_ = false;
+  double lo_[3] = {0.0, 0.0, 0.0};
+  double hi_[3] = {0.0, 0.0, 0.0};
+
+  [[nodiscard]] static std::array<double, 4> features(double a, double cu, double gu);
+};
+
+/// Harvests (features, measured power) pairs from a telemetry dataset by
+/// reconstructing fleet occupancy from the recorded job schedule at every
+/// trace quantum — the L2 -> L3 pipeline.
+[[nodiscard]] std::vector<SurrogateSample> harvest_samples(const SystemConfig& config,
+                                                           const TelemetryDataset& dataset);
+
+}  // namespace exadigit

@@ -1,0 +1,63 @@
+#pragma once
+
+/// @file thermal_scan.hpp
+/// Fleet-wide blade thermal scanning and anomaly detection.
+///
+/// Two of the paper's requirements-analysis use cases (Section III-A) need
+/// component-level temperatures derived from the system state: "early
+/// detection of thermal throttling" and detecting water-quality blockages
+/// from temperature anomalies. This module closes that loop: it combines
+/// the engine's per-node power, the plant's per-CDU coolant conditions,
+/// and the cold-plate models into die-temperature estimates for every
+/// running node, then flags outliers against the fleet distribution.
+
+#include <vector>
+
+#include "cooling/cold_plate.hpp"
+#include "cooling/plant.hpp"
+#include "raps/engine.hpp"
+
+namespace exadigit {
+
+/// Die-temperature estimate for one running node.
+struct NodeThermalReading {
+  int node_index = -1;
+  int rack_index = -1;
+  int cdu_index = -1;
+  double cpu_die_c = 0.0;
+  double max_gpu_die_c = 0.0;
+  bool throttled = false;
+};
+
+/// Fleet scan result.
+struct ThermalScanResult {
+  std::vector<NodeThermalReading> readings;  ///< one per running node
+  double fleet_max_gpu_c = 0.0;
+  double fleet_mean_gpu_c = 0.0;
+  int throttled_nodes = 0;
+  /// Readings more than `anomaly_sigma` above the fleet mean (candidate
+  /// blockages / fouling), hottest first.
+  std::vector<NodeThermalReading> anomalies;
+
+  /// Per-rack max GPU die temperature (for heat-map rendering); -1 entries
+  /// mark racks with no running nodes.
+  std::vector<double> rack_max_gpu_c;
+};
+
+/// Scan configuration.
+struct ThermalScanConfig {
+  double anomaly_sigma = 3.0;
+  /// Per-node flow blockage factors in (0,1]; empty = all clean. Indexed
+  /// by node; used to inject the water-quality scenario.
+  std::vector<double> node_blockage;
+};
+
+/// Computes die temperatures for every running node from the engine and
+/// plant state. The per-blade coolant flow is the node's CDU secondary
+/// flow split over the rack's blades; the local coolant temperature is the
+/// CDU secondary supply.
+[[nodiscard]] ThermalScanResult scan_fleet_thermals(const RapsEngine& engine,
+                                                    const PlantOutputs& plant,
+                                                    const ThermalScanConfig& scan = {});
+
+}  // namespace exadigit

@@ -1,0 +1,72 @@
+#pragma once
+
+/// @file whatif.hpp
+/// "What-if" scenarios: virtual modifications of the twin (paper Section
+/// IV-3).
+///
+/// The paper demonstrates two energy-efficiency what-ifs on Frontier's DT:
+///   1. smart load-sharing rectifiers — stage rectifiers so each runs near
+///      its 96.3 % optimum (modest gain, ~$120k/yr);
+///   2. direct 380 V DC power — remove rectification entirely
+///      (93.3 % -> 97.3 %, ~$542k/yr, -8.2 % CO2);
+/// plus (from the requirements analysis) virtually extending the cooling
+/// plant with a future secondary HPC system. All three are implemented as
+/// config-delta scenarios replayed over the same workload.
+
+#include <string>
+#include <vector>
+
+#include "config/system_config.hpp"
+#include "raps/report.hpp"
+#include "telemetry/schema.hpp"
+
+namespace exadigit {
+
+/// Baseline-vs-variant comparison over one replayed workload.
+struct WhatIfResult {
+  std::string name;
+  Report baseline;
+  Report variant;
+  double delta_eta = 0.0;           ///< variant eta_system - baseline
+  double avg_power_saving_mw = 0.0; ///< baseline avg power - variant
+  double annual_savings_usd = 0.0;  ///< scaled to a mean year (8766 h)
+  double carbon_delta_frac = 0.0;   ///< relative CO2 reduction (Eq. 6 basis)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Replays `jobs` under `baseline` and `variant` configs and compares.
+[[nodiscard]] WhatIfResult run_whatif(const SystemConfig& baseline,
+                                      const SystemConfig& variant,
+                                      const std::vector<JobRecord>& jobs,
+                                      double duration_s, const std::string& name);
+
+/// What-if 1: smart load-sharing rectifiers.
+[[nodiscard]] WhatIfResult run_smart_rectifier_whatif(const SystemConfig& config,
+                                                      const std::vector<JobRecord>& jobs,
+                                                      double duration_s);
+
+/// What-if 2: direct 380 V DC facility feed.
+[[nodiscard]] WhatIfResult run_dc380_whatif(const SystemConfig& config,
+                                            const std::vector<JobRecord>& jobs,
+                                            double duration_s);
+
+/// Cooling-plant extension what-if (requirements analysis: "virtually
+/// extending the cooling system to support a secondary HPC system").
+/// Adds `extra_heat_w` of future-system heat uniformly across CDUs at a
+/// steady `base_system_power_w` load and reports the plant's new balance.
+struct CoolingExtensionResult {
+  double base_htws_c = 0.0;        ///< HTW supply temp without the extension
+  double extended_htws_c = 0.0;    ///< with the extra load
+  double base_pue = 0.0;
+  double extended_pue = 0.0;
+  int base_ct_cells = 0;
+  int extended_ct_cells = 0;
+  bool setpoint_held = false;      ///< HTWS stayed within its staging band
+};
+
+[[nodiscard]] CoolingExtensionResult run_cooling_extension_whatif(
+    const SystemConfig& config, double base_system_power_w, double extra_heat_w,
+    double wetbulb_c);
+
+}  // namespace exadigit

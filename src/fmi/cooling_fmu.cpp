@@ -1,0 +1,185 @@
+#include "fmi/cooling_fmu.hpp"
+
+namespace exadigit {
+
+// Field tables; order defines the value-reference layout and must match
+// cdu_field() / plant_field().
+static constexpr struct {
+  const char* name;
+  const char* unit;
+  const char* description;
+} kCduFieldDefs[] = {
+    {"pump_power_w", "W", "CDU pump electric power (station 14)"},
+    {"pump_speed", "1", "CDU pump relative speed"},
+    {"sec_flow_m3s", "m3/s", "secondary loop flow (station 14)"},
+    {"pri_flow_m3s", "m3/s", "primary branch flow (station 12)"},
+    {"sec_supply_t_c", "degC", "secondary supply temperature (station 15)"},
+    {"sec_return_t_c", "degC", "secondary return temperature (station 13)"},
+    {"sec_supply_p_pa", "Pa", "secondary supply pressure"},
+    {"sec_return_p_pa", "Pa", "secondary return pressure"},
+    {"valve_position", "1", "primary-side control valve position"},
+    {"hex_duty_w", "W", "HEX-1600 heat transfer"},
+    {"pri_return_t_c", "degC", "primary branch return temperature (station 12)"},
+    {"loop_dp_pa", "Pa", "secondary loop differential pressure"},
+};
+
+static constexpr struct {
+  const char* name;
+  const char* unit;
+  const char* description;
+} kPlantFieldDefs[] = {
+    {"htwp_staged", "1", "hot temperature water pumps staged"},
+    {"htwp_speed", "1", "HTWP relative speed"},
+    {"htwp_power_w", "W", "total HTWP electric power"},
+    {"ehx_staged", "1", "intermediate heat exchangers staged"},
+    {"pri_supply_t_c", "degC", "HTW supply temperature (station 10)"},
+    {"pri_return_t_c", "degC", "HTW return temperature"},
+    {"pri_flow_m3s", "m3/s", "primary loop flow"},
+    {"pri_dp_pa", "Pa", "primary loop differential pressure"},
+    {"ct_cells_staged", "1", "cooling tower cells staged"},
+    {"ctwp_staged", "1", "cooling tower water pumps staged"},
+    {"ctwp_speed", "1", "CTWP relative speed"},
+    {"ctwp_power_w", "W", "total CTWP electric power"},
+    {"fan_speed", "1", "cooling tower fan relative speed"},
+    {"fan_power_w", "W", "total cooling tower fan power"},
+    {"ct_supply_t_c", "degC", "cold water supply (basin) temperature"},
+    {"ct_return_t_c", "degC", "cold water return temperature"},
+    {"pue", "1", "power usage effectiveness"},
+};
+
+static_assert(sizeof(kCduFieldDefs) / sizeof(kCduFieldDefs[0]) == 12,
+              "CDU field table must list 12 outputs");
+static_assert(sizeof(kPlantFieldDefs) / sizeof(kPlantFieldDefs[0]) == 17,
+              "plant field table must list 17 outputs");
+
+CoolingFmu::CoolingFmu(const SystemConfig& config) : config_(config), plant_(config) {
+  pending_inputs_.cdu_heat_w.assign(static_cast<std::size_t>(config_.cdu_count), 0.0);
+  pending_inputs_.wetbulb_c = 15.0;
+  pending_inputs_.system_power_w = 0.0;
+  build_variable_table();
+}
+
+void CoolingFmu::build_variable_table() {
+  variables_.clear();
+  for (int k = 0; k < config_.cdu_count; ++k) {
+    variables_.push_back(VariableInfo{static_cast<ValueRef>(k),
+                                      "cdu[" + std::to_string(k) + "].heat_w", "W",
+                                      Causality::kInput,
+                                      "heat extracted into CDU " + std::to_string(k)});
+  }
+  variables_.push_back(VariableInfo{kWetbulbRef, "wetbulb_c", "degC", Causality::kInput,
+                                    "outdoor wet-bulb temperature"});
+  variables_.push_back(VariableInfo{kSystemPowerRef, "system_power_w", "W",
+                                    Causality::kInput, "P_system for the PUE output"});
+  for (int k = 0; k < config_.cdu_count; ++k) {
+    for (int f = 0; f < kCduFieldCount; ++f) {
+      variables_.push_back(VariableInfo{
+          static_cast<ValueRef>(kOutputBase + k * kCduFieldCount + f),
+          "cdu[" + std::to_string(k) + "]." + kCduFieldDefs[f].name, kCduFieldDefs[f].unit,
+          Causality::kOutput, kCduFieldDefs[f].description});
+    }
+  }
+  const ValueRef plant_base =
+      kOutputBase + static_cast<ValueRef>(config_.cdu_count * kCduFieldCount);
+  for (int f = 0; f < kPlantFieldCount; ++f) {
+    variables_.push_back(VariableInfo{plant_base + static_cast<ValueRef>(f),
+                                      std::string("plant.") + kPlantFieldDefs[f].name,
+                                      kPlantFieldDefs[f].unit, Causality::kOutput,
+                                      kPlantFieldDefs[f].description});
+  }
+}
+
+std::size_t CoolingFmu::output_count() const {
+  return static_cast<std::size_t>(config_.cdu_count * kCduFieldCount + kPlantFieldCount);
+}
+
+void CoolingFmu::setup_experiment(double start_time_s) {
+  (void)start_time_s;
+  plant_.reset(ambient_reset_c_);
+}
+
+void CoolingFmu::set_real(ValueRef ref, double value) {
+  if (ref < static_cast<ValueRef>(config_.cdu_count)) {
+    require(value >= 0.0, "cdu heat input must be non-negative");
+    pending_inputs_.cdu_heat_w[ref] = value;
+    return;
+  }
+  if (ref == kWetbulbRef) {
+    pending_inputs_.wetbulb_c = value;
+    return;
+  }
+  if (ref == kSystemPowerRef) {
+    pending_inputs_.system_power_w = value;
+    return;
+  }
+  throw ConfigError("set_real on non-input value reference " + std::to_string(ref));
+}
+
+double CoolingFmu::cdu_field(int cdu, int field) const {
+  const CduOutputs& o = plant_.outputs().cdus.at(static_cast<std::size_t>(cdu));
+  switch (field) {
+    case 0: return o.pump_power_w;
+    case 1: return o.pump_speed;
+    case 2: return o.sec_flow_m3s;
+    case 3: return o.pri_flow_m3s;
+    case 4: return o.sec_supply_t_c;
+    case 5: return o.sec_return_t_c;
+    case 6: return o.sec_supply_p_pa;
+    case 7: return o.sec_return_p_pa;
+    case 8: return o.valve_position;
+    case 9: return o.hex_duty_w;
+    case 10: return o.pri_return_t_c;
+    case 11: return o.loop_dp_pa;
+    default: throw ConfigError("cdu field index out of range");
+  }
+}
+
+double CoolingFmu::plant_field(int field) const {
+  const PlantOutputs& o = plant_.outputs();
+  switch (field) {
+    case 0: return static_cast<double>(o.htwp_staged);
+    case 1: return o.htwp_speed;
+    case 2: return o.htwp_power_w;
+    case 3: return static_cast<double>(o.ehx_staged);
+    case 4: return o.pri_supply_t_c;
+    case 5: return o.pri_return_t_c;
+    case 6: return o.pri_flow_m3s;
+    case 7: return o.pri_dp_pa;
+    case 8: return static_cast<double>(o.ct_cells_staged);
+    case 9: return static_cast<double>(o.ctwp_staged);
+    case 10: return o.ctwp_speed;
+    case 11: return o.ctwp_power_w;
+    case 12: return o.fan_speed;
+    case 13: return o.fan_power_w;
+    case 14: return o.ct_supply_t_c;
+    case 15: return o.ct_return_t_c;
+    case 16: return o.pue;
+    default: throw ConfigError("plant field index out of range");
+  }
+}
+
+double CoolingFmu::get_real(ValueRef ref) const {
+  if (ref < static_cast<ValueRef>(config_.cdu_count)) {
+    return pending_inputs_.cdu_heat_w[ref];
+  }
+  if (ref == kWetbulbRef) return pending_inputs_.wetbulb_c;
+  if (ref == kSystemPowerRef) return pending_inputs_.system_power_w;
+  require(ref >= kOutputBase, "unknown value reference");
+  const int idx = static_cast<int>(ref - kOutputBase);
+  const int cdu_span = config_.cdu_count * kCduFieldCount;
+  if (idx < cdu_span) {
+    return cdu_field(idx / kCduFieldCount, idx % kCduFieldCount);
+  }
+  const int plant_idx = idx - cdu_span;
+  require(plant_idx < kPlantFieldCount, "value reference out of range");
+  return plant_field(plant_idx);
+}
+
+void CoolingFmu::do_step(double current_time_s, double step_s) {
+  (void)current_time_s;
+  plant_.step(pending_inputs_, step_s);
+}
+
+void CoolingFmu::reset() { plant_.reset(ambient_reset_c_); }
+
+}  // namespace exadigit

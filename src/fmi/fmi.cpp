@@ -1,0 +1,35 @@
+#include "fmi/fmi.hpp"
+
+namespace exadigit {
+
+ValueRef CoSimulationSlave::ref_of(const std::string& name) const {
+  for (const auto& v : variables()) {
+    if (v.name == name) return v.ref;
+  }
+  throw ConfigError("fmu '" + model_name() + "' has no variable named " + name);
+}
+
+bool CoSimulationSlave::has_variable(const std::string& name) const {
+  for (const auto& v : variables()) {
+    if (v.name == name) return true;
+  }
+  return false;
+}
+
+void CoSimulationSlave::set_by_name(const std::string& name, double value) {
+  set_real(ref_of(name), value);
+}
+
+double CoSimulationSlave::get_by_name(const std::string& name) const {
+  return get_real(ref_of(name));
+}
+
+std::vector<VariableInfo> CoSimulationSlave::variables_with(Causality causality) const {
+  std::vector<VariableInfo> out;
+  for (const auto& v : variables()) {
+    if (v.causality == causality) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace exadigit

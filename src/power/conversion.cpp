@@ -1,0 +1,83 @@
+#include "power/conversion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+ConversionChain::ConversionChain(const PowerChainConfig& config) : config_(config) {
+  require(!config_.rectifier_efficiency.empty(), "rectifier efficiency curve missing");
+  require(!config_.sivoc_efficiency.empty(), "sivoc efficiency curve missing");
+  require(config_.rectifiers_per_group > 0, "rectifiers_per_group must be positive");
+  require(config_.blades_per_group > 0, "blades_per_group must be positive");
+}
+
+int ConversionChain::staged_for(double rectifier_output_w, int available) const {
+  if (config_.load_sharing == LoadSharingPolicy::kSharedBus) return available;
+  // Smart staging (paper what-if 1): "rectifiers are dynamically staged on
+  // as needed, so that rectifiers are always operating at their peak
+  // efficiency regions" — pick the unit count whose per-unit load sits
+  // highest on the efficiency curve, never exceeding nameplate when more
+  // units could carry the load.
+  int best = available;
+  double best_eta = -1.0;
+  for (int n = 1; n <= available; ++n) {
+    const double per_unit = rectifier_output_w / n;
+    if (per_unit > config_.rectifier_rated_w && n < available) continue;
+    const double eta = config_.rectifier_efficiency(per_unit);
+    if (eta > best_eta + 1e-12) {
+      best_eta = eta;
+      best = n;
+    }
+  }
+  return best;
+}
+
+ConversionResult ConversionChain::convert(double group_output_w,
+                                          int failed_rectifiers) const {
+  require(group_output_w >= 0.0, "conversion requires non-negative output power");
+  require(failed_rectifiers >= 0 && failed_rectifiers < config_.rectifiers_per_group,
+          "failed rectifier count must leave at least one survivor");
+  ConversionResult r;
+  r.output_w = group_output_w;
+  if (group_output_w == 0.0) {
+    r.staged_rectifiers = config_.rectifiers_per_group - failed_rectifiers;
+    return r;
+  }
+
+  // SIVOC stage: one converter per node; a group feeds 2 nodes per blade.
+  const double sivoc_count = 2.0 * config_.blades_per_group;
+  const double sivoc_frac =
+      std::clamp(group_output_w / (sivoc_count * config_.sivoc_rated_w), 0.0, 1.5);
+  r.eta_sivoc = config_.sivoc_efficiency(sivoc_frac);
+  r.rectifier_output_w = group_output_w / r.eta_sivoc;
+  r.sivoc_loss_w = r.rectifier_output_w - group_output_w;
+
+  // Rectifier stage (or direct DC feed).
+  const int available = config_.rectifiers_per_group - failed_rectifiers;
+  if (config_.feed == PowerFeed::kDC380) {
+    r.eta_rectifier = config_.dc_feed_efficiency;
+    r.staged_rectifiers = 0;
+  } else {
+    r.staged_rectifiers = staged_for(r.rectifier_output_w, available);
+    const double per_unit_w = r.rectifier_output_w / r.staged_rectifiers;
+    r.overloaded = per_unit_w > config_.rectifier_rated_w;
+    r.eta_rectifier = config_.rectifier_efficiency(per_unit_w);
+  }
+  r.input_w = r.rectifier_output_w / r.eta_rectifier;
+  r.rectifier_loss_w = r.input_w - r.rectifier_output_w;
+  r.eta_chain = r.eta_rectifier * r.eta_sivoc;
+  return r;
+}
+
+double ConversionChain::system_efficiency(double group_output_w) const {
+  return convert(group_output_w).eta_chain;
+}
+
+double ConversionChain::input_power_w(double group_output_w) const {
+  return convert(group_output_w).input_w;
+}
+
+}  // namespace exadigit

@@ -1,0 +1,60 @@
+#pragma once
+
+/// @file conversion.hpp
+/// The rack power-distribution and voltage-conversion chain (paper Fig. 3,
+/// Eqs. (1)-(2), Section III-B1).
+///
+/// Three-phase AC enters the rack and feeds 32 active rectifiers; groups of
+/// four rectifiers share a common 380 V DC bus powering eight blades; each
+/// blade's two SIVOC DC-DC converters step 380 V down to 48 V at the node.
+/// This module computes input power, per-stage losses, and efficiencies for
+/// a conversion *group* (the paper's chassis-level unit), including:
+///  - shared-bus load sharing (baseline) and smart staging (what-if 1),
+///  - direct 380 V DC feed (what-if 2),
+///  - rectifier-failure ride-through on the shared DC bus.
+
+#include "config/system_config.hpp"
+
+namespace exadigit {
+
+/// Losses and efficiencies for one rectifier group at one instant.
+struct ConversionResult {
+  double output_w = 0.0;            ///< P_S48V: power delivered to nodes
+  double rectifier_output_w = 0.0;  ///< P_RDC: shared DC bus power
+  double input_w = 0.0;             ///< P_RAC: wall power drawn by the group
+  double rectifier_loss_w = 0.0;    ///< P_LR
+  double sivoc_loss_w = 0.0;        ///< P_LS
+  double eta_rectifier = 1.0;       ///< eta_R
+  double eta_sivoc = 1.0;           ///< eta_S
+  double eta_chain = 1.0;           ///< eta_system = eta_R * eta_S (Eq. 1)
+  int staged_rectifiers = 0;        ///< active rectifiers carrying load
+  bool overloaded = false;          ///< per-unit load exceeded nameplate
+};
+
+/// Conversion model for one rectifier group (4 rectifiers + 16 SIVOCs).
+class ConversionChain {
+ public:
+  explicit ConversionChain(const PowerChainConfig& config);
+
+  /// Computes the chain state for a group delivering `group_output_w` at
+  /// the 48 V node side. `failed_rectifiers` marks units lost to failure:
+  /// the shared DC bus redistributes load over the survivors (paper: blades
+  /// "perform their job without any interruption").
+  [[nodiscard]] ConversionResult convert(double group_output_w,
+                                         int failed_rectifiers = 0) const;
+
+  /// Eq. (1): total conversion efficiency at this operating point.
+  [[nodiscard]] double system_efficiency(double group_output_w) const;
+
+  /// Input (wall) power for the given node-side output.
+  [[nodiscard]] double input_power_w(double group_output_w) const;
+
+  [[nodiscard]] const PowerChainConfig& config() const { return config_; }
+
+ private:
+  PowerChainConfig config_;
+
+  [[nodiscard]] int staged_for(double rectifier_output_w, int available) const;
+};
+
+}  // namespace exadigit

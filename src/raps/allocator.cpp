@@ -1,0 +1,109 @@
+#include "raps/allocator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+NodeAllocator::NodeAllocator(const SystemConfig& config)
+    : total_nodes_(config.total_nodes()),
+      free_count_(config.total_nodes()),
+      free_(static_cast<std::size_t>(config.total_nodes()), true),
+      nodes_per_rack_(config.rack.nodes_per_rack) {
+  int cursor = 0;
+  for (const auto& p : config.partitions) {
+    PartitionRange r;
+    r.name = p.name;
+    r.begin = cursor;
+    r.end = cursor + p.node_count;
+    require(r.end <= total_nodes_, "partition layout exceeds machine size");
+    partitions_.push_back(r);
+    cursor = r.end;
+  }
+}
+
+NodeAllocator::PartitionRange NodeAllocator::range_for(const std::string& partition) const {
+  if (partition.empty()) {
+    return PartitionRange{"", 0, total_nodes_};
+  }
+  for (const auto& r : partitions_) {
+    if (r.name == partition) return r;
+  }
+  throw ConfigError("unknown partition: " + partition);
+}
+
+int NodeAllocator::free_nodes_in(const std::string& partition) const {
+  const PartitionRange r = range_for(partition);
+  int n = 0;
+  for (int i = r.begin; i < r.end; ++i) {
+    if (free_[static_cast<std::size_t>(i)]) ++n;
+  }
+  return n;
+}
+
+std::optional<std::vector<int>> NodeAllocator::allocate(int count,
+                                                        const std::string& partition) {
+  require(count > 0, "allocation count must be positive");
+  const PartitionRange range = range_for(partition);
+  if (count > range.end - range.begin) return std::nullopt;
+
+  // Pass 1: first-fit contiguous run.
+  int run_start = -1;
+  int run_len = 0;
+  for (int i = range.begin; i < range.end; ++i) {
+    if (free_[static_cast<std::size_t>(i)]) {
+      if (run_len == 0) run_start = i;
+      if (++run_len == count) {
+        std::vector<int> nodes(static_cast<std::size_t>(count));
+        for (int k = 0; k < count; ++k) {
+          nodes[static_cast<std::size_t>(k)] = run_start + k;
+          free_[static_cast<std::size_t>(run_start + k)] = false;
+        }
+        free_count_ -= count;
+        return nodes;
+      }
+    } else {
+      run_len = 0;
+    }
+  }
+
+  // Pass 2: scattered fill if the partition has enough free nodes in total.
+  std::vector<int> nodes;
+  nodes.reserve(static_cast<std::size_t>(count));
+  for (int i = range.begin; i < range.end && static_cast<int>(nodes.size()) < count; ++i) {
+    if (free_[static_cast<std::size_t>(i)]) nodes.push_back(i);
+  }
+  if (static_cast<int>(nodes.size()) < count) return std::nullopt;
+  for (int n : nodes) free_[static_cast<std::size_t>(n)] = false;
+  free_count_ -= count;
+  return nodes;
+}
+
+void NodeAllocator::release(const std::vector<int>& nodes) {
+  for (int n : nodes) {
+    require(n >= 0 && n < total_nodes_, "release of out-of-range node");
+    require(!free_[static_cast<std::size_t>(n)], "double release of node " + std::to_string(n));
+    free_[static_cast<std::size_t>(n)] = true;
+  }
+  free_count_ += static_cast<int>(nodes.size());
+}
+
+bool NodeAllocator::is_free(int node) const {
+  require(node >= 0 && node < total_nodes_, "node index out of range");
+  return free_[static_cast<std::size_t>(node)];
+}
+
+std::vector<int> NodeAllocator::busy_per_rack() const {
+  std::vector<int> racks(static_cast<std::size_t>((total_nodes_ + nodes_per_rack_ - 1) /
+                                                  nodes_per_rack_),
+                         0);
+  for (int i = 0; i < total_nodes_; ++i) {
+    if (!free_[static_cast<std::size_t>(i)]) {
+      ++racks[static_cast<std::size_t>(i / nodes_per_rack_)];
+    }
+  }
+  return racks;
+}
+
+}  // namespace exadigit

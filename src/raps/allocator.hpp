@@ -1,0 +1,62 @@
+#pragma once
+
+/// @file allocator.hpp
+/// Node allocation for the RAPS scheduler.
+///
+/// Tracks which of the machine's nodes are free, allocates node sets for
+/// jobs (contiguous-first, falling back to scattered fill — Frontier jobs
+/// get rack-major node ranges when available, which also keeps rectifier
+/// groups homogeneous for the power model), and supports multi-partition
+/// machines (Section V) by restricting jobs to partition node ranges.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/system_config.hpp"
+
+namespace exadigit {
+
+/// Allocates and frees node index sets.
+class NodeAllocator {
+ public:
+  explicit NodeAllocator(const SystemConfig& config);
+
+  /// Total nodes managed.
+  [[nodiscard]] int total_nodes() const { return total_nodes_; }
+  /// Currently free nodes (optionally within a partition).
+  [[nodiscard]] int free_nodes() const { return free_count_; }
+  [[nodiscard]] int free_nodes_in(const std::string& partition) const;
+
+  /// Attempts to allocate `count` nodes (contiguous run first, then
+  /// scattered). Returns the node indices or nullopt when insufficient.
+  /// `partition` empty means the whole machine.
+  [[nodiscard]] std::optional<std::vector<int>> allocate(int count,
+                                                         const std::string& partition = {});
+
+  /// Releases previously allocated nodes; double-free throws.
+  void release(const std::vector<int>& nodes);
+
+  [[nodiscard]] bool is_free(int node) const;
+
+  /// Nodes per rack occupancy (for heat maps / power aggregation).
+  [[nodiscard]] std::vector<int> busy_per_rack() const;
+
+ private:
+  struct PartitionRange {
+    std::string name;
+    int begin = 0;
+    int end = 0;  // exclusive
+  };
+
+  int total_nodes_;
+  int free_count_;
+  std::vector<bool> free_;
+  std::vector<PartitionRange> partitions_;
+  int nodes_per_rack_;
+
+  [[nodiscard]] PartitionRange range_for(const std::string& partition) const;
+};
+
+}  // namespace exadigit

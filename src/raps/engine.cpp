@@ -1,0 +1,231 @@
+#include "raps/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/units.hpp"
+
+namespace exadigit {
+
+RapsEngine::RapsEngine(const SystemConfig& config) : RapsEngine(config, Options{}) {}
+
+RapsEngine::RapsEngine(const SystemConfig& config, const Options& options)
+    : config_(config),
+      options_(options),
+      allocator_(config),
+      scheduler_(config.scheduler),
+      power_(config),
+      now_s_(options.start_time_s),
+      run_begin_s_(options.start_time_s) {
+  // Initial sample so power() is meaningful before the first tick.
+  sample_power_and_stats();
+  // The initial sample must not count toward integrals.
+  energy_j_ = loss_j_ = output_energy_j_ = input_energy_j_ = 0.0;
+  utilization_integral_ = 0.0;
+  stats_time_s_ = 0.0;
+  min_power_w_ = max_power_w_ = power_.sample().system_power_w;
+}
+
+void RapsEngine::submit(JobRecord job) {
+  const double when = job.is_replay() ? job.fixed_start_time_s : job.submit_time_s;
+  require(when >= now_s_, "job submitted in the past: " + job.name);
+  require(job.node_count > 0 && job.node_count <= config_.total_nodes(),
+          "job node count out of range: " + job.name);
+  require(job.wall_time_s > 0.0, "job wall time must be positive: " + job.name);
+  future_jobs_.push_back(std::move(job));
+  future_sorted_ = false;
+}
+
+void RapsEngine::submit_all(std::vector<JobRecord> jobs) {
+  for (auto& j : jobs) submit(std::move(j));
+}
+
+void RapsEngine::set_cooling_callback(std::function<void(RapsEngine&, double)> callback) {
+  cooling_callback_ = std::move(callback);
+}
+
+double RapsEngine::utilization() const {
+  const int total = allocator_.total_nodes();
+  return total > 0 ? static_cast<double>(total - allocator_.free_nodes()) / total : 0.0;
+}
+
+std::vector<RunningJobView> RapsEngine::running_views() const {
+  std::vector<RunningJobView> views;
+  views.reserve(running_.size());
+  for (const auto& r : running_) {
+    views.push_back(RunningJobView{&r.record, &r.nodes, r.start_time_s});
+  }
+  return views;
+}
+
+bool RapsEngine::try_start(const JobRecord& job) {
+  auto nodes = allocator_.allocate(job.node_count, job.partition);
+  if (!nodes.has_value()) return false;
+  RunningJob r;
+  r.record = job;
+  r.start_time_s = now_s_;
+  r.end_time_s = now_s_ + job.wall_time_s;
+  r.nodes = std::move(*nodes);
+  running_.push_back(std::move(r));
+  job_start_log_.push_back(JobStartLogEntry{job, now_s_});
+  return true;
+}
+
+void RapsEngine::process_arrivals() {
+  if (!future_sorted_) {
+    std::sort(future_jobs_.begin(), future_jobs_.end(),
+              [](const JobRecord& a, const JobRecord& b) {
+                const double ta = a.is_replay() ? a.fixed_start_time_s : a.submit_time_s;
+                const double tb = b.is_replay() ? b.fixed_start_time_s : b.submit_time_s;
+                return ta > tb;  // descending; pop from the back
+              });
+    future_sorted_ = true;
+  }
+  while (!future_jobs_.empty()) {
+    const JobRecord& next = future_jobs_.back();
+    const double when = next.is_replay() ? next.fixed_start_time_s : next.submit_time_s;
+    if (when > now_s_) break;
+    ++jobs_submitted_;
+    if (next.is_replay()) {
+      // Telemetry replay: start on the recorded schedule, bypassing the
+      // built-in scheduler (paper Section III-B).
+      if (!try_start(next)) {
+        EXADIGIT_WARN << "replay job " << next.name
+                      << " could not start on schedule; queueing instead";
+        scheduler_.enqueue(next);
+      }
+    } else {
+      scheduler_.enqueue(next);
+    }
+    future_jobs_.pop_back();
+  }
+}
+
+void RapsEngine::process_completions() {
+  for (std::size_t i = 0; i < running_.size();) {
+    if (running_[i].end_time_s <= now_s_) {
+      allocator_.release(running_[i].nodes);
+      ++jobs_completed_;
+      completed_nodes_sum_ += static_cast<double>(running_[i].record.node_count);
+      completed_runtime_sum_s_ += running_[i].record.wall_time_s;
+      running_[i] = std::move(running_.back());
+      running_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void RapsEngine::schedule_pass() {
+  std::vector<RunningJobInfo> infos;
+  infos.reserve(running_.size());
+  for (const auto& r : running_) {
+    infos.push_back(RunningJobInfo{r.end_time_s, r.record.node_count});
+  }
+  scheduler_.schedule(now_s_, allocator_, infos,
+                      [this](const JobRecord& job) { return try_start(job); });
+}
+
+void RapsEngine::sample_power_and_stats() {
+  const auto views = running_views();
+  const PowerSample& s = power_.recompute(now_s_, views);
+  if (options_.collect_series) {
+    power_series_.push_back(now_s_, units::mw_from_watts(s.system_power_w));
+    loss_series_.push_back(now_s_, units::mw_from_watts(s.loss_w()));
+    utilization_series_.push_back(now_s_, utilization());
+    eta_series_.push_back(now_s_, s.eta_system);
+  }
+}
+
+void RapsEngine::tick() {
+  const double dt = config_.simulation.tick_s;
+  ++tick_count_;
+  now_s_ = run_begin_s_ + static_cast<double>(tick_count_) * dt;
+
+  const std::size_t running_before = running_.size();
+  const int completed_before = jobs_completed_;
+  const std::size_t queue_before = scheduler_.queue_depth();
+  process_completions();
+  process_arrivals();
+  // A scheduling pass is only useful when nodes were freed or work arrived;
+  // power needs recomputing only when the running set actually changed.
+  const bool freed_or_arrived = jobs_completed_ != completed_before ||
+                                scheduler_.queue_depth() != queue_before ||
+                                running_.size() != running_before;
+  if (freed_or_arrived) schedule_pass();
+  const bool membership_changed =
+      running_.size() != running_before || jobs_completed_ != completed_before;
+
+  const double quantum = config_.simulation.cooling_quantum_s;
+  const bool on_quantum =
+      std::fmod(static_cast<double>(tick_count_) * dt, quantum) < dt * 0.5;
+  if (on_quantum || membership_changed) {
+    // Integrate the previous interval with the piecewise-constant power.
+    const PowerSample& prev = power_.sample();
+    const double span = now_s_ - prev.time_s;
+    if (span > 0.0) {
+      energy_j_ += prev.system_power_w * span;
+      loss_j_ += prev.loss_w() * span;
+      output_energy_j_ += prev.node_output_w * span;
+      input_energy_j_ += (prev.system_power_w -
+                          config_.cooling.cdu.pump_avg_w * config_.cdu_count) *
+                         span;
+      utilization_integral_ += utilization() * span;
+      stats_time_s_ += span;
+    }
+    sample_power_and_stats();
+    const double p = power_.sample().system_power_w;
+    min_power_w_ = std::min(min_power_w_, p);
+    max_power_w_ = std::max(max_power_w_, p);
+    if (on_quantum && cooling_callback_) cooling_callback_(*this, now_s_);
+  }
+}
+
+void RapsEngine::run_until(double t_end_s) {
+  require(t_end_s >= now_s_, "run_until target is in the past");
+  while (now_s_ + config_.simulation.tick_s <= t_end_s + 1e-9) {
+    tick();
+  }
+}
+
+Report RapsEngine::report() const {
+  Report r;
+  r.duration_s = now_s_ - run_begin_s_;
+  r.jobs_submitted = jobs_submitted_;
+  r.jobs_completed = jobs_completed_;
+  r.jobs_rejected = scheduler_.rejected_count();
+  const double hours = r.duration_s / units::kSecondsPerHour;
+  r.throughput_jobs_per_hour = hours > 0.0 ? jobs_completed_ / hours : 0.0;
+  if (stats_time_s_ > 0.0) {
+    const double avg_power_w = energy_j_ / stats_time_s_;
+    r.avg_power_mw = units::mw_from_watts(avg_power_w);
+    r.avg_loss_mw = units::mw_from_watts(loss_j_ / stats_time_s_);
+    r.loss_fraction = avg_power_w > 0.0 ? (loss_j_ / stats_time_s_) / avg_power_w : 0.0;
+    r.avg_utilization = utilization_integral_ / stats_time_s_;
+  }
+  r.min_power_mw = units::mw_from_watts(min_power_w_);
+  r.max_power_mw = units::mw_from_watts(max_power_w_);
+  r.total_energy_mwh = units::mwh_from_joules(energy_j_);
+  // Energy-weighted Eq. (1): conversion output over conversion input,
+  // i.e. one minus the loss share of the wall energy entering the racks.
+  r.avg_eta_system =
+      input_energy_j_ > 0.0 ? std::min(1.0, 1.0 - loss_j_ / input_energy_j_) : 1.0;
+  if (!loss_series_.empty()) {
+    r.max_loss_mw = loss_series_.max_value();
+  }
+  if (jobs_submitted_ > 0) {
+    r.avg_arrival_s = r.duration_s / static_cast<double>(jobs_submitted_);
+  }
+  if (jobs_completed_ > 0) {
+    r.avg_nodes_per_job = completed_nodes_sum_ / jobs_completed_;
+    r.avg_runtime_min = completed_runtime_sum_s_ / jobs_completed_ / 60.0;
+  }
+  r.carbon_tons =
+      carbon_tons_from_energy(r.total_energy_mwh, r.avg_eta_system, config_.economics);
+  r.energy_cost_usd = energy_cost_usd(r.total_energy_mwh, config_.economics);
+  return r;
+}
+
+}  // namespace exadigit

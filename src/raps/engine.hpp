@@ -1,0 +1,144 @@
+#pragma once
+
+/// @file engine.hpp
+/// The RAPS simulation engine (paper Algorithm 1).
+///
+/// Time advances in 1 s ticks. Each tick: newly arrived jobs join the
+/// pending queue, completed jobs release their nodes, and a scheduling pass
+/// places queued work. Power is recomputed on the 15 s trace quantum (job
+/// utilization is piecewise-constant between quanta, so nothing changes in
+/// between except at start/stop events, which also trigger recomputes), and
+/// the cooling model callback fires on the same quantum — exactly the
+/// paper's RAPS <-> FMU coupling.
+///
+/// Telemetry-replay jobs (fixed_start_time_s >= 0) bypass the queue and
+/// start on their recorded schedule.
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time_series.hpp"
+#include "raps/allocator.hpp"
+#include "raps/power_model.hpp"
+#include "raps/report.hpp"
+#include "raps/scheduler.hpp"
+#include "telemetry/schema.hpp"
+
+namespace exadigit {
+
+/// A job currently holding nodes.
+struct RunningJob {
+  JobRecord record;
+  double start_time_s = 0.0;
+  double end_time_s = 0.0;
+  std::vector<int> nodes;
+};
+
+/// Log entry for every job start (used to build replay datasets).
+struct JobStartLogEntry {
+  JobRecord record;
+  double start_time_s = 0.0;
+};
+
+/// The resource-allocator-and-power-simulator engine.
+class RapsEngine {
+ public:
+  struct Options {
+    double start_time_s = 0.0;
+    /// Record power/loss/utilization series at every quantum (off for
+    /// long parameter sweeps that only need the final report).
+    bool collect_series = true;
+  };
+
+  explicit RapsEngine(const SystemConfig& config);
+  RapsEngine(const SystemConfig& config, const Options& options);
+
+  /// Submits a job; its submit time (or fixed start) must not be in the
+  /// past. Jobs may be submitted before or during a run.
+  void submit(JobRecord job);
+  void submit_all(std::vector<JobRecord> jobs);
+
+  /// Cooling co-simulation hook, invoked every cooling quantum with the
+  /// engine state updated for the current time.
+  void set_cooling_callback(std::function<void(RapsEngine&, double now_s)> callback);
+
+  /// Advances the simulation to `t_end_s` (Algorithm 1 RUNSIMULATION).
+  void run_until(double t_end_s);
+
+  // --- observers ---------------------------------------------------------
+  [[nodiscard]] double now_s() const { return now_s_; }
+  [[nodiscard]] int running_count() const { return static_cast<int>(running_.size()); }
+  [[nodiscard]] std::size_t queued_count() const { return scheduler_.queue_depth(); }
+  [[nodiscard]] const std::vector<RunningJob>& running_jobs() const { return running_; }
+  [[nodiscard]] const RapsPowerModel& power_model() const { return power_; }
+  [[nodiscard]] const NodeAllocator& allocator() const { return allocator_; }
+  [[nodiscard]] const PowerSample& power() const { return power_.sample(); }
+  [[nodiscard]] std::vector<double> cdu_heat_w() const { return power_.cdu_heat_w(); }
+  [[nodiscard]] double utilization() const;
+  [[nodiscard]] int jobs_completed() const { return jobs_completed_; }
+  [[nodiscard]] int jobs_submitted() const { return jobs_submitted_; }
+  /// Every job start with its realized start time, in start order.
+  [[nodiscard]] const std::vector<JobStartLogEntry>& job_start_log() const {
+    return job_start_log_;
+  }
+
+  /// Per-quantum series (empty when collect_series is off).
+  [[nodiscard]] const TimeSeries& power_series_mw() const { return power_series_; }
+  [[nodiscard]] const TimeSeries& loss_series_mw() const { return loss_series_; }
+  [[nodiscard]] const TimeSeries& utilization_series() const { return utilization_series_; }
+  [[nodiscard]] const TimeSeries& eta_series() const { return eta_series_; }
+
+  /// Paper Section III-B5 end-of-run report for the simulated window.
+  [[nodiscard]] Report report() const;
+
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+ private:
+  SystemConfig config_;
+  Options options_;
+  NodeAllocator allocator_;
+  Scheduler scheduler_;
+  RapsPowerModel power_;
+
+  double now_s_;
+  long long tick_count_ = 0;
+
+  /// Future arrivals sorted descending by time (pop from the back).
+  std::vector<JobRecord> future_jobs_;
+  bool future_sorted_ = true;
+  std::vector<RunningJob> running_;
+  std::vector<JobStartLogEntry> job_start_log_;
+
+  std::function<void(RapsEngine&, double)> cooling_callback_;
+
+  // Statistics accumulators.
+  int jobs_submitted_ = 0;
+  int jobs_completed_ = 0;
+  double energy_j_ = 0.0;
+  double loss_j_ = 0.0;
+  double output_energy_j_ = 0.0;
+  double input_energy_j_ = 0.0;
+  double utilization_integral_ = 0.0;
+  double stats_time_s_ = 0.0;
+  double min_power_w_ = 0.0;
+  double max_power_w_ = 0.0;
+  double completed_nodes_sum_ = 0.0;
+  double completed_runtime_sum_s_ = 0.0;
+  double run_begin_s_;
+
+  TimeSeries power_series_;
+  TimeSeries loss_series_;
+  TimeSeries utilization_series_;
+  TimeSeries eta_series_;
+
+  void tick();  ///< Algorithm 1 TICK, advanced by simulation.tick_s
+  void process_arrivals();
+  void process_completions();
+  bool try_start(const JobRecord& job);
+  void schedule_pass();
+  void sample_power_and_stats();
+  [[nodiscard]] std::vector<RunningJobView> running_views() const;
+};
+
+}  // namespace exadigit

@@ -1,0 +1,109 @@
+#include "raps/power_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+RapsPowerModel::RapsPowerModel(const SystemConfig& config)
+    : config_(config), rack_model_(config.rack, config.power) {
+  config_.validate();
+  groups_per_rack_ = rack_model_.groups_per_rack();
+  nodes_per_group_ = rack_model_.nodes_per_group();
+  const int total_groups = config_.rack_count * groups_per_rack_;
+
+  idle_group_output_w_.assign(static_cast<std::size_t>(total_groups), 0.0);
+  for (int n = 0; n < config_.total_nodes(); ++n) {
+    idle_group_output_w_[static_cast<std::size_t>(n / nodes_per_group_)] +=
+        idle_node_power_w(n);
+  }
+  group_output_w_ = idle_group_output_w_;
+  rack_wall_w_.assign(static_cast<std::size_t>(config_.rack_count), 0.0);
+  cdu_wall_w_.assign(static_cast<std::size_t>(config_.cdu_count), 0.0);
+}
+
+const NodeConfig& RapsPowerModel::node_config_for(const JobRecord& job) const {
+  if (!job.partition.empty()) {
+    for (const auto& p : config_.partitions) {
+      if (p.name == job.partition) return p.node;
+    }
+    throw ConfigError("job references unknown partition: " + job.partition);
+  }
+  return config_.node;
+}
+
+double RapsPowerModel::idle_node_power_w(int node_index) const {
+  if (!config_.partitions.empty()) {
+    int cursor = 0;
+    for (const auto& p : config_.partitions) {
+      if (node_index < cursor + p.node_count) return p.node.idle_power_w();
+      cursor += p.node_count;
+    }
+  }
+  return config_.node.idle_power_w();
+}
+
+double RapsPowerModel::job_node_power_w(const JobRecord& job, double now,
+                                        double start_time_s) const {
+  const double since = now - start_time_s;
+  const double cu = job.cpu_util_at(since, config_.simulation.trace_quantum_s);
+  const double gu = job.gpu_util_at(since, config_.simulation.trace_quantum_s);
+  return node_config_for(job).power_w(cu, gu);
+}
+
+const PowerSample& RapsPowerModel::recompute(double now,
+                                             std::span<const RunningJobView> running) {
+  group_output_w_ = idle_group_output_w_;
+  int active = 0;
+  for (const auto& view : running) {
+    require(view.job != nullptr && view.nodes != nullptr, "null running job view");
+    const double p_node = job_node_power_w(*view.job, now, view.start_time_s);
+    active += static_cast<int>(view.nodes->size());
+    for (const int n : *view.nodes) {
+      group_output_w_[static_cast<std::size_t>(n / nodes_per_group_)] +=
+          p_node - idle_node_power_w(n);
+    }
+  }
+
+  std::fill(cdu_wall_w_.begin(), cdu_wall_w_.end(), 0.0);
+  double total_input = 0.0;
+  double total_output = 0.0;
+  double rect_loss = 0.0;
+  double sivoc_loss = 0.0;
+  double switch_output = 0.0;
+  for (int r = 0; r < config_.rack_count; ++r) {
+    const std::span<const double> groups(
+        group_output_w_.data() + static_cast<std::size_t>(r) * groups_per_rack_,
+        static_cast<std::size_t>(groups_per_rack_));
+    const RackPowerResult rack = rack_model_.from_group_outputs(groups);
+    rack_wall_w_[static_cast<std::size_t>(r)] = rack.input_w;
+    cdu_wall_w_[static_cast<std::size_t>(config_.cdu_of_rack(r))] += rack.input_w;
+    total_input += rack.input_w;
+    total_output += rack.node_output_w;
+    switch_output += rack.switch_output_w;
+    rect_loss += rack.rectifier_loss_w;
+    sivoc_loss += rack.sivoc_loss_w;
+  }
+
+  sample_.time_s = now;
+  sample_.node_output_w = total_output;
+  sample_.rectifier_loss_w = rect_loss;
+  sample_.sivoc_loss_w = sivoc_loss;
+  sample_.system_power_w =
+      total_input + config_.cooling.cdu.pump_avg_w * static_cast<double>(config_.cdu_count);
+  sample_.eta_system =
+      total_input > 0.0 ? (total_output + switch_output) / total_input : 1.0;
+  sample_.active_nodes = active;
+  return sample_;
+}
+
+std::vector<double> RapsPowerModel::cdu_heat_w() const {
+  std::vector<double> heat(cdu_wall_w_.size());
+  for (std::size_t i = 0; i < heat.size(); ++i) {
+    heat[i] = cdu_wall_w_[i] * config_.cooling.cooling_efficiency;
+  }
+  return heat;
+}
+
+}  // namespace exadigit

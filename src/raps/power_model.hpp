@@ -1,0 +1,83 @@
+#pragma once
+
+/// @file power_model.hpp
+/// Dynamic system power from running jobs (paper Eqs. (3)-(4), Section
+/// III-B2).
+///
+/// Every power update: node-side 48 V loads are accumulated per rectifier
+/// group (idle nodes at idle power, job nodes at Eq. (3) power for the
+/// job's current trace utilization), each group runs through the
+/// conversion chain (load-dependent rectifier + SIVOC efficiencies), rack
+/// switch power is added through the rectifier stage, and the constant CDU
+/// pump cost closes Eq. (4) into P_system. Per-CDU wall power times the
+/// cooling efficiency (0.945) becomes the heat fed to the cooling model.
+
+#include <span>
+#include <vector>
+
+#include "config/system_config.hpp"
+#include "power/rack_power.hpp"
+#include "telemetry/schema.hpp"
+
+namespace exadigit {
+
+/// A running job the power model needs to see.
+struct RunningJobView {
+  const JobRecord* job = nullptr;
+  const std::vector<int>* nodes = nullptr;
+  double start_time_s = 0.0;
+};
+
+/// Snapshot of the latest power evaluation.
+struct PowerSample {
+  double time_s = 0.0;
+  double system_power_w = 0.0;      ///< P_system (incl. CDU pumps)
+  double node_output_w = 0.0;       ///< total 48 V delivered to nodes
+  double rectifier_loss_w = 0.0;
+  double sivoc_loss_w = 0.0;
+  double eta_system = 1.0;          ///< Eq. (1) aggregate
+  int active_nodes = 0;
+
+  [[nodiscard]] double loss_w() const { return rectifier_loss_w + sivoc_loss_w; }
+};
+
+/// Aggregates job power into rack/CDU/system wall power.
+class RapsPowerModel {
+ public:
+  explicit RapsPowerModel(const SystemConfig& config);
+
+  /// Recomputes all power state for the running set at time `now`.
+  const PowerSample& recompute(double now, std::span<const RunningJobView> running);
+
+  [[nodiscard]] const PowerSample& sample() const { return sample_; }
+  /// Wall power per CDU (rack inputs summed; excludes the CDU pump).
+  [[nodiscard]] const std::vector<double>& cdu_wall_power_w() const { return cdu_wall_w_; }
+  /// Heat per CDU handed to the cooling model (wall power x cooling eff).
+  [[nodiscard]] std::vector<double> cdu_heat_w() const;
+  /// Wall power per rack.
+  [[nodiscard]] const std::vector<double>& rack_wall_power_w() const { return rack_wall_w_; }
+  /// 48 V node-side output per rectifier group (viz / diagnostics).
+  [[nodiscard]] const std::vector<double>& group_output_w() const { return group_output_w_; }
+
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+ private:
+  SystemConfig config_;
+  RackPowerModel rack_model_;
+  int groups_per_rack_;
+  int nodes_per_group_;
+  std::vector<double> idle_group_output_w_;  ///< baseline with all nodes idle
+  std::vector<double> group_output_w_;
+  std::vector<double> rack_wall_w_;
+  std::vector<double> cdu_wall_w_;
+  std::vector<double> node_power_by_partition_idle_;
+  PowerSample sample_;
+
+  /// Node-side power of one node of `job` at time `now` (Eq. (3)).
+  [[nodiscard]] double job_node_power_w(const JobRecord& job, double now,
+                                        double start_time_s) const;
+  [[nodiscard]] double idle_node_power_w(int node_index) const;
+  [[nodiscard]] const NodeConfig& node_config_for(const JobRecord& job) const;
+};
+
+}  // namespace exadigit

@@ -1,0 +1,49 @@
+#include "raps/report.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace exadigit {
+
+double carbon_tons_from_energy(double energy_mwh, double eta_system,
+                               const EconomicsConfig& economics) {
+  require(eta_system > 0.0, "eta_system must be positive for Eq. (6)");
+  const double factor_tons_per_mwh =
+      economics.emission_lbs_per_mwh / units::kLbsPerMetricTon / eta_system;
+  return energy_mwh * factor_tons_per_mwh;
+}
+
+double energy_cost_usd(double energy_mwh, const EconomicsConfig& economics) {
+  return energy_mwh * 1000.0 * economics.electricity_usd_per_kwh;
+}
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  os << "RAPS run report\n";
+  AsciiTable t({"Statistic", "Value"});
+  t.add_row({"Duration (h)", AsciiTable::num(duration_s / units::kSecondsPerHour, 2)});
+  t.add_row({"Jobs submitted", AsciiTable::integer(jobs_submitted)});
+  t.add_row({"Jobs completed", AsciiTable::integer(jobs_completed)});
+  t.add_row({"Jobs rejected", AsciiTable::integer(jobs_rejected)});
+  t.add_row({"Throughput (jobs/hr)", AsciiTable::num(throughput_jobs_per_hour, 1)});
+  t.add_row({"Avg power (MW)", AsciiTable::num(avg_power_mw, 2)});
+  t.add_row({"Min/Max power (MW)", AsciiTable::num(min_power_mw, 2) + " / " +
+                                       AsciiTable::num(max_power_mw, 2)});
+  t.add_row({"Total energy (MW-hr)", AsciiTable::num(total_energy_mwh, 1)});
+  t.add_row({"Conversion loss (MW)", AsciiTable::num(avg_loss_mw, 3)});
+  t.add_row({"Conversion loss (%)", AsciiTable::num(100.0 * loss_fraction, 2)});
+  t.add_row({"Avg eta_system", AsciiTable::num(avg_eta_system, 4)});
+  t.add_row({"Avg utilization", AsciiTable::num(avg_utilization, 3)});
+  t.add_row({"Avg arrival t_avg (s)", AsciiTable::num(avg_arrival_s, 1)});
+  t.add_row({"Avg nodes per job", AsciiTable::num(avg_nodes_per_job, 1)});
+  t.add_row({"Avg runtime (min)", AsciiTable::num(avg_runtime_min, 1)});
+  t.add_row({"CO2 emissions (t)", AsciiTable::num(carbon_tons, 1)});
+  t.add_row({"Energy cost (USD)", AsciiTable::num(energy_cost_usd, 0)});
+  os << t.render();
+  return os.str();
+}
+
+}  // namespace exadigit

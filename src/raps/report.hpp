@@ -1,0 +1,55 @@
+#pragma once
+
+/// @file report.hpp
+/// End-of-run statistics (paper Section III-B5).
+///
+/// RAPS reports: jobs completed, throughput (jobs/hour), average power
+/// (MW), total energy (MW-h), rectification + conversion losses (MW and %),
+/// CO2 emissions (metric tons, Eq. (6)), and total energy cost (USD). The
+/// Table IV replay statistics (arrival rate, nodes/job, runtime) are
+/// included so a 183-day sweep can be summarized directly.
+
+#include <string>
+
+#include "config/system_config.hpp"
+
+namespace exadigit {
+
+/// One simulation window's summary statistics.
+struct Report {
+  double duration_s = 0.0;
+  int jobs_submitted = 0;
+  int jobs_completed = 0;
+  int jobs_rejected = 0;
+  double throughput_jobs_per_hour = 0.0;
+  double avg_power_mw = 0.0;
+  double min_power_mw = 0.0;
+  double max_power_mw = 0.0;
+  double total_energy_mwh = 0.0;
+  double avg_loss_mw = 0.0;
+  double max_loss_mw = 0.0;
+  double loss_fraction = 0.0;      ///< avg loss / avg power
+  double avg_eta_system = 1.0;     ///< energy-weighted Eq. (1)
+  double avg_utilization = 0.0;    ///< active nodes / total nodes
+  double avg_arrival_s = 0.0;      ///< mean inter-arrival (t_avg)
+  double avg_nodes_per_job = 0.0;
+  double avg_runtime_min = 0.0;
+  double carbon_tons = 0.0;        ///< Eq. (6)
+  double energy_cost_usd = 0.0;
+
+  /// Formats the paper-style run report.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// CO2 emissions in metric tons for `energy_mwh` at system efficiency
+/// `eta_system`, per the paper's Eq. (6):
+///   E_f = EI * (1 metric ton / 2204.6 lb) * (1 / eta_system)
+/// applied to the consumed energy. The 1/eta convention follows the paper
+/// exactly (it is what makes Table IV's 405 MWh -> 168 t reproduce).
+[[nodiscard]] double carbon_tons_from_energy(double energy_mwh, double eta_system,
+                                             const EconomicsConfig& economics);
+
+/// Electricity cost in USD for `energy_mwh`.
+[[nodiscard]] double energy_cost_usd(double energy_mwh, const EconomicsConfig& economics);
+
+}  // namespace exadigit

@@ -1,0 +1,104 @@
+#include "raps/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+Scheduler::Scheduler(const SchedulerConfig& config) : config_(config) {
+  require(config_.max_queue_depth >= 0, "max_queue_depth must be non-negative");
+}
+
+bool Scheduler::enqueue(JobRecord job) {
+  if (config_.max_queue_depth > 0 &&
+      static_cast<int>(queue_.size()) >= config_.max_queue_depth) {
+    ++rejected_;
+    return false;
+  }
+  queue_.push_back(std::move(job));
+  return true;
+}
+
+void Scheduler::schedule(double now, const NodeAllocator& alloc,
+                         const std::vector<RunningJobInfo>& running,
+                         const std::function<bool(const JobRecord&)>& start_job) {
+  switch (config_.policy) {
+    case SchedulerPolicy::kFcfs: schedule_fcfs(alloc, start_job); break;
+    case SchedulerPolicy::kSjf: schedule_sjf(alloc, start_job); break;
+    case SchedulerPolicy::kEasyBackfill:
+      schedule_backfill(now, alloc, running, start_job);
+      break;
+  }
+}
+
+void Scheduler::schedule_fcfs(const NodeAllocator& alloc,
+                              const std::function<bool(const JobRecord&)>& start_job) {
+  // Strict FCFS: stop at the first job that cannot start (no skipping).
+  while (!queue_.empty()) {
+    const JobRecord& head = queue_.front();
+    if (head.node_count > alloc.free_nodes_in(head.partition)) break;
+    if (!start_job(head)) break;
+    queue_.pop_front();
+  }
+}
+
+void Scheduler::schedule_sjf(const NodeAllocator& alloc,
+                             const std::function<bool(const JobRecord&)>& start_job) {
+  // Stable sort keeps arrival order among equal wall times.
+  std::stable_sort(queue_.begin(), queue_.end(),
+                   [](const JobRecord& a, const JobRecord& b) {
+                     return a.wall_time_s < b.wall_time_s;
+                   });
+  // Greedy: start every queued job that fits, shortest first.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->node_count <= alloc.free_nodes_in(it->partition) && start_job(*it)) {
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Scheduler::schedule_backfill(double now, const NodeAllocator& alloc,
+                                  const std::vector<RunningJobInfo>& running,
+                                  const std::function<bool(const JobRecord&)>& start_job) {
+  // EASY backfill: run FCFS until the head blocks, compute the head's
+  // shadow time (earliest start given running-job end times), then let
+  // later jobs jump ahead only if they cannot delay the head.
+  schedule_fcfs(alloc, start_job);
+  if (queue_.empty()) return;
+
+  const JobRecord& head = queue_.front();
+  const int free_now = alloc.free_nodes_in(head.partition);
+  if (head.node_count <= free_now) return;  // head blocked by start_job failure
+
+  std::vector<RunningJobInfo> by_end = running;
+  std::sort(by_end.begin(), by_end.end(),
+            [](const RunningJobInfo& a, const RunningJobInfo& b) {
+              return a.end_time_s < b.end_time_s;
+            });
+  double shadow_time = now;
+  int avail = free_now;
+  for (const auto& r : by_end) {
+    if (avail >= head.node_count) break;
+    avail += r.node_count;
+    shadow_time = r.end_time_s;
+  }
+  if (avail < head.node_count) return;  // head can never start; nothing to protect
+  // Nodes the head will not need at its shadow start may be used freely.
+  const int extra = avail - head.node_count;
+
+  for (auto it = std::next(queue_.begin()); it != queue_.end();) {
+    const bool fits_now = it->node_count <= alloc.free_nodes_in(it->partition);
+    const bool ends_before_shadow = now + it->wall_time_s <= shadow_time;
+    const bool within_extra = it->node_count <= extra;
+    if (fits_now && (ends_before_shadow || within_extra) && start_job(*it)) {
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace exadigit

@@ -1,0 +1,64 @@
+#pragma once
+
+/// @file scheduler.hpp
+/// Job queue and scheduling policies (paper Section III-B4).
+///
+/// The paper ships FCFS and SJF "with plans to soon implement more
+/// sophisticated algorithms"; this library additionally implements EASY
+/// backfill (the de-facto HPC policy) as that planned extension. Telemetry
+/// replay jobs carry fixed start times and bypass the queue entirely
+/// (Section III-B: jobs "may be replayed using the physical twin's
+/// scheduling policy").
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "config/system_config.hpp"
+#include "raps/allocator.hpp"
+#include "telemetry/schema.hpp"
+
+namespace exadigit {
+
+/// A job currently holding nodes; used for backfill reservations.
+struct RunningJobInfo {
+  double end_time_s = 0.0;
+  int node_count = 0;
+};
+
+/// Queue + policy. The engine owns allocation; the scheduler decides order.
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedulerConfig& config);
+
+  /// Enqueues an arrived job. Returns false (and counts a rejection) when
+  /// the queue is bounded and full.
+  bool enqueue(JobRecord job);
+
+  /// Runs one scheduling pass at time `now`: calls `start_job` for each job
+  /// the policy wants started, in order. `start_job` returns true when the
+  /// allocation succeeded; on false the job stays queued. `running` lists
+  /// currently running jobs for backfill reservations.
+  void schedule(double now, const NodeAllocator& alloc,
+                const std::vector<RunningJobInfo>& running,
+                const std::function<bool(const JobRecord&)>& start_job);
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] int rejected_count() const { return rejected_; }
+  [[nodiscard]] SchedulerPolicy policy() const { return config_.policy; }
+
+ private:
+  SchedulerConfig config_;
+  std::deque<JobRecord> queue_;
+  int rejected_ = 0;
+
+  void schedule_fcfs(const NodeAllocator& alloc,
+                     const std::function<bool(const JobRecord&)>& start_job);
+  void schedule_sjf(const NodeAllocator& alloc,
+                    const std::function<bool(const JobRecord&)>& start_job);
+  void schedule_backfill(double now, const NodeAllocator& alloc,
+                         const std::vector<RunningJobInfo>& running,
+                         const std::function<bool(const JobRecord&)>& start_job);
+};
+
+}  // namespace exadigit

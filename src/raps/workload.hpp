@@ -1,0 +1,55 @@
+#pragma once
+
+/// @file workload.hpp
+/// Synthetic workload generation (paper Sections III-B3/III-B4).
+///
+/// Jobs arrive by a Poisson process — Eq. (5): tau = -ln(1-U)/lambda — with
+/// node counts, wall times, and mean CPU/GPU utilizations drawn from
+/// telemetry-estimated distributions. Benchmark profiles (HPL core phase at
+/// CPU 33 % / GPU 79 %, OpenMxP) are provided as fixed-utilization builders
+/// for the paper's verification tests (Table III, Fig. 8).
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "config/system_config.hpp"
+#include "telemetry/schema.hpp"
+
+namespace exadigit {
+
+/// Draws a day (or any window) of synthetic jobs.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadConfig& config, const SystemConfig& system, Rng rng);
+
+  /// Generates jobs with submit times in [t0, t0 + duration).
+  [[nodiscard]] std::vector<JobRecord> generate(double t0_s, double duration_s);
+
+  /// Draws a single job arriving at `submit_time_s`.
+  [[nodiscard]] JobRecord draw_job(double submit_time_s);
+
+  [[nodiscard]] const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+  int max_nodes_;
+  double trace_quantum_s_;
+  Rng rng_;
+  std::int64_t next_id_ = 1;
+};
+
+/// High Performance Linpack core phase (paper Section IV-2: 9216 nodes,
+/// GPUs at 79 %, CPUs at 33 %).
+[[nodiscard]] JobRecord make_hpl_job(double submit_time_s, double wall_time_s,
+                                     int node_count = 9216);
+
+/// OpenMxP mixed-precision benchmark profile (GPU-dominated, near-peak
+/// GPU draw during the core phase).
+[[nodiscard]] JobRecord make_openmxp_job(double submit_time_s, double wall_time_s,
+                                         int node_count = 9216);
+
+/// A constant-utilization job on `node_count` nodes (verification tests).
+[[nodiscard]] JobRecord make_constant_job(double submit_time_s, double wall_time_s,
+                                          int node_count, double cpu_util, double gpu_util);
+
+}  // namespace exadigit

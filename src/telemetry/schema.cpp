@@ -1,0 +1,51 @@
+#include "telemetry/schema.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+namespace {
+double trace_at(const std::vector<double>& trace, double fallback, double t_since_start,
+                double quantum_s) {
+  if (trace.empty()) return std::clamp(fallback, 0.0, 1.0);
+  const double idx = std::max(0.0, t_since_start) / quantum_s;
+  const std::size_t i = std::min(static_cast<std::size_t>(idx), trace.size() - 1);
+  return std::clamp(trace[i], 0.0, 1.0);
+}
+}  // namespace
+
+double JobRecord::cpu_util_at(double t_since_start, double quantum_s) const {
+  return trace_at(cpu_util_trace, mean_cpu_util, t_since_start, quantum_s);
+}
+
+double JobRecord::gpu_util_at(double t_since_start, double quantum_s) const {
+  return trace_at(gpu_util_trace, mean_gpu_util, t_since_start, quantum_s);
+}
+
+void TelemetryDataset::validate() const {
+  if (duration_s <= 0.0) throw TelemetryError("dataset duration must be positive");
+  if (trace_quantum_s <= 0.0) throw TelemetryError("trace quantum must be positive");
+  for (const auto& job : jobs) {
+    if (job.node_count <= 0) {
+      throw TelemetryError("job " + job.name + " has non-positive node count");
+    }
+    if (job.wall_time_s <= 0.0) {
+      throw TelemetryError("job " + job.name + " has non-positive wall time");
+    }
+    for (double u : job.cpu_util_trace) {
+      if (u < 0.0 || u > 1.0 || std::isnan(u)) {
+        throw TelemetryError("job " + job.name + " cpu trace out of [0,1]");
+      }
+    }
+    for (double u : job.gpu_util_trace) {
+      if (u < 0.0 || u > 1.0 || std::isnan(u)) {
+        throw TelemetryError("job " + job.name + " gpu trace out of [0,1]");
+      }
+    }
+  }
+}
+
+}  // namespace exadigit

@@ -1,0 +1,95 @@
+#pragma once
+
+/// @file schema.hpp
+/// Telemetry schemas (paper Table II).
+///
+/// These types mirror the validation dataset the paper replays through the
+/// twin: job records with 15 s utilization traces, 1 s measured system
+/// power, 60 s wet-bulb temperature, and the CDU/CEP sensor channels at
+/// their native (mixed) resolutions. The original data is proprietary OLCF
+/// telemetry; this library generates an equivalent synthetic dataset with a
+/// perturbed "physical twin" (see core/physical_twin.hpp) and replays it
+/// through the exact same schema.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time_series.hpp"
+
+namespace exadigit {
+
+/// One scheduled job (paper Table II "RAPS Inputs").
+struct JobRecord {
+  std::string name;
+  std::int64_t id = 0;
+  int node_count = 0;
+  double submit_time_s = 0.0;  ///< arrival at the scheduler
+  double wall_time_s = 0.0;    ///< requested duration
+  /// CPU/GPU utilization traces in [0,1], one sample per trace quantum
+  /// (15 s). Empty traces mean constant utilization from the means below.
+  std::vector<double> cpu_util_trace;
+  std::vector<double> gpu_util_trace;
+  double mean_cpu_util = 0.0;  ///< used when traces are empty
+  double mean_gpu_util = 0.0;
+  /// Telemetry replay: when >= 0 the job starts at exactly this time using
+  /// the physical twin's recorded schedule instead of the built-in one.
+  double fixed_start_time_s = -1.0;
+  /// Partition name for multi-partition machines; empty = default.
+  std::string partition;
+
+  [[nodiscard]] bool is_replay() const { return fixed_start_time_s >= 0.0; }
+
+  /// Utilization at time `t_since_start` (zero-order hold over the trace).
+  [[nodiscard]] double cpu_util_at(double t_since_start, double quantum_s) const;
+  [[nodiscard]] double gpu_util_at(double t_since_start, double quantum_s) const;
+};
+
+/// Per-CDU sensor channels (paper Table II "Outputs (CDU)", 15 s). The
+/// rack_power_w channel is the cooling model's input ("rack power:
+/// List[float] (15s, 25)").
+struct CduTelemetry {
+  TimeSeries rack_power_w;      ///< wall power of the CDU's racks
+  TimeSeries htw_flow_gpm;      ///< primary-side flow
+  TimeSeries ctw_flow_gpm;      ///< secondary-side flow (station 14)
+  TimeSeries supply_temp_c;     ///< secondary supply
+  TimeSeries return_temp_c;     ///< primary return
+  TimeSeries pump_speed;        ///< relative
+  TimeSeries pump_power_w;
+};
+
+/// Facility / CEP channels (paper Table II "Outputs (CEP)", mixed rates).
+struct FacilityTelemetry {
+  TimeSeries htw_supply_temp_c;    ///< 1-10 min
+  TimeSeries htw_return_temp_c;
+  TimeSeries htw_supply_pressure_pa;  ///< 30 s - 10 min
+  TimeSeries htw_flow_gpm;            ///< 2 min
+  TimeSeries ctw_flow_gpm;
+  TimeSeries htwp_power_w;            ///< 10 min
+  TimeSeries ctwp_power_w;
+  TimeSeries fan_power_w;
+  TimeSeries num_htwp_staged;
+  TimeSeries num_ctwp_staged;
+  TimeSeries num_ehx_staged;
+  TimeSeries num_ct_cells_staged;
+  TimeSeries pue;                     ///< 15 s interpolated
+};
+
+/// A complete validation dataset for a replay window.
+struct TelemetryDataset {
+  std::string system_name;
+  double start_time_s = 0.0;
+  double duration_s = 0.0;
+  double trace_quantum_s = 15.0;
+
+  std::vector<JobRecord> jobs;
+  TimeSeries measured_system_power_w;  ///< 1 s in the paper; 15 s synthetic
+  TimeSeries wetbulb_c;                ///< 60 s
+  std::vector<CduTelemetry> cdus;
+  FacilityTelemetry facility;
+
+  /// Basic cross-field consistency; throws TelemetryError on violation.
+  void validate() const;
+};
+
+}  // namespace exadigit

@@ -1,0 +1,241 @@
+#include "telemetry/store.hpp"
+
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "json/json.hpp"
+
+namespace exadigit {
+
+namespace {
+
+Json job_to_json(const JobRecord& j) {
+  Json o;
+  o["name"] = Json(j.name);
+  o["id"] = Json(j.id);
+  o["node_count"] = Json(j.node_count);
+  o["submit_time_s"] = Json(j.submit_time_s);
+  o["wall_time_s"] = Json(j.wall_time_s);
+  o["mean_cpu_util"] = Json(j.mean_cpu_util);
+  o["mean_gpu_util"] = Json(j.mean_gpu_util);
+  o["fixed_start_time_s"] = Json(j.fixed_start_time_s);
+  if (!j.partition.empty()) o["partition"] = Json(j.partition);
+  if (!j.cpu_util_trace.empty()) {
+    Json arr;
+    for (double u : j.cpu_util_trace) arr.push_back(Json(u));
+    o["cpu_util_trace"] = arr;
+  }
+  if (!j.gpu_util_trace.empty()) {
+    Json arr;
+    for (double u : j.gpu_util_trace) arr.push_back(Json(u));
+    o["gpu_util_trace"] = arr;
+  }
+  return o;
+}
+
+JobRecord job_from_json(const Json& o) {
+  JobRecord j;
+  j.name = o.string_or("name", "");
+  j.id = o.int_or("id", 0);
+  j.node_count = static_cast<int>(o.int_or("node_count", 0));
+  j.submit_time_s = o.number_or("submit_time_s", 0.0);
+  j.wall_time_s = o.number_or("wall_time_s", 0.0);
+  j.mean_cpu_util = o.number_or("mean_cpu_util", 0.0);
+  j.mean_gpu_util = o.number_or("mean_gpu_util", 0.0);
+  j.fixed_start_time_s = o.number_or("fixed_start_time_s", -1.0);
+  j.partition = o.string_or("partition", "");
+  if (o.contains("cpu_util_trace")) {
+    for (const auto& v : o.at("cpu_util_trace").as_array()) {
+      j.cpu_util_trace.push_back(v.as_number());
+    }
+  }
+  if (o.contains("gpu_util_trace")) {
+    for (const auto& v : o.at("gpu_util_trace").as_array()) {
+      j.gpu_util_trace.push_back(v.as_number());
+    }
+  }
+  return j;
+}
+
+/// Long-format channel writer: appends (tag, channel, t, v) rows.
+void append_series(CsvDocument& doc, const std::string& tag, const std::string& channel,
+                   const TimeSeries& series) {
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    doc.add_row({tag, channel, AsciiTable::num(series.time(i), 3),
+                 AsciiTable::num(series.value(i), 6)});
+  }
+}
+
+/// Extracts one channel from a long-format document.
+TimeSeries extract_series(const CsvDocument& doc, const std::string& tag,
+                          const std::string& channel) {
+  const std::size_t tag_col = doc.column("tag");
+  const std::size_t ch_col = doc.column("channel");
+  const std::size_t t_col = doc.column("time_s");
+  const std::size_t v_col = doc.column("value");
+  TimeSeries out;
+  for (std::size_t r = 0; r < doc.row_count(); ++r) {
+    const auto& row = doc.row(r);
+    if (row[tag_col] != tag || row[ch_col] != channel) continue;
+    out.push_back(std::stod(row[t_col]), std::stod(row[v_col]));
+  }
+  return out;
+}
+
+struct FacilityChannel {
+  const char* name;
+  TimeSeries FacilityTelemetry::* member;
+};
+
+constexpr FacilityChannel kFacilityChannels[] = {
+    {"htw_supply_temp_c", &FacilityTelemetry::htw_supply_temp_c},
+    {"htw_return_temp_c", &FacilityTelemetry::htw_return_temp_c},
+    {"htw_supply_pressure_pa", &FacilityTelemetry::htw_supply_pressure_pa},
+    {"htw_flow_gpm", &FacilityTelemetry::htw_flow_gpm},
+    {"ctw_flow_gpm", &FacilityTelemetry::ctw_flow_gpm},
+    {"htwp_power_w", &FacilityTelemetry::htwp_power_w},
+    {"ctwp_power_w", &FacilityTelemetry::ctwp_power_w},
+    {"fan_power_w", &FacilityTelemetry::fan_power_w},
+    {"num_htwp_staged", &FacilityTelemetry::num_htwp_staged},
+    {"num_ctwp_staged", &FacilityTelemetry::num_ctwp_staged},
+    {"num_ehx_staged", &FacilityTelemetry::num_ehx_staged},
+    {"num_ct_cells_staged", &FacilityTelemetry::num_ct_cells_staged},
+    {"pue", &FacilityTelemetry::pue},
+};
+
+struct CduChannel {
+  const char* name;
+  TimeSeries CduTelemetry::* member;
+};
+
+constexpr CduChannel kCduChannels[] = {
+    {"rack_power_w", &CduTelemetry::rack_power_w},
+    {"htw_flow_gpm", &CduTelemetry::htw_flow_gpm},
+    {"ctw_flow_gpm", &CduTelemetry::ctw_flow_gpm},
+    {"supply_temp_c", &CduTelemetry::supply_temp_c},
+    {"return_temp_c", &CduTelemetry::return_temp_c},
+    {"pump_speed", &CduTelemetry::pump_speed},
+    {"pump_power_w", &CduTelemetry::pump_power_w},
+};
+
+/// Built-in reader for the native layout.
+class ExadigitCsvReader final : public TelemetryReader {
+ public:
+  [[nodiscard]] std::string format() const override { return "exadigit-csv"; }
+  [[nodiscard]] TelemetryDataset load(const std::string& source) const override {
+    return load_dataset(source);
+  }
+};
+
+}  // namespace
+
+TelemetryReaderRegistry& TelemetryReaderRegistry::instance() {
+  static TelemetryReaderRegistry registry = [] {
+    TelemetryReaderRegistry r;
+    r.register_reader(std::make_shared<ExadigitCsvReader>());
+    return r;
+  }();
+  return registry;
+}
+
+void TelemetryReaderRegistry::register_reader(std::shared_ptr<TelemetryReader> reader) {
+  require(reader != nullptr, "cannot register null telemetry reader");
+  readers_[reader->format()] = std::move(reader);
+}
+
+std::shared_ptr<TelemetryReader> TelemetryReaderRegistry::find(const std::string& format) const {
+  const auto it = readers_.find(format);
+  return it == readers_.end() ? nullptr : it->second;
+}
+
+TelemetryDataset TelemetryReaderRegistry::load(const std::string& format,
+                                               const std::string& source) const {
+  const auto reader = find(format);
+  if (reader == nullptr) throw TelemetryError("no telemetry reader for format: " + format);
+  return reader->load(source);
+}
+
+std::vector<std::string> TelemetryReaderRegistry::formats() const {
+  std::vector<std::string> out;
+  out.reserve(readers_.size());
+  for (const auto& [name, reader] : readers_) out.push_back(name);
+  return out;
+}
+
+void save_dataset(const TelemetryDataset& dataset, const std::string& directory) {
+  dataset.validate();
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+
+  Json manifest;
+  manifest["format"] = Json("exadigit-csv");
+  manifest["system_name"] = Json(dataset.system_name);
+  manifest["start_time_s"] = Json(dataset.start_time_s);
+  manifest["duration_s"] = Json(dataset.duration_s);
+  manifest["trace_quantum_s"] = Json(dataset.trace_quantum_s);
+  manifest["cdu_count"] = Json(dataset.cdus.size());
+  manifest.save_file(directory + "/manifest.json");
+
+  Json jobs;
+  for (const auto& j : dataset.jobs) jobs.push_back(job_to_json(j));
+  jobs.save_file(directory + "/jobs.json");
+
+  CsvDocument system({"tag", "channel", "time_s", "value"});
+  append_series(system, "system", "measured_power_w", dataset.measured_system_power_w);
+  append_series(system, "system", "wetbulb_c", dataset.wetbulb_c);
+  system.save(directory + "/system.csv");
+
+  CsvDocument cdu({"tag", "channel", "time_s", "value"});
+  for (std::size_t i = 0; i < dataset.cdus.size(); ++i) {
+    const std::string tag = "cdu" + std::to_string(i);
+    for (const auto& ch : kCduChannels) {
+      append_series(cdu, tag, ch.name, dataset.cdus[i].*(ch.member));
+    }
+  }
+  cdu.save(directory + "/cdu.csv");
+
+  CsvDocument facility({"tag", "channel", "time_s", "value"});
+  for (const auto& ch : kFacilityChannels) {
+    append_series(facility, "facility", ch.name, dataset.facility.*(ch.member));
+  }
+  facility.save(directory + "/facility.csv");
+}
+
+TelemetryDataset load_dataset(const std::string& directory) {
+  const Json manifest = Json::load_file(directory + "/manifest.json");
+  require(manifest.string_or("format", "") == "exadigit-csv",
+          "unexpected dataset format in manifest");
+  TelemetryDataset d;
+  d.system_name = manifest.string_or("system_name", "");
+  d.start_time_s = manifest.number_or("start_time_s", 0.0);
+  d.duration_s = manifest.number_or("duration_s", 0.0);
+  d.trace_quantum_s = manifest.number_or("trace_quantum_s", 15.0);
+
+  const Json jobs = Json::load_file(directory + "/jobs.json");
+  for (const auto& j : jobs.as_array()) d.jobs.push_back(job_from_json(j));
+
+  const CsvDocument system = CsvDocument::load(directory + "/system.csv");
+  d.measured_system_power_w = extract_series(system, "system", "measured_power_w");
+  d.wetbulb_c = extract_series(system, "system", "wetbulb_c");
+
+  const CsvDocument cdu = CsvDocument::load(directory + "/cdu.csv");
+  const std::size_t cdu_count = static_cast<std::size_t>(manifest.int_or("cdu_count", 0));
+  d.cdus.resize(cdu_count);
+  for (std::size_t i = 0; i < cdu_count; ++i) {
+    const std::string tag = "cdu" + std::to_string(i);
+    for (const auto& ch : kCduChannels) {
+      d.cdus[i].*(ch.member) = extract_series(cdu, tag, ch.name);
+    }
+  }
+
+  const CsvDocument facility = CsvDocument::load(directory + "/facility.csv");
+  for (const auto& ch : kFacilityChannels) {
+    d.facility.*(ch.member) = extract_series(facility, "facility", ch.name);
+  }
+  d.validate();
+  return d;
+}
+
+}  // namespace exadigit

@@ -1,0 +1,56 @@
+#pragma once
+
+/// @file store.hpp
+/// Telemetry dataset persistence and the pluggable reader registry.
+///
+/// The paper's generalized RAPS reads "different types of bespoke telemetry
+/// datasets" through a pluggable architecture (Section V; e.g. Frontier's
+/// internal schema vs the public PM100 dataset). Here a TelemetryReader is
+/// an interface keyed by format name in a registry; the library ships the
+/// native "exadigit-csv" format (manifest.json + jobs.json + long-format
+/// channel CSVs) and tests register synthetic adapters.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "telemetry/schema.hpp"
+
+namespace exadigit {
+
+/// Reads a TelemetryDataset from some external source (directory, file...).
+class TelemetryReader {
+ public:
+  virtual ~TelemetryReader() = default;
+  /// Format name used for registry lookup (e.g. "exadigit-csv").
+  [[nodiscard]] virtual std::string format() const = 0;
+  /// Loads a dataset; `source` semantics are format-defined.
+  [[nodiscard]] virtual TelemetryDataset load(const std::string& source) const = 0;
+};
+
+/// Registry of reader factories keyed by format name.
+class TelemetryReaderRegistry {
+ public:
+  /// The process-wide registry, pre-populated with built-in formats.
+  static TelemetryReaderRegistry& instance();
+
+  void register_reader(std::shared_ptr<TelemetryReader> reader);
+  [[nodiscard]] std::shared_ptr<TelemetryReader> find(const std::string& format) const;
+  [[nodiscard]] TelemetryDataset load(const std::string& format,
+                                      const std::string& source) const;
+  [[nodiscard]] std::vector<std::string> formats() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<TelemetryReader>> readers_;
+};
+
+/// Saves a dataset in the native exadigit-csv layout under `directory`
+/// (created if missing): manifest.json, jobs.json, system.csv, cdu.csv,
+/// facility.csv.
+void save_dataset(const TelemetryDataset& dataset, const std::string& directory);
+
+/// Loads a dataset saved by save_dataset.
+[[nodiscard]] TelemetryDataset load_dataset(const std::string& directory);
+
+}  // namespace exadigit

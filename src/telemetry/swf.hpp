@@ -1,0 +1,60 @@
+#pragma once
+
+/// @file swf.hpp
+/// Standard Workload Format (SWF) job-trace import.
+///
+/// The generalized RAPS reads "different types of bespoke telemetry
+/// datasets" (paper Section V; its example is the PM100 dataset from
+/// Marconi100). The Parallel Workloads Archive's SWF is the lingua franca
+/// for published HPC job traces, so this reader lets any archived trace
+/// drive the twin: one job per line, 18 whitespace-separated fields,
+/// ';' comment headers. Fields used here:
+///   1 job id | 2 submit time | 4 run time | 5 allocated processors
+/// Processor counts are mapped to nodes with a configurable cores-per-node
+/// divisor; utilizations are not part of SWF and come from caller-supplied
+/// defaults.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/schema.hpp"
+#include "telemetry/store.hpp"
+
+namespace exadigit {
+
+/// Import options for an SWF trace.
+struct SwfImportOptions {
+  /// Processors per node used to convert SWF "allocated processors".
+  int cores_per_node = 64;
+  /// Default utilizations (SWF carries no power/utilization data).
+  double mean_cpu_util = 0.42;
+  double mean_gpu_util = 0.70;
+  /// Drop jobs whose recorded run time or size is non-positive (failed /
+  /// cancelled entries), per common SWF practice.
+  bool drop_invalid = true;
+  /// Replay on the recorded start times (submit + wait) instead of
+  /// re-scheduling from the submit times.
+  bool use_recorded_schedule = false;
+};
+
+/// Parses SWF text into job records. Throws TelemetryError on malformed
+/// lines (unless they are dropped as invalid).
+[[nodiscard]] std::vector<JobRecord> parse_swf(std::istream& is,
+                                               const SwfImportOptions& options);
+[[nodiscard]] std::vector<JobRecord> parse_swf_file(const std::string& path,
+                                                    const SwfImportOptions& options);
+
+/// TelemetryReader adapter ("swf" format): `source` is a path to a .swf
+/// file; the resulting dataset carries jobs only (no sensor channels).
+class SwfReader final : public TelemetryReader {
+ public:
+  explicit SwfReader(SwfImportOptions options = SwfImportOptions{});
+  [[nodiscard]] std::string format() const override { return "swf"; }
+  [[nodiscard]] TelemetryDataset load(const std::string& source) const override;
+
+ private:
+  SwfImportOptions options_;
+};
+
+}  // namespace exadigit

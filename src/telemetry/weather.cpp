@@ -1,0 +1,49 @@
+#include "telemetry/weather.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace exadigit {
+
+namespace {
+constexpr double kSecondsPerYear = 365.25 * units::kSecondsPerDay;
+constexpr double kTwoPi = 6.283185307179586;
+}  // namespace
+
+SyntheticWeather::SyntheticWeather(const WeatherConfig& config, Rng rng)
+    : config_(config), rng_(rng) {
+  require(config_.sample_period_s > 0.0, "weather sample period must be positive");
+  require(config_.noise_corr_time_s > 0.0, "weather correlation time must be positive");
+  require(config_.max_c > config_.min_c, "weather bounds inverted");
+}
+
+double SyntheticWeather::mean_at(double t_s) const {
+  // Coldest near early February, warmest mid-afternoon.
+  const double season = std::cos(kTwoPi * (t_s / kSecondsPerYear - 0.55));
+  const double hour = std::fmod(t_s, units::kSecondsPerDay) / units::kSecondsPerDay;
+  const double diurnal = std::cos(kTwoPi * (hour - 0.625));
+  return config_.annual_mean_c + config_.seasonal_amplitude_c * season +
+         config_.diurnal_amplitude_c * diurnal;
+}
+
+TimeSeries SyntheticWeather::generate(double t0_s, double duration_s) {
+  require(duration_s > 0.0, "weather duration must be positive");
+  const double dt = config_.sample_period_s;
+  const std::size_t n = static_cast<std::size_t>(duration_s / dt) + 1;
+  // AR(1): x_{k+1} = a x_k + sigma sqrt(1-a^2) eps ensures stationary
+  // variance sigma^2 regardless of the sample period.
+  const double a = std::exp(-dt / config_.noise_corr_time_s);
+  const double innovation = config_.noise_stddev_c * std::sqrt(1.0 - a * a);
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ar_state_ = a * ar_state_ + rng_.normal(0.0, innovation);
+    const double t = t0_s + static_cast<double>(i) * dt;
+    values[i] = std::clamp(mean_at(t) + ar_state_, config_.min_c, config_.max_c);
+  }
+  return TimeSeries::uniform(t0_s, dt, std::move(values));
+}
+
+}  // namespace exadigit

@@ -1,0 +1,47 @@
+#pragma once
+
+/// @file weather.hpp
+/// Synthetic wet-bulb temperature generator.
+///
+/// The cooling model's only environmental input is the outdoor wet-bulb
+/// temperature (paper Section III-C4). Real deployments read it from the
+/// site weather station at 60 s resolution; this generator synthesizes a
+/// statistically similar series: seasonal + diurnal harmonics plus an AR(1)
+/// weather-front component, East-Tennessee-flavored defaults.
+
+#include "common/rng.hpp"
+#include "common/time_series.hpp"
+
+namespace exadigit {
+
+/// Parameters of the synthetic climate.
+struct WeatherConfig {
+  double annual_mean_c = 13.0;       ///< mean wet bulb over the year
+  double seasonal_amplitude_c = 9.0; ///< summer/winter swing
+  double diurnal_amplitude_c = 3.0;  ///< day/night swing
+  double noise_stddev_c = 1.3;       ///< AR(1) innovation magnitude
+  double noise_corr_time_s = 6.0 * 3600.0;  ///< weather-front decorrelation
+  double sample_period_s = 60.0;     ///< paper Table II: 60 s
+  double min_c = -10.0;
+  double max_c = 28.0;               ///< wet bulb rarely exceeds ~28 C
+};
+
+/// Deterministic synthetic wet-bulb series.
+class SyntheticWeather {
+ public:
+  SyntheticWeather(const WeatherConfig& config, Rng rng);
+
+  /// Generates samples covering [t0, t0 + duration]. `t0` is seconds since
+  /// Jan 1 00:00 local; the seasonal phase derives from it.
+  [[nodiscard]] TimeSeries generate(double t0_s, double duration_s);
+
+  /// Deterministic mean wet bulb at absolute time `t_s` (no noise).
+  [[nodiscard]] double mean_at(double t_s) const;
+
+ private:
+  WeatherConfig config_;
+  Rng rng_;
+  double ar_state_ = 0.0;
+};
+
+}  // namespace exadigit

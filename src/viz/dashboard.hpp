@@ -1,0 +1,34 @@
+#pragma once
+
+/// @file dashboard.hpp
+/// The terminal dashboard (paper Fig. 6, top-right pane).
+///
+/// A textual snapshot of the running twin: system power and job panel,
+/// rack power heatmap, cooling loop temperatures with staging state, and
+/// sparkline histories. This reproduces the console interface the paper
+/// ships alongside the AR and web front ends.
+
+#include <string>
+
+#include "core/digital_twin.hpp"
+#include "viz/heatmap.hpp"
+
+namespace exadigit {
+
+/// Dashboard rendering options.
+struct DashboardOptions {
+  bool use_color = true;
+  int sparkline_width = 72;
+};
+
+/// Renders the full dashboard snapshot for a twin.
+[[nodiscard]] std::string render_dashboard(const DigitalTwin& twin,
+                                           const DashboardOptions& options);
+
+/// Renders only the rack power heatmap (one cell per rack, CDU columns).
+[[nodiscard]] std::string render_rack_power_heatmap(const DigitalTwin& twin, bool use_color);
+
+/// Renders the cooling loop panel (temperatures, flows, staging).
+[[nodiscard]] std::string render_cooling_panel(const DigitalTwin& twin);
+
+}  // namespace exadigit

@@ -1,0 +1,80 @@
+#include "viz/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace exadigit {
+
+char ramp_char(double normalized) {
+  static const char kRamp[] = " .:-=+*#%@";
+  const double x = std::clamp(normalized, 0.0, 1.0);
+  const int idx = static_cast<int>(x * 9.0 + 0.5);
+  return kRamp[idx];
+}
+
+std::string thermal_color(double normalized) {
+  const double x = std::clamp(normalized, 0.0, 1.0);
+  // Walk the 6x6x6 ANSI cube: blue(16+1*..) -> cyan/green -> yellow -> red.
+  int r = 0;
+  int g = 0;
+  int b = 0;
+  if (x < 0.25) {
+    const double t = x / 0.25;
+    r = 0; g = static_cast<int>(t * 3); b = 5;
+  } else if (x < 0.5) {
+    const double t = (x - 0.25) / 0.25;
+    r = 0; g = 3 + static_cast<int>(t * 2); b = 5 - static_cast<int>(t * 5);
+  } else if (x < 0.75) {
+    const double t = (x - 0.5) / 0.25;
+    r = static_cast<int>(t * 5); g = 5; b = 0;
+  } else {
+    const double t = (x - 0.75) / 0.25;
+    r = 5; g = 5 - static_cast<int>(t * 5); b = 0;
+  }
+  const int code = 16 + 36 * r + 6 * g + b;
+  return "\x1b[48;5;" + std::to_string(code) + "m";
+}
+
+std::string render_heatmap(const std::vector<double>& values, const HeatmapOptions& options) {
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  if (values.empty()) return os.str();
+
+  double lo = options.scale_min;
+  double hi = options.scale_max;
+  if (lo >= hi) {
+    lo = *std::min_element(values.begin(), values.end());
+    hi = *std::max_element(values.begin(), values.end());
+    if (hi <= lo) hi = lo + 1.0;
+  }
+  const int columns = std::max(1, options.columns);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double n = (values[i] - lo) / (hi - lo);
+    if (options.use_color) {
+      os << thermal_color(n) << "  " << "\x1b[0m";
+    } else {
+      os << ramp_char(n) << ramp_char(n);
+    }
+    if ((i + 1) % static_cast<std::size_t>(columns) == 0) os << '\n';
+  }
+  if (values.size() % static_cast<std::size_t>(columns) != 0) os << '\n';
+
+  os << "scale: " << AsciiTable::num(lo, 1) << ' ' << options.unit;
+  if (options.use_color) {
+    os << ' ';
+    for (int i = 0; i <= 16; ++i) {
+      os << thermal_color(static_cast<double>(i) / 16.0) << ' ' << "\x1b[0m";
+    }
+  } else {
+    os << " [";
+    for (int i = 0; i <= 16; ++i) os << ramp_char(static_cast<double>(i) / 16.0);
+    os << ']';
+  }
+  os << ' ' << AsciiTable::num(hi, 1) << ' ' << options.unit << '\n';
+  return os.str();
+}
+
+}  // namespace exadigit

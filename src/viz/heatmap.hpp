@@ -1,0 +1,39 @@
+#pragma once
+
+/// @file heatmap.hpp
+/// ANSI terminal heatmaps.
+///
+/// The AR model's core value is spatially correlating telemetry onto the
+/// machine (paper Section III-D); in the terminal the equivalent is a rack
+/// grid colored by a scalar channel (power, temperature, utilization) with
+/// a calibrated legend. Colors use the 256-color ANSI cube and degrade to
+/// ASCII ramps when colors are disabled.
+
+#include <string>
+#include <vector>
+
+namespace exadigit {
+
+/// Rendering options for a heatmap.
+struct HeatmapOptions {
+  int columns = 25;         ///< grid width (Frontier: one column per CDU)
+  bool use_color = true;    ///< ANSI 256-color output; false = ASCII ramp
+  std::string title;
+  std::string unit;
+  /// Fixed scale bounds; when min >= max the data range is used.
+  double scale_min = 0.0;
+  double scale_max = 0.0;
+};
+
+/// Renders `values` (row-major grid) as a heatmap with a legend.
+[[nodiscard]] std::string render_heatmap(const std::vector<double>& values,
+                                         const HeatmapOptions& options);
+
+/// Maps a normalized value in [0,1] to an ANSI 256-color escape (blue ->
+/// green -> yellow -> red thermal ramp).
+[[nodiscard]] std::string thermal_color(double normalized);
+
+/// ASCII fallback ramp character for a normalized value in [0,1].
+[[nodiscard]] char ramp_char(double normalized);
+
+}  // namespace exadigit

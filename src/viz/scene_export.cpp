@@ -1,0 +1,134 @@
+#include "viz/scene_export.hpp"
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+Json SceneGraph::to_json() const {
+  Json j;
+  j["system_name"] = Json(system_name);
+  Json::Array assets_json;
+  for (const auto& a : assets) {
+    Json ja;
+    ja["id"] = Json(a.id);
+    ja["type"] = Json(a.type);
+    ja["x_m"] = Json(a.x_m);
+    ja["y_m"] = Json(a.y_m);
+    ja["z_m"] = Json(a.z_m);
+    ja["yaw_deg"] = Json(a.yaw_deg);
+    Json channels;
+    for (const auto& c : a.channels) channels.push_back(Json(c));
+    ja["channels"] = channels.is_null() ? Json(Json::Array{}) : channels;
+    assets_json.push_back(ja);
+  }
+  j["assets"] = Json(std::move(assets_json));
+  return j;
+}
+
+SceneGraph SceneGraph::from_json(const Json& j) {
+  SceneGraph scene;
+  scene.system_name = j.string_or("system_name", "");
+  for (const auto& ja : j.at("assets").as_array()) {
+    SceneAsset a;
+    a.id = ja.at("id").as_string();
+    a.type = ja.at("type").as_string();
+    a.x_m = ja.number_or("x_m", 0.0);
+    a.y_m = ja.number_or("y_m", 0.0);
+    a.z_m = ja.number_or("z_m", 0.0);
+    a.yaw_deg = ja.number_or("yaw_deg", 0.0);
+    if (ja.contains("channels")) {
+      for (const auto& c : ja.at("channels").as_array()) a.channels.push_back(c.as_string());
+    }
+    scene.assets.push_back(std::move(a));
+  }
+  return scene;
+}
+
+SceneGraph build_scene(const SystemConfig& config) {
+  SceneGraph scene;
+  scene.system_name = config.name;
+
+  // Machine room: one aisle position per CDU, its racks in a row behind it.
+  constexpr double kRackPitchM = 1.4;
+  constexpr double kAislePitchM = 3.4;
+  for (int cdu = 0; cdu < config.cdu_count; ++cdu) {
+    const double aisle_y = cdu * kAislePitchM;
+    SceneAsset cdu_asset;
+    cdu_asset.id = "cdu-" + std::to_string(cdu);
+    cdu_asset.type = "cdu";
+    cdu_asset.x_m = 0.0;
+    cdu_asset.y_m = aisle_y;
+    cdu_asset.channels = {
+        "cdu[" + std::to_string(cdu) + "].sec_supply_t_c",
+        "cdu[" + std::to_string(cdu) + "].sec_return_t_c",
+        "cdu[" + std::to_string(cdu) + "].sec_flow_m3s",
+        "cdu[" + std::to_string(cdu) + "].pump_power_w",
+    };
+    scene.assets.push_back(std::move(cdu_asset));
+
+    const int racks = config.racks_for_cdu(cdu);
+    for (int slot = 0; slot < racks; ++slot) {
+      const int rack_index = config.first_rack_of_cdu(cdu) + slot;
+      SceneAsset rack;
+      rack.id = "rack-" + std::to_string(rack_index);
+      rack.type = "rack";
+      rack.x_m = (slot + 1) * kRackPitchM;
+      rack.y_m = aisle_y;
+      rack.channels = {
+          "rack[" + std::to_string(rack_index) + "].wall_power_w",
+          "rack[" + std::to_string(rack_index) + "].busy_nodes",
+      };
+      scene.assets.push_back(std::move(rack));
+    }
+  }
+
+  // Central energy plant west of the machine room.
+  const double cep_x = -12.0;
+  for (int p = 0; p < config.cooling.primary.pump_count; ++p) {
+    SceneAsset pump;
+    pump.id = "htwp-" + std::to_string(p + 1);
+    pump.type = "pump";
+    pump.x_m = cep_x;
+    pump.y_m = 2.0 * p;
+    pump.channels = {"plant.htwp_speed", "plant.htwp_power_w", "plant.htwp_staged"};
+    scene.assets.push_back(std::move(pump));
+  }
+  for (int p = 0; p < config.cooling.ct.pump_count; ++p) {
+    SceneAsset pump;
+    pump.id = "ctwp-" + std::to_string(p + 1);
+    pump.type = "pump";
+    pump.x_m = cep_x - 4.0;
+    pump.y_m = 2.0 * p;
+    pump.channels = {"plant.ctwp_speed", "plant.ctwp_power_w", "plant.ctwp_staged"};
+    scene.assets.push_back(std::move(pump));
+  }
+  for (int e = 0; e < config.cooling.primary.ehx_count; ++e) {
+    SceneAsset ehx;
+    ehx.id = "ehx-" + std::to_string(e + 1);
+    ehx.type = "heat_exchanger";
+    ehx.x_m = cep_x - 2.0;
+    ehx.y_m = 3.0 * e;
+    ehx.channels = {"plant.ehx_staged", "plant.pri_supply_t_c", "plant.pri_return_t_c"};
+    scene.assets.push_back(std::move(ehx));
+  }
+  const auto& tower = config.cooling.ct.tower;
+  for (int t = 0; t < tower.tower_count; ++t) {
+    for (int cell = 0; cell < tower.cells_per_tower; ++cell) {
+      SceneAsset ct;
+      ct.id = "ct-" + std::to_string(t + 1) + "-cell-" + std::to_string(cell + 1);
+      ct.type = "cooling_tower_cell";
+      ct.x_m = cep_x - 10.0 - 3.0 * cell;
+      ct.y_m = 6.0 * t;
+      ct.z_m = 0.0;
+      ct.channels = {"plant.ct_cells_staged", "plant.fan_speed", "plant.ct_supply_t_c"};
+      scene.assets.push_back(std::move(ct));
+    }
+  }
+  return scene;
+}
+
+void export_scene(const SceneGraph& scene, const std::string& path) {
+  scene.to_json().save_file(path);
+}
+
+}  // namespace exadigit

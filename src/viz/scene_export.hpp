@@ -1,0 +1,53 @@
+#pragma once
+
+/// @file scene_export.hpp
+/// 3-D scene-graph export with telemetry channel bindings.
+///
+/// The UE5/AR front end (paper Section III-D) consumes 3-D assets bound to
+/// telemetry and simulation channels, and Section V plans "dynamic asset
+/// generation based on JSON configuration files" so new machines (LUMI,
+/// Setonix) need no hand modeling. This module is that exchange format: it
+/// lays out the machine room (rack rows per CDU, CDUs, the CEP loops) as a
+/// JSON scene graph in which every asset carries a transform and the FMU /
+/// engine channel names that drive its visual state. A UE5, Unity, or web
+/// viewer can render the twin from this file alone.
+
+#include <string>
+#include <vector>
+
+#include "config/system_config.hpp"
+#include "json/json.hpp"
+
+namespace exadigit {
+
+/// One asset instance in the scene.
+struct SceneAsset {
+  std::string id;
+  std::string type;       ///< "rack", "cdu", "pump", "cooling_tower", ...
+  double x_m = 0.0;       ///< room-frame position
+  double y_m = 0.0;
+  double z_m = 0.0;
+  double yaw_deg = 0.0;
+  /// Channel names (FMU variable names or engine channels) bound to this
+  /// asset's visual state (color ramp, gauge, spin rate).
+  std::vector<std::string> channels;
+};
+
+/// The machine room + central energy plant scene.
+struct SceneGraph {
+  std::string system_name;
+  std::vector<SceneAsset> assets;
+
+  [[nodiscard]] Json to_json() const;
+  static SceneGraph from_json(const Json& j);
+};
+
+/// Generates the scene for a machine descriptor: rack rows (one row of
+/// `racks_per_cdu` racks per CDU aisle position), CDUs at row heads, and
+/// the CEP assets (HTWPs, CTWPs, EHX bank, tower cells).
+[[nodiscard]] SceneGraph build_scene(const SystemConfig& config);
+
+/// Writes the scene JSON to `path`.
+void export_scene(const SceneGraph& scene, const std::string& path);
+
+}  // namespace exadigit

@@ -1,0 +1,104 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+namespace {
+
+TEST(CsvTest, RoundTripSimpleDocument) {
+  CsvDocument doc({"a", "b"});
+  doc.add_row({"1", "x"});
+  doc.add_row({"2", "y"});
+  std::ostringstream os;
+  doc.write(os);
+  std::istringstream is(os.str());
+  CsvDocument parsed = CsvDocument::parse(is);
+  ASSERT_EQ(parsed.row_count(), 2u);
+  EXPECT_EQ(parsed.row(0)[0], "1");
+  EXPECT_EQ(parsed.row(1)[1], "y");
+}
+
+TEST(CsvTest, QuotingCommasQuotesNewlines) {
+  CsvDocument doc({"text"});
+  doc.add_row({"has,comma"});
+  doc.add_row({"has\"quote"});
+  doc.add_row({"has\nnewline"});
+  std::ostringstream os;
+  doc.write(os);
+  std::istringstream is(os.str());
+  CsvDocument parsed = CsvDocument::parse(is);
+  ASSERT_EQ(parsed.row_count(), 3u);
+  EXPECT_EQ(parsed.row(0)[0], "has,comma");
+  EXPECT_EQ(parsed.row(1)[0], "has\"quote");
+  EXPECT_EQ(parsed.row(2)[0], "has\nnewline");
+}
+
+TEST(CsvTest, ParsesCrLfLineEndings) {
+  std::istringstream is("a,b\r\n1,2\r\n");
+  CsvDocument doc = CsvDocument::parse(is);
+  ASSERT_EQ(doc.row_count(), 1u);
+  EXPECT_EQ(doc.row(0)[1], "2");
+}
+
+TEST(CsvTest, NumericColumnExtraction) {
+  CsvDocument doc({"t", "v"});
+  doc.add_row({"0", "1.5"});
+  doc.add_row({"1", "-2.25"});
+  const std::vector<double> v = doc.numeric_column("v");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  EXPECT_DOUBLE_EQ(v[1], -2.25);
+}
+
+TEST(CsvTest, NonNumericCellThrows) {
+  CsvDocument doc({"v"});
+  doc.add_row({"abc"});
+  EXPECT_THROW(doc.numeric_column("v"), TelemetryError);
+  CsvDocument doc2({"v"});
+  doc2.add_row({"1.5x"});
+  EXPECT_THROW(doc2.numeric_column("v"), TelemetryError);
+}
+
+TEST(CsvTest, MissingColumnThrows) {
+  CsvDocument doc({"a"});
+  EXPECT_THROW(doc.column("zzz"), TelemetryError);
+}
+
+TEST(CsvTest, RowWidthMismatchThrows) {
+  CsvDocument doc({"a", "b"});
+  EXPECT_THROW(doc.add_row({"1"}), ConfigError);
+}
+
+TEST(CsvTest, EmptyStreamThrows) {
+  std::istringstream is("");
+  EXPECT_THROW(CsvDocument::parse(is), ConfigError);
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  std::istringstream is("a\n1\n\n2\n");
+  CsvDocument doc = CsvDocument::parse(is);
+  EXPECT_EQ(doc.row_count(), 2u);
+}
+
+TEST(CsvTest, SaveAndLoadFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "exadigit_csv_test.csv").string();
+  CsvDocument doc({"x"});
+  doc.add_row({"42"});
+  doc.save(path);
+  CsvDocument loaded = CsvDocument::load(path);
+  EXPECT_EQ(loaded.numeric_column("x")[0], 42.0);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvTest, LoadMissingFileThrows) {
+  EXPECT_THROW(CsvDocument::load("/nonexistent/path/file.csv"), ConfigError);
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,65 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace exadigit {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_sink([this](LogLevel level, const std::string& msg) {
+      captured_.emplace_back(level, msg);
+    });
+    set_log_level(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kWarn);
+  }
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, EmitsThroughSink) {
+  EXADIGIT_INFO << "hello " << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "hello 42");
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, LevelFiltering) {
+  set_log_level(LogLevel::kError);
+  EXADIGIT_DEBUG << "d";
+  EXADIGIT_INFO << "i";
+  EXADIGIT_WARN << "w";
+  EXADIGIT_ERROR << "e";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "e");
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  EXADIGIT_ERROR << "e";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, LevelQueryReflectsSetting) {
+  set_log_level(LogLevel::kInfo);
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, StreamOperatorsDoNotEvaluateWhenFiltered) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 1;
+  };
+  EXADIGIT_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace exadigit

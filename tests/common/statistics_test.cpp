@@ -1,0 +1,160 @@
+#include "common/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace exadigit {
+namespace {
+
+TEST(SummaryStatsTest, BasicMoments) {
+  SummaryStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SummaryStatsTest, SingleSampleHasZeroVariance) {
+  SummaryStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(SummaryStatsTest, EmptyMinThrows) {
+  SummaryStats s;
+  EXPECT_THROW(s.min(), ConfigError);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(SummaryStatsTest, MergeEqualsSequential) {
+  Rng rng(3);
+  SummaryStats whole, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(10.0, 4.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(SummaryStatsTest, MergeWithEmptySides) {
+  SummaryStats a, b;
+  a.add(1.0);
+  a.merge(b);  // empty rhs
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty lhs
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(ErrorMetricsTest, PerfectPrediction) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rmse(v, v), 0.0);
+  EXPECT_DOUBLE_EQ(mae(v, v), 0.0);
+  EXPECT_DOUBLE_EQ(mape(v, v), 0.0);
+  EXPECT_DOUBLE_EQ(max_abs_error(v, v), 0.0);
+}
+
+TEST(ErrorMetricsTest, KnownErrors) {
+  std::vector<double> p{2.0, 2.0};
+  std::vector<double> r{0.0, 4.0};
+  EXPECT_DOUBLE_EQ(rmse(p, r), 2.0);
+  EXPECT_DOUBLE_EQ(mae(p, r), 2.0);
+  EXPECT_DOUBLE_EQ(max_abs_error(p, r), 2.0);
+}
+
+TEST(ErrorMetricsTest, MapeSkipsZeroReference) {
+  std::vector<double> p{1.0, 110.0};
+  std::vector<double> r{0.0, 100.0};
+  EXPECT_DOUBLE_EQ(mape(p, r), 10.0);
+}
+
+TEST(ErrorMetricsTest, RmseAtLeastMae) {
+  Rng rng(11);
+  std::vector<double> p(200), r(200);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = rng.normal(0, 1);
+    r[i] = rng.normal(0, 1);
+  }
+  EXPECT_GE(rmse(p, r), mae(p, r));
+}
+
+TEST(ErrorMetricsTest, MismatchedSpansThrow) {
+  std::vector<double> a{1.0};
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(rmse(a, b), ConfigError);
+  std::vector<double> empty;
+  EXPECT_THROW(mae(empty, empty), ConfigError);
+}
+
+TEST(PearsonTest, PerfectPositiveAndNegative) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  std::vector<double> z{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSideGivesZero) {
+  std::vector<double> x{1.0, 1.0, 1.0};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(PercentileTest, Validation) {
+  EXPECT_THROW(percentile({}, 50.0), ConfigError);
+  EXPECT_THROW(percentile({1.0}, -1.0), ConfigError);
+  EXPECT_THROW(percentile({1.0}, 101.0), ConfigError);
+}
+
+/// Property: Welford matches the two-pass computation on random data.
+class WelfordProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WelfordProperty, MatchesTwoPass) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> data;
+  SummaryStats s;
+  for (int i = 0; i < 333; ++i) {
+    const double x = rng.lognormal_mean_std(100.0, 250.0);
+    data.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (double x : data) mean += x;
+  mean /= static_cast<double>(data.size());
+  double var = 0.0;
+  for (double x : data) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(data.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, std::abs(mean) * 1e-10);
+  EXPECT_NEAR(s.variance(), var, var * 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WelfordProperty, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace exadigit

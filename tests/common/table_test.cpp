@@ -1,0 +1,82 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+namespace {
+
+TEST(AsciiTableTest, RendersHeaderRuleAndRows) {
+  AsciiTable t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"bb", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Right-aligned numeric column: "22" ends at the same offset as "1".
+  EXPECT_NE(out.find("    1\n"), std::string::npos);
+}
+
+TEST(AsciiTableTest, RowWidthMismatchThrows) {
+  AsciiTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), ConfigError);
+}
+
+TEST(AsciiTableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(AsciiTable({}), ConfigError);
+}
+
+TEST(AsciiTableTest, AlignmentOverride) {
+  AsciiTable t({"A", "B"});
+  t.set_alignment({Align::kRight, Align::kLeft});
+  t.add_row({"x", "y"});
+  EXPECT_NO_THROW(t.render());
+  EXPECT_THROW(t.set_alignment({Align::kLeft}), ConfigError);
+}
+
+TEST(AsciiTableTest, NumberFormatting) {
+  EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::num(2.0, 0), "2");
+  EXPECT_EQ(AsciiTable::integer(-42), "-42");
+}
+
+TEST(AsciiBarTest, ProportionalWidth) {
+  EXPECT_EQ(ascii_bar(5.0, 10.0, 10).size(), 5u);
+  EXPECT_EQ(ascii_bar(10.0, 10.0, 10).size(), 10u);
+  EXPECT_EQ(ascii_bar(20.0, 10.0, 10).size(), 10u);  // clamped
+  EXPECT_EQ(ascii_bar(0.0, 10.0, 10).size(), 0u);
+  EXPECT_TRUE(ascii_bar(1.0, 0.0, 10).empty());  // degenerate scale
+}
+
+TEST(SparklineTest, LengthAndExtremes) {
+  std::vector<double> v{0.0, 1.0, 2.0, 3.0};
+  const std::string s = sparkline(v, 10);
+  EXPECT_FALSE(s.empty());
+  // Each glyph is a 3-byte UTF-8 block; 4 points requested within budget.
+  EXPECT_EQ(s.size(), 4u * 3u);
+}
+
+TEST(SparklineTest, DownsamplesLongSeries) {
+  std::vector<double> v(1000, 1.0);
+  const std::string s = sparkline(v, 8);
+  EXPECT_EQ(s.size(), 8u * 3u);
+}
+
+TEST(SparklineTest, EmptyInput) {
+  EXPECT_TRUE(sparkline({}, 10).empty());
+  EXPECT_TRUE(sparkline({1.0}, 0).empty());
+}
+
+TEST(SparklineTest, ConstantSeriesUsesLowBlock) {
+  std::vector<double> v(10, 5.0);
+  const std::string s = sparkline(v, 10);
+  // All glyphs identical.
+  for (std::size_t i = 3; i < s.size(); i += 3) {
+    EXPECT_EQ(s.substr(i, 3), s.substr(0, 3));
+  }
+}
+
+}  // namespace
+}  // namespace exadigit

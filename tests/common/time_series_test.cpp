@@ -1,0 +1,121 @@
+#include "common/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+namespace {
+
+TEST(TimeSeriesTest, UniformConstruction) {
+  TimeSeries s = TimeSeries::uniform(10.0, 5.0, {1.0, 2.0, 3.0});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.time(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.time(2), 20.0);
+  EXPECT_DOUBLE_EQ(s.start_time(), 10.0);
+  EXPECT_DOUBLE_EQ(s.end_time(), 20.0);
+}
+
+TEST(TimeSeriesTest, RejectsNonIncreasingTimestamps) {
+  EXPECT_THROW(TimeSeries({0.0, 0.0}, {1.0, 2.0}), ConfigError);
+  EXPECT_THROW(TimeSeries({1.0, 0.5}, {1.0, 2.0}), ConfigError);
+  TimeSeries s;
+  s.push_back(1.0, 0.0);
+  EXPECT_THROW(s.push_back(1.0, 0.0), ConfigError);
+}
+
+TEST(TimeSeriesTest, RejectsSizeMismatch) {
+  EXPECT_THROW(TimeSeries({0.0, 1.0}, {1.0}), ConfigError);
+}
+
+TEST(TimeSeriesTest, LinearInterpolation) {
+  TimeSeries s({0.0, 10.0}, {0.0, 100.0});
+  EXPECT_DOUBLE_EQ(s.at(5.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.at(2.5), 25.0);
+}
+
+TEST(TimeSeriesTest, PreviousHold) {
+  TimeSeries s({0.0, 10.0}, {7.0, 100.0});
+  EXPECT_DOUBLE_EQ(s.at(9.999, SampleHold::kPrevious), 7.0);
+  EXPECT_DOUBLE_EQ(s.at(10.0, SampleHold::kPrevious), 100.0);
+}
+
+TEST(TimeSeriesTest, BoundaryHold) {
+  TimeSeries s({5.0, 10.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.at(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.at(100.0), 4.0);
+}
+
+TEST(TimeSeriesTest, ResampleOntoFinerGrid) {
+  TimeSeries s({0.0, 10.0}, {0.0, 10.0});
+  TimeSeries r = s.resample(0.0, 2.5, 5);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.value(1), 2.5);
+  EXPECT_DOUBLE_EQ(r.value(4), 10.0);
+}
+
+TEST(TimeSeriesTest, SliceKeepsInclusiveWindow) {
+  TimeSeries s = TimeSeries::uniform(0.0, 1.0, {0, 1, 2, 3, 4, 5});
+  TimeSeries cut = s.slice(1.5, 4.0);
+  ASSERT_EQ(cut.size(), 3u);
+  EXPECT_DOUBLE_EQ(cut.time(0), 2.0);
+  EXPECT_DOUBLE_EQ(cut.time(2), 4.0);
+}
+
+TEST(TimeSeriesTest, IntegralTrapezoidal) {
+  TimeSeries s({0.0, 2.0}, {0.0, 10.0});  // triangle, area 10
+  EXPECT_DOUBLE_EQ(s.integral(), 10.0);
+}
+
+TEST(TimeSeriesTest, IntegralRectangleForPreviousHold) {
+  TimeSeries s({0.0, 2.0, 3.0}, {4.0, 8.0, 0.0});
+  // 4*2 + 8*1 = 16 with zero-order hold.
+  EXPECT_DOUBLE_EQ(s.integral(SampleHold::kPrevious), 16.0);
+}
+
+TEST(TimeSeriesTest, TimeWeightedMeanMatchesHandComputation) {
+  TimeSeries s({0.0, 1.0, 3.0}, {2.0, 2.0, 6.0});
+  // trapezoid: (2*1 + (2+6)/2*2)/3 = (2+8)/3
+  EXPECT_DOUBLE_EQ(s.time_weighted_mean(), 10.0 / 3.0);
+}
+
+TEST(TimeSeriesTest, MeanOfEmptyIsZero) {
+  TimeSeries s;
+  EXPECT_DOUBLE_EQ(s.time_weighted_mean(), 0.0);
+}
+
+TEST(TimeSeriesTest, MinMaxValues) {
+  TimeSeries s = TimeSeries::uniform(0.0, 1.0, {3.0, -1.0, 7.0});
+  EXPECT_DOUBLE_EQ(s.min_value(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max_value(), 7.0);
+}
+
+TEST(TimeSeriesTest, EmptyAccessorsThrow) {
+  TimeSeries s;
+  EXPECT_THROW(s.start_time(), ConfigError);
+  EXPECT_THROW(s.at(0.0), ConfigError);
+  EXPECT_THROW(s.min_value(), ConfigError);
+}
+
+/// Property: resampling a series onto its own grid is the identity, for a
+/// family of sinusoid series.
+class ResampleIdentityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResampleIdentityProperty, ResampleOnOwnGridIsIdentity) {
+  const int n = GetParam();
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = std::sin(0.3 * i) * i;
+  TimeSeries s = TimeSeries::uniform(2.0, 1.5, v);
+  TimeSeries r = s.resample(2.0, 1.5, static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(r.value(static_cast<std::size_t>(i)), s.value(static_cast<std::size_t>(i)),
+                1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ResampleIdentityProperty, ::testing::Values(2, 5, 17, 100));
+
+}  // namespace
+}  // namespace exadigit

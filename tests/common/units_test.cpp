@@ -1,0 +1,52 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace exadigit::units {
+namespace {
+
+TEST(UnitsTest, FlowRoundTrip) {
+  EXPECT_NEAR(gpm_from_m3s(m3s_from_gpm(5500.0)), 5500.0, 1e-9);
+  // 1 gpm = 6.309e-5 m^3/s.
+  EXPECT_NEAR(m3s_from_gpm(1.0), 6.309019640e-5, 1e-12);
+  EXPECT_NEAR(m3s_from_lps(1.0), 1e-3, 1e-15);
+}
+
+TEST(UnitsTest, PressureRoundTrip) {
+  EXPECT_NEAR(psi_from_pa(pa_from_psi(32.0)), 32.0, 1e-9);
+  EXPECT_NEAR(pa_from_psi(1.0), 6894.757293, 1e-6);
+  EXPECT_NEAR(pa_from_kpa(101.325), 101325.0, 1e-9);
+  // 10 ft of water head ~ 29.9 kPa.
+  EXPECT_NEAR(pa_from_ft_head(10.0), 29835.0, 100.0);
+}
+
+TEST(UnitsTest, TemperatureConversions) {
+  EXPECT_DOUBLE_EQ(degc_from_degf(32.0), 0.0);
+  EXPECT_DOUBLE_EQ(degc_from_degf(212.0), 100.0);
+  EXPECT_DOUBLE_EQ(degf_from_degc(degc_from_degf(90.0)), 90.0);
+  EXPECT_DOUBLE_EQ(kelvin_from_degc(0.0), 273.15);
+}
+
+TEST(UnitsTest, PowerAndEnergy) {
+  EXPECT_DOUBLE_EQ(watts_from_mw(22.8), 22.8e6);
+  EXPECT_DOUBLE_EQ(mw_from_watts(watts_from_mw(7.24)), 7.24);
+  EXPECT_DOUBLE_EQ(kw_from_watts(watts_from_kw(8.7)), 8.7);
+  // 1 MW for 1 hour = 1 MWh = 3.6e9 J.
+  EXPECT_DOUBLE_EQ(mwh_from_joules(3.6e9), 1.0);
+  EXPECT_DOUBLE_EQ(joules_from_mwh(mwh_from_joules(1.23e10)), 1.23e10);
+}
+
+TEST(UnitsTest, TimeConstants) {
+  EXPECT_DOUBLE_EQ(kSecondsPerDay, 86400.0);
+  EXPECT_DOUBLE_EQ(kSecondsPerHour, 3600.0);
+  // Mean Gregorian year used for annualized savings.
+  EXPECT_NEAR(kHoursPerYear, 8766.0, 1e-9);
+}
+
+TEST(UnitsTest, CarbonFactorConstant) {
+  // Paper Eq. (6): 1 metric ton = 2204.6 lb.
+  EXPECT_DOUBLE_EQ(kLbsPerMetricTon, 2204.6);
+}
+
+}  // namespace
+}  // namespace exadigit::units

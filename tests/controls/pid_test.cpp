@@ -1,0 +1,186 @@
+#include "controls/pid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+namespace {
+
+TEST(PidTest, ProportionalResponse) {
+  PidConfig cfg;
+  cfg.kp = 0.5;
+  cfg.out_min = -10.0;
+  cfg.out_max = 10.0;
+  Pid pid(cfg);
+  EXPECT_DOUBLE_EQ(pid.update(10.0, 6.0, 1.0), 2.0);  // error 4 * 0.5
+  EXPECT_DOUBLE_EQ(pid.update(10.0, 14.0, 1.0), -2.0);
+}
+
+TEST(PidTest, OutputClamped) {
+  PidConfig cfg;
+  cfg.kp = 100.0;
+  cfg.out_min = 0.0;
+  cfg.out_max = 1.0;
+  Pid pid(cfg);
+  EXPECT_DOUBLE_EQ(pid.update(10.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(pid.update(0.0, 10.0, 1.0), 0.0);
+}
+
+TEST(PidTest, IntegralEliminatesSteadyStateError) {
+  // First-order plant y' = (u - y)/tau under PI control reaches setpoint.
+  PidConfig cfg;
+  cfg.kp = 0.5;
+  cfg.ki = 0.3;
+  cfg.out_min = 0.0;
+  cfg.out_max = 5.0;
+  Pid pid(cfg);
+  double y = 0.0;
+  const double setpoint = 2.0;
+  for (int i = 0; i < 4000; ++i) {
+    const double u = pid.update(setpoint, y, 0.1);
+    y += 0.1 * (u - y) / 2.0;
+  }
+  EXPECT_NEAR(y, setpoint, 1e-3);
+}
+
+TEST(PidTest, AntiWindupRecoversQuickly) {
+  PidConfig cfg;
+  cfg.kp = 0.1;
+  cfg.ki = 1.0;
+  cfg.out_min = 0.0;
+  cfg.out_max = 1.0;
+  Pid pid(cfg);
+  // Saturate hard for a long time.
+  for (int i = 0; i < 1000; ++i) pid.update(100.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(pid.output(), 1.0);
+  // On setpoint reversal the output must unwind promptly (conditional
+  // integration means the integral never grew beyond the rail).
+  int steps_to_unwind = 0;
+  while (pid.update(0.0, 100.0, 1.0) > 0.0 && steps_to_unwind < 50) ++steps_to_unwind;
+  EXPECT_LT(steps_to_unwind, 10);
+}
+
+TEST(PidTest, ReverseActingSignFlip) {
+  PidConfig cfg;
+  cfg.kp = 1.0;
+  cfg.out_min = -5.0;
+  cfg.out_max = 5.0;
+  cfg.reverse_acting = true;
+  Pid pid(cfg);
+  // Measurement above setpoint drives the output *up* (e.g. valve opens
+  // when the loop runs hot).
+  EXPECT_GT(pid.update(32.0, 35.0, 1.0), 0.0);
+  EXPECT_LT(pid.update(32.0, 30.0, 1.0), 0.0);
+}
+
+TEST(PidTest, DerivativeDampsApproach) {
+  PidConfig p_only;
+  p_only.kp = 2.0;
+  p_only.out_min = -100.0;
+  p_only.out_max = 100.0;
+  PidConfig pd = p_only;
+  pd.kd = 1.0;
+  Pid a(p_only), b(pd);
+  a.update(1.0, 0.0, 0.1);
+  b.update(1.0, 0.0, 0.1);
+  // Measurement rising toward setpoint: derivative term reduces drive.
+  const double ua = a.update(1.0, 0.5, 0.1);
+  const double ub = b.update(1.0, 0.5, 0.1);
+  EXPECT_LT(ub, ua);
+}
+
+TEST(PidTest, NoDerivativeKickOnFirstSample) {
+  PidConfig cfg;
+  cfg.kp = 1.0;
+  cfg.kd = 10.0;
+  cfg.out_min = -100.0;
+  cfg.out_max = 100.0;
+  Pid pid(cfg);
+  // First update has no history: output is purely proportional.
+  EXPECT_DOUBLE_EQ(pid.update(1.0, 0.0, 0.01), 1.0);
+}
+
+TEST(PidTest, ResetSeedsBumplessRestart) {
+  PidConfig cfg;
+  cfg.kp = 0.0;
+  cfg.ki = 0.5;
+  cfg.out_min = 0.0;
+  cfg.out_max = 1.0;
+  Pid pid(cfg);
+  pid.reset(0.7);
+  EXPECT_DOUBLE_EQ(pid.output(), 0.7);
+  // With zero error the output holds at the seeded value.
+  EXPECT_NEAR(pid.update(5.0, 5.0, 1.0), 0.7, 1e-12);
+}
+
+TEST(PidTest, ConfigValidation) {
+  PidConfig bad;
+  bad.out_min = 1.0;
+  bad.out_max = 0.0;
+  EXPECT_THROW(Pid{bad}, ConfigError);
+  PidConfig neg;
+  neg.kp = -1.0;
+  EXPECT_THROW(Pid{neg}, ConfigError);
+  PidConfig ok;
+  Pid pid(ok);
+  EXPECT_THROW(pid.update(0.0, 0.0, 0.0), ConfigError);
+}
+
+TEST(FirstOrderLagTest, ExactExponentialStep) {
+  FirstOrderLag lag(10.0, 0.0);
+  lag.update(1.0, 10.0);  // one time constant
+  EXPECT_NEAR(lag.value(), 1.0 - std::exp(-1.0), 1e-12);
+}
+
+TEST(FirstOrderLagTest, StepSizeInvariance) {
+  FirstOrderLag coarse(5.0, 0.0);
+  FirstOrderLag fine(5.0, 0.0);
+  coarse.update(1.0, 2.0);
+  for (int i = 0; i < 20; ++i) fine.update(1.0, 0.1);
+  EXPECT_NEAR(coarse.value(), fine.value(), 1e-12);
+}
+
+TEST(FirstOrderLagTest, ZeroTauIsPassThrough) {
+  FirstOrderLag lag(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(lag.update(3.0, 1.0), 3.0);
+}
+
+TEST(FirstOrderLagTest, ConvergesToInput) {
+  FirstOrderLag lag(2.0, 0.0);
+  for (int i = 0; i < 100; ++i) lag.update(7.0, 1.0);
+  EXPECT_NEAR(lag.value(), 7.0, 1e-9);
+}
+
+TEST(TransportDelayTest, DelaysBySpecifiedSteps) {
+  TransportDelay delay(3.0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(delay.update(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(delay.update(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(delay.update(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(delay.update(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(delay.update(5.0), 1.0);  // first input emerges
+  EXPECT_DOUBLE_EQ(delay.update(6.0), 2.0);
+}
+
+TEST(TransportDelayTest, ZeroDelayPassesNextStep) {
+  TransportDelay delay(0.0, 1.0, 9.0);
+  EXPECT_DOUBLE_EQ(delay.update(1.0), 9.0);  // initial fill
+  EXPECT_DOUBLE_EQ(delay.update(2.0), 1.0);
+}
+
+TEST(TransportDelayTest, ResetRefills) {
+  TransportDelay delay(2.0, 1.0, 0.0);
+  delay.update(5.0);
+  delay.reset(3.0);
+  EXPECT_DOUBLE_EQ(delay.update(7.0), 3.0);
+}
+
+TEST(TransportDelayTest, Validation) {
+  EXPECT_THROW(TransportDelay(1.0, 0.0), ConfigError);
+  EXPECT_THROW(TransportDelay(-1.0, 1.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,92 @@
+#include "cooling/cold_plate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+namespace {
+
+TEST(ColdPlateTest, DieTemperatureLinearInPower) {
+  const ColdPlate plate = frontier_gpu_cold_plate();
+  const double t1 = plate.die_temperature_c(250.0, 32.0, 8e-6);
+  const double t2 = plate.die_temperature_c(500.0, 32.0, 8e-6);
+  EXPECT_NEAR(t2 - 32.0, 2.0 * (t1 - 32.0), 1e-9);
+}
+
+TEST(ColdPlateTest, MoreFlowCoolsBetter) {
+  const ColdPlate plate = frontier_gpu_cold_plate();
+  const double starved = plate.die_temperature_c(560.0, 32.0, 2e-6);
+  const double nominal = plate.die_temperature_c(560.0, 32.0, 8e-6);
+  EXPECT_GT(starved, nominal);
+}
+
+TEST(ColdPlateTest, GpuAtPeakStaysUnderThrottleAtDesignFlow) {
+  // MI250X at 560 W with design plate flow must sit comfortably below the
+  // 105 C throttle point when coolant is at the 32 C setpoint.
+  const ColdPlate plate = frontier_gpu_cold_plate();
+  const double die = plate.die_temperature_c(560.0, 34.0, 8e-6);
+  EXPECT_LT(die, 90.0);
+  EXPECT_GT(die, 50.0);
+}
+
+TEST(ColdPlateTest, ResistanceCurveMustDecrease) {
+  EXPECT_THROW(ColdPlate(PiecewiseLinearCurve{{0.0, 0.1}, {1e-5, 0.2}}), ConfigError);
+}
+
+BladeThermalModel frontier_blade() {
+  return BladeThermalModel(frontier_cpu_cold_plate(), frontier_gpu_cold_plate());
+}
+
+TEST(BladeThermalTest, NominalNodeTemperatures) {
+  const BladeThermalModel blade = frontier_blade();
+  // Full-power node on a clean blade at design flow (~1.6e-4 m^3/s/blade).
+  const NodeThermalState s = blade.evaluate_node(280.0, 560.0, 4, 32.0, 1.6e-4);
+  EXPECT_FALSE(s.cpu_throttled);
+  EXPECT_FALSE(s.gpu_throttled);
+  ASSERT_EQ(s.gpu_die_c.size(), 4u);
+  EXPECT_GT(s.gpu_die_c[0], 40.0);
+  EXPECT_LT(s.gpu_die_c[0], 100.0);
+  EXPECT_GT(s.cpu_die_c, 35.0);
+}
+
+TEST(BladeThermalTest, BlockageRaisesTemperatures) {
+  // The paper's water-quality use case: biological growth blocking a blade
+  // channel must be visible as a temperature anomaly.
+  const BladeThermalModel blade = frontier_blade();
+  const NodeThermalState clean = blade.evaluate_node(280.0, 560.0, 4, 32.0, 1.6e-4, 1.0);
+  const NodeThermalState blocked = blade.evaluate_node(280.0, 560.0, 4, 32.0, 1.6e-4, 0.25);
+  EXPECT_GT(blocked.gpu_die_c[0], clean.gpu_die_c[0] + 5.0);
+  EXPECT_GT(blocked.cpu_die_c, clean.cpu_die_c);
+}
+
+TEST(BladeThermalTest, SevereBlockageTriggersThrottleFlag) {
+  const BladeThermalModel blade = frontier_blade();
+  const NodeThermalState s = blade.evaluate_node(280.0, 560.0, 4, 36.0, 1.6e-4, 0.05);
+  EXPECT_TRUE(s.gpu_throttled || s.cpu_throttled);
+}
+
+TEST(BladeThermalTest, CpuOnlyNode) {
+  const BladeThermalModel blade = frontier_blade();
+  const NodeThermalState s = blade.evaluate_node(280.0, 0.0, 0, 32.0, 1.6e-4);
+  EXPECT_TRUE(s.gpu_die_c.empty());
+  EXPECT_FALSE(s.gpu_throttled);
+  EXPECT_GT(s.cpu_die_c, 32.0);
+}
+
+TEST(BladeThermalTest, WarmerCoolantRaisesDies) {
+  const BladeThermalModel blade = frontier_blade();
+  const NodeThermalState cool = blade.evaluate_node(200.0, 400.0, 4, 30.0, 1.6e-4);
+  const NodeThermalState warm = blade.evaluate_node(200.0, 400.0, 4, 40.0, 1.6e-4);
+  EXPECT_NEAR(warm.gpu_die_c[0] - cool.gpu_die_c[0], 10.0, 0.5);
+}
+
+TEST(BladeThermalTest, Validation) {
+  const BladeThermalModel blade = frontier_blade();
+  EXPECT_THROW(blade.evaluate_node(100.0, 100.0, 4, 32.0, 1e-4, 0.0), ConfigError);
+  EXPECT_THROW(blade.evaluate_node(100.0, 100.0, 4, 32.0, 1e-4, 1.5), ConfigError);
+  EXPECT_THROW(blade.evaluate_node(100.0, 100.0, -1, 32.0, 1e-4), ConfigError);
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,102 @@
+#include "cooling/cooling_tower.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "cooling/fluid.hpp"
+
+namespace exadigit {
+namespace {
+
+CoolingTowerBank frontier_bank() {
+  const SystemConfig c = frontier_system_config();
+  return CoolingTowerBank(c.cooling.ct.tower,
+                          c.cooling.ct.design_flow_m3s /
+                              (c.cooling.ct.tower.tower_count *
+                               c.cooling.ct.tower.cells_per_tower));
+}
+
+TEST(TowerTest, TwentyCellsTotal) {
+  // Paper Section III-C1: five towers, four cells each.
+  EXPECT_EQ(frontier_bank().total_cells(), 20);
+}
+
+TEST(TowerTest, NeverCoolsBelowWetBulb) {
+  const CoolingTowerBank bank = frontier_bank();
+  for (double wb : {5.0, 15.0, 25.0}) {
+    const TowerResult r = bank.evaluate(20, 1.0, 0.5, wb + 3.0, wb);
+    EXPECT_GE(r.water_out_c, wb);
+    EXPECT_LE(r.water_out_c, wb + 3.0);
+  }
+}
+
+TEST(TowerTest, MoreFanSpeedCoolsMore) {
+  const CoolingTowerBank bank = frontier_bank();
+  double prev_out = 1e9;
+  for (double speed : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const TowerResult r = bank.evaluate(16, speed, 0.5, 35.0, 18.0);
+    EXPECT_LT(r.water_out_c, prev_out);
+    prev_out = r.water_out_c;
+  }
+}
+
+TEST(TowerTest, MoreCellsCoolMore) {
+  const CoolingTowerBank bank = frontier_bank();
+  const TowerResult few = bank.evaluate(4, 0.6, 0.5, 35.0, 18.0);
+  const TowerResult many = bank.evaluate(20, 0.6, 0.5, 35.0, 18.0);
+  EXPECT_LT(many.water_out_c, few.water_out_c);
+}
+
+TEST(TowerTest, HeatBalanceConsistent) {
+  const CoolingTowerBank bank = frontier_bank();
+  const TowerResult r = bank.evaluate(16, 0.8, 0.5, 35.0, 18.0);
+  // Rejected heat equals the stream enthalpy drop.
+  const double c = capacity_rate(Coolant::kWater, 0.5 * (35.0 + r.water_out_c), 0.5);
+  EXPECT_NEAR(r.heat_rejected_w, c * (35.0 - r.water_out_c), r.heat_rejected_w * 1e-9);
+  // Frontier-scale: tens of MW at full configuration.
+  EXPECT_GT(r.heat_rejected_w, 10e6);
+}
+
+TEST(TowerTest, FanPowerCubeLaw) {
+  const CoolingTowerBank bank = frontier_bank();
+  const double p_full = bank.evaluate(20, 1.0, 0.5, 35.0, 18.0).fan_power_w;
+  const double p_half = bank.evaluate(20, 0.5, 0.5, 35.0, 18.0).fan_power_w;
+  // Cube law with a small fixed floor: p(0.5) ~ 0.04 + 0.96 * 0.125.
+  EXPECT_NEAR(p_half / p_full, (0.04 + 0.96 * 0.125), 0.01);
+  EXPECT_NEAR(p_full, 20 * 37e3, 1.0);
+}
+
+TEST(TowerTest, ZeroCellsPassThrough) {
+  const CoolingTowerBank bank = frontier_bank();
+  const TowerResult r = bank.evaluate(0, 1.0, 0.5, 35.0, 18.0);
+  EXPECT_DOUBLE_EQ(r.water_out_c, 35.0);
+  EXPECT_DOUBLE_EQ(r.fan_power_w, 0.0);
+  EXPECT_DOUBLE_EQ(r.heat_rejected_w, 0.0);
+}
+
+TEST(TowerTest, ZeroFlowPassThrough) {
+  const CoolingTowerBank bank = frontier_bank();
+  const TowerResult r = bank.evaluate(20, 1.0, 0.0, 35.0, 18.0);
+  EXPECT_DOUBLE_EQ(r.water_out_c, 35.0);
+}
+
+TEST(TowerTest, LighterLoadingImprovesEffectiveness) {
+  const CoolingTowerBank bank = frontier_bank();
+  // Same water flow over more cells -> lighter per-cell loading -> closer
+  // approach to the wet bulb.
+  const TowerResult heavy = bank.evaluate(8, 0.7, 0.6, 35.0, 18.0);
+  const TowerResult light = bank.evaluate(20, 0.7, 0.6, 35.0, 18.0);
+  EXPECT_GT(light.effectiveness, heavy.effectiveness);
+}
+
+TEST(TowerTest, Validation) {
+  const CoolingTowerBank bank = frontier_bank();
+  EXPECT_THROW(bank.evaluate(21, 1.0, 0.5, 35.0, 18.0), ConfigError);
+  EXPECT_THROW(bank.evaluate(-1, 1.0, 0.5, 35.0, 18.0), ConfigError);
+  CoolingTowerConfig cfg = frontier_system_config().cooling.ct.tower;
+  EXPECT_THROW(CoolingTowerBank(cfg, 0.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,70 @@
+#include "cooling/fluid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace exadigit {
+namespace {
+
+TEST(FluidTest, WaterDensityNearReference) {
+  // IAPWS: ~998.2 kg/m^3 at 20 C, ~992.2 at 40 C.
+  EXPECT_NEAR(coolant_density(Coolant::kWater, 20.0), 998.2, 2.0);
+  EXPECT_NEAR(coolant_density(Coolant::kWater, 40.0), 992.2, 2.0);
+}
+
+TEST(FluidTest, WaterCpNearReference) {
+  // ~4182 J/(kg K) at 20 C.
+  EXPECT_NEAR(coolant_cp(Coolant::kWater, 20.0), 4182.0, 10.0);
+}
+
+TEST(FluidTest, DensityDecreasesWithTemperature) {
+  for (Coolant c : {Coolant::kWater, Coolant::kPg25}) {
+    double prev = coolant_density(c, 5.0);
+    for (double t = 10.0; t <= 60.0; t += 5.0) {
+      const double rho = coolant_density(c, t);
+      EXPECT_LT(rho, prev);
+      prev = rho;
+    }
+  }
+}
+
+TEST(FluidTest, Pg25DenserAndLowerCpThanWater) {
+  // Glycol mixes: higher density, lower specific heat.
+  EXPECT_GT(coolant_density(Coolant::kPg25, 30.0), coolant_density(Coolant::kWater, 30.0));
+  EXPECT_LT(coolant_cp(Coolant::kPg25, 30.0), coolant_cp(Coolant::kWater, 30.0));
+}
+
+TEST(FluidTest, RhoCpComposition) {
+  EXPECT_DOUBLE_EQ(coolant_rho_cp(Coolant::kWater, 25.0),
+                   coolant_density(Coolant::kWater, 25.0) * coolant_cp(Coolant::kWater, 25.0));
+}
+
+TEST(FluidTest, CapacityRateLinearInFlow) {
+  const double c1 = capacity_rate(Coolant::kWater, 30.0, 0.1);
+  const double c2 = capacity_rate(Coolant::kWater, 30.0, 0.2);
+  EXPECT_NEAR(c2, 2.0 * c1, 1e-9);
+}
+
+TEST(FluidTest, StreamHeatMatchesPaperEq7) {
+  // Eq. (7): H = rho * Q * dT * c. 500 gpm heated by 8 K ~ 1.05 MW.
+  const double q = 500.0 * 6.309019640e-5;
+  const double h = stream_heat_w(Coolant::kWater, q, 32.0, 40.0);
+  EXPECT_NEAR(h, q * 993.0 * 4179.0 * 8.0, h * 0.01);
+  EXPECT_GT(h, 1.0e6);
+  EXPECT_LT(h, 1.1e6);
+}
+
+TEST(FluidTest, StreamHeatSignConvention) {
+  // Cooling stream (out < in) carries negative heat.
+  EXPECT_LT(stream_heat_w(Coolant::kWater, 0.01, 40.0, 30.0), 0.0);
+  EXPECT_DOUBLE_EQ(stream_heat_w(Coolant::kWater, 0.01, 35.0, 35.0), 0.0);
+}
+
+TEST(FluidTest, PropertiesClampOutsideRange) {
+  // No wild extrapolation below 0 C / above 90 C.
+  EXPECT_NEAR(coolant_density(Coolant::kWater, -40.0),
+              coolant_density(Coolant::kWater, 0.0), 1e-9);
+  EXPECT_NEAR(coolant_cp(Coolant::kWater, 200.0), coolant_cp(Coolant::kWater, 90.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace exadigit

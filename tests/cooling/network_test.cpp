@@ -1,0 +1,199 @@
+#include "cooling/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace exadigit {
+namespace {
+
+/// Pump + single resistance: analytic operating point.
+TEST(NetworkTest, SingleLoopMatchesAnalyticSolution) {
+  FlowNetwork net;
+  const NodeId a = net.add_node("suction");
+  const NodeId b = net.add_node("discharge");
+  const double h0 = 300e3;
+  const double coeff = 1e7;
+  const double k = 2e7;
+  const BranchId pump = net.add_pump(a, b, h0, coeff);
+  net.add_resistance(b, a, k);
+  const NetworkSolution sol = net.solve(0.1);
+  // h0 - coeff q^2 = k q^2  ->  q = sqrt(h0 / (coeff + k)).
+  const double q_expected = std::sqrt(h0 / (coeff + k));
+  EXPECT_NEAR(net.flow(sol, pump), q_expected, 1e-9);
+  EXPECT_NEAR(net.pressure_rise(sol, pump), k * q_expected * q_expected, 1e-3);
+}
+
+TEST(NetworkTest, MassConservedAtEveryNode) {
+  FlowNetwork net;
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const NodeId c = net.add_node();
+  net.add_pump(a, b, 250e3, 5e6);
+  net.add_resistance(b, c, 1e7);
+  const BranchId r1 = net.add_resistance(c, a, 3e7);
+  const BranchId r2 = net.add_resistance(c, a, 3e7);
+  const NetworkSolution sol = net.solve(0.1);
+  // Parallel identical branches split evenly.
+  EXPECT_NEAR(net.flow(sol, r1), net.flow(sol, r2), 1e-12);
+  EXPECT_LT(sol.residual_m3s, 1e-6);
+}
+
+TEST(NetworkTest, ParallelBranchesQuadraticSplit) {
+  // Two branches with K and 4K: q1/q2 = sqrt(4K/K) = 2.
+  FlowNetwork net;
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  net.add_pump(a, b, 200e3, 1e6);
+  const BranchId r1 = net.add_resistance(b, a, 1e7);
+  const BranchId r2 = net.add_resistance(b, a, 4e7);
+  const NetworkSolution sol = net.solve(0.1);
+  EXPECT_NEAR(net.flow(sol, r1) / net.flow(sol, r2), 2.0, 1e-6);
+}
+
+TEST(NetworkTest, PumpSpeedAffinityScaling) {
+  // With dp ~ s^2 everywhere, flow scales linearly with speed.
+  FlowNetwork net;
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const BranchId pump = net.add_pump(a, b, 300e3, 1e7);
+  net.add_resistance(b, a, 2e7);
+  net.branch(pump).speed = 1.0;
+  const double q_full = net.flow(net.solve(0.1), pump);
+  net.branch(pump).speed = 0.5;
+  const double q_half = net.flow(net.solve(0.1), pump);
+  EXPECT_NEAR(q_half, 0.5 * q_full, 1e-9);
+}
+
+TEST(NetworkTest, ParallelPumpUnitsShareFlow) {
+  FlowNetwork net;
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const BranchId pump = net.add_pump(a, b, 300e3, 1e7, 2);
+  net.add_resistance(b, a, 1e6);
+  const double q2 = net.flow(net.solve(0.5), pump);
+  net.branch(pump).parallel_units = 4;
+  const double q4 = net.flow(net.solve(0.5), pump);
+  EXPECT_GT(q4, q2);
+  EXPECT_LT(q4, 2.0 * q2);  // system curve limits the gain
+}
+
+TEST(NetworkTest, ValvePositionThrottlesFlow) {
+  FlowNetwork net;
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  net.add_pump(a, b, 300e3, 1e7);
+  const BranchId valve = net.add_valve(b, a, 1e7);
+  net.branch(valve).position = 1.0;
+  const double q_open = net.flow(net.solve(0.1), valve);
+  net.branch(valve).position = 0.5;
+  const double q_half = net.flow(net.solve(0.1), valve);
+  net.branch(valve).position = 0.05;
+  const double q_closed = net.flow(net.solve(0.1), valve);
+  EXPECT_GT(q_open, q_half);
+  EXPECT_GT(q_half, q_closed);
+  EXPECT_GT(q_closed, 0.0);
+}
+
+TEST(NetworkTest, CheckValveBlocksReverseFlow) {
+  // A dead pump (speed 0) facing an adverse pressure gradient must not
+  // let water flow backward.
+  FlowNetwork net;
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const BranchId live = net.add_pump(a, b, 300e3, 1e7);
+  const BranchId dead = net.add_pump(a, b, 300e3, 1e7);
+  net.add_resistance(b, a, 2e7);
+  net.branch(dead).speed = 0.0;
+  const NetworkSolution sol = net.solve(0.1);
+  EXPECT_GE(net.flow(sol, dead), 0.0);
+  EXPECT_GT(net.flow(sol, live), 0.0);
+}
+
+TEST(NetworkTest, ZeroSpeedPumpAloneGivesZeroFlow) {
+  FlowNetwork net;
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const BranchId pump = net.add_pump(a, b, 300e3, 1e7);
+  net.add_resistance(b, a, 2e7);
+  net.branch(pump).speed = 0.0;
+  const NetworkSolution sol = net.solve(0.1);
+  EXPECT_NEAR(net.flow(sol, pump), 0.0, 1e-9);
+}
+
+TEST(NetworkTest, WarmStartConvergesFasterOnReSolve) {
+  FlowNetwork net;
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const BranchId pump = net.add_pump(a, b, 300e3, 1e7);
+  net.add_resistance(b, a, 2e7);
+  const NetworkSolution cold = net.solve(0.1);
+  net.branch(pump).speed = 0.99;  // tiny perturbation
+  const NetworkSolution warm = net.solve(0.1);
+  EXPECT_LE(warm.iterations, cold.iterations);
+}
+
+TEST(NetworkTest, ConstructionValidation) {
+  FlowNetwork net;
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  EXPECT_THROW(net.add_resistance(a, a, 1e6), ConfigError);
+  EXPECT_THROW(net.add_resistance(a, 5, 1e6), ConfigError);
+  EXPECT_THROW(net.add_resistance(a, b, -1.0), ConfigError);
+  EXPECT_THROW(net.add_pump(a, b, 0.0, 1e6), ConfigError);
+  EXPECT_THROW(net.add_pump(a, b, 1e5, 1e6, 0), ConfigError);
+}
+
+TEST(NetworkTest, EmptyNetworkRejected) {
+  FlowNetwork net;
+  net.add_node();
+  net.add_node();
+  EXPECT_THROW(net.solve(0.1), ConfigError);
+}
+
+TEST(NetworkTest, KFromDesignRoundTrip) {
+  const double k = k_from_design(150e3, 0.03);
+  EXPECT_NEAR(k * 0.03 * 0.03, 150e3, 1e-6);
+  EXPECT_THROW(k_from_design(0.0, 0.03), ConfigError);
+}
+
+/// Property: randomized ladder networks (pump + parallel rungs) always
+/// converge with conserved mass and non-negative pump flow.
+class RandomNetworkProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomNetworkProperty, ConvergesAndConservesMass) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1009);
+  for (int trial = 0; trial < 20; ++trial) {
+    FlowNetwork net;
+    const NodeId suction = net.add_node();
+    const NodeId header = net.add_node();
+    const NodeId ret = net.add_node();
+    const BranchId pump =
+        net.add_pump(suction, header, rng.uniform(1e5, 5e5), rng.uniform(1e6, 5e7),
+                     static_cast<int>(rng.uniform_int(1, 4)));
+    net.branch(pump).speed = rng.uniform(0.3, 1.0);
+    const int rungs = static_cast<int>(rng.uniform_int(1, 25));
+    for (int i = 0; i < rungs; ++i) {
+      const BranchId v = net.add_valve(header, ret, rng.uniform(1e6, 1e9));
+      net.branch(v).position = rng.uniform(0.05, 1.0);
+    }
+    net.add_resistance(ret, suction, rng.uniform(1e5, 1e7));
+    const NetworkSolution sol = net.solve(0.1);
+    EXPECT_LT(sol.residual_m3s, 1e-6);
+    EXPECT_GE(net.flow(sol, pump), 0.0);
+    // Flow into the return node equals flow out (mass conservation).
+    double rung_sum = 0.0;
+    for (BranchId id = 1; id <= static_cast<BranchId>(rungs); ++id) {
+      rung_sum += net.flow(sol, id);
+    }
+    EXPECT_NEAR(rung_sum, net.flow(sol, pump), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkProperty, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace exadigit

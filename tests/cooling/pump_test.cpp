@@ -1,0 +1,92 @@
+#include "cooling/pump.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace exadigit {
+namespace {
+
+PumpConfig htwp_config() { return frontier_system_config().cooling.primary.pump; }
+
+TEST(PumpTest, CurvePassesThroughDesignPoint) {
+  const PumpConfig cfg = htwp_config();
+  const PumpModel pump(cfg);
+  EXPECT_NEAR(pump.head_pa(cfg.design_flow_m3s, 1.0), cfg.design_head_pa,
+              cfg.design_head_pa * 1e-9);
+}
+
+TEST(PumpTest, ShutoffHeadAtZeroFlow) {
+  const PumpConfig cfg = htwp_config();
+  const PumpModel pump(cfg);
+  EXPECT_DOUBLE_EQ(pump.head_pa(0.0, 1.0), cfg.shutoff_head_pa);
+}
+
+TEST(PumpTest, HeadFallsWithFlow) {
+  const PumpModel pump(htwp_config());
+  double prev = pump.head_pa(0.0, 1.0);
+  for (double q = 0.02; q <= 0.2; q += 0.02) {
+    const double h = pump.head_pa(q, 1.0);
+    EXPECT_LT(h, prev);
+    prev = h;
+  }
+}
+
+TEST(PumpTest, AffinityLawsSpeedScaling) {
+  const PumpConfig cfg = htwp_config();
+  const PumpModel pump(cfg);
+  // H(sQ, s) = s^2 H(Q, 1): scale flow and speed together.
+  const double q = cfg.design_flow_m3s;
+  for (double s : {0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(pump.head_pa(s * q, s), s * s * pump.head_pa(q, 1.0),
+                cfg.design_head_pa * 1e-9);
+  }
+}
+
+TEST(PumpTest, ElectricPowerNearRatedAtDesign) {
+  const PumpConfig cfg = htwp_config();
+  const PumpModel pump(cfg);
+  const double p = pump.electric_power_w(cfg.design_flow_m3s, cfg.design_head_pa);
+  EXPECT_NEAR(p, cfg.rated_power_w, cfg.rated_power_w * 0.05);
+}
+
+TEST(PumpTest, HotelLoadWhenIdle) {
+  const PumpModel pump(htwp_config());
+  const double idle = pump.electric_power_w(0.0, 0.0);
+  EXPECT_GT(idle, 0.0);
+  EXPECT_LT(idle, 0.1 * htwp_config().rated_power_w);
+}
+
+TEST(PumpTest, EfficiencyDeratesAtPartLoad) {
+  const PumpConfig cfg = htwp_config();
+  const PumpModel pump(cfg);
+  const double h = cfg.design_head_pa * 0.5;
+  // Same head, fifth the flow: power should be worse than proportional.
+  const double p_design = pump.electric_power_w(cfg.design_flow_m3s, h);
+  const double p_fifth = pump.electric_power_w(cfg.design_flow_m3s / 5.0, h);
+  EXPECT_GT(p_fifth, p_design / 5.0);
+}
+
+TEST(PumpTest, CduPumpDrawsNear8700W) {
+  // Table I: "CDU (Avg) 8700 W" — the modeled pump at its design point.
+  const PumpConfig cfg = frontier_system_config().cooling.cdu.pump;
+  const PumpModel pump(cfg);
+  const double p = pump.electric_power_w(cfg.design_flow_m3s, cfg.design_head_pa);
+  EXPECT_NEAR(p, 8700.0, 450.0);
+}
+
+TEST(PumpTest, ConfigValidation) {
+  PumpConfig bad = htwp_config();
+  bad.design_flow_m3s = 0.0;
+  EXPECT_THROW(PumpModel{bad}, ConfigError);
+  bad = htwp_config();
+  bad.shutoff_head_pa = bad.design_head_pa;  // must exceed
+  EXPECT_THROW(PumpModel{bad}, ConfigError);
+  bad = htwp_config();
+  bad.efficiency = 1.5;
+  EXPECT_THROW(PumpModel{bad}, ConfigError);
+}
+
+}  // namespace
+}  // namespace exadigit

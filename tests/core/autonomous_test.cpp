@@ -1,0 +1,105 @@
+#include "core/autonomous.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "cooling/plant.hpp"
+
+namespace exadigit {
+namespace {
+
+SetpointOptimizerConfig fast_optimizer() {
+  SetpointOptimizerConfig o;
+  o.coarse_steps = 4;
+  o.refine_steps = 1;
+  o.settle_hours = 1.0;
+  return o;
+}
+
+TEST(BasinSetpointTest, PlantAcceptsOverride) {
+  const SystemConfig config = frontier_system_config();
+  CoolingPlantModel plant(config);
+  plant.set_basin_setpoint_offset(-6.0);
+  EXPECT_DOUBLE_EQ(plant.basin_setpoint_c(),
+                   config.cooling.primary.htws_setpoint_c - 6.0);
+  EXPECT_THROW(plant.set_basin_setpoint_offset(0.5), ConfigError);
+  EXPECT_THROW(plant.set_basin_setpoint_offset(-20.0), ConfigError);
+}
+
+TEST(BasinSetpointTest, WarmerBasinUsesLessFanPower) {
+  // The physical trade-off the optimizer exploits.
+  const SystemConfig config = frontier_system_config();
+  auto settle = [&](double offset) {
+    CoolingPlantModel plant(config);
+    plant.reset(18.0);
+    plant.set_basin_setpoint_offset(offset);
+    CoolingInputs in;
+    in.cdu_heat_w.assign(25, 15.0e6 * 0.945 / 25.0);
+    in.wetbulb_c = 14.0;
+    in.system_power_w = 15.0e6;
+    for (int i = 0; i < 240 * 3; ++i) plant.step(in, 15.0);
+    return plant.outputs();
+  };
+  const PlantOutputs cold = settle(-7.0);
+  const PlantOutputs warm = settle(-1.5);
+  EXPECT_LT(warm.fan_power_w, cold.fan_power_w);
+  EXPECT_GT(warm.ct_supply_t_c, cold.ct_supply_t_c);
+}
+
+TEST(AutonomousTest, BestIsOptimalAmongEvaluatedCandidates) {
+  // Internal consistency: the reported best is the minimum-PUE candidate
+  // in the highest feasibility class actually evaluated.
+  const SystemConfig config = frontier_system_config();
+  SetpointOptimizerConfig opt = fast_optimizer();
+  opt.settle_hours = 2.0;
+  const SetpointOptimizationResult r = optimize_basin_setpoint(config, 15.0e6, 14.0, opt);
+  EXPECT_GE(r.evaluated.size(), 5u);
+  bool any_feasible = false;
+  for (const auto& c : r.evaluated) any_feasible |= c.feasible;
+  EXPECT_EQ(r.best.feasible, any_feasible);
+  for (const auto& c : r.evaluated) {
+    if (c.feasible == r.best.feasible) {
+      EXPECT_GE(c.pue, r.best.pue - 1e-9);
+    }
+  }
+  // When both baseline and best are feasible, the agent never regresses.
+  if (r.baseline.feasible && r.best.feasible) {
+    EXPECT_GE(r.pue_improvement, -1e-6);
+  }
+}
+
+TEST(AutonomousTest, FeasibilityTracksHtwsBand) {
+  // The feasibility flag must agree with the HTWS band it encodes.
+  const SystemConfig config = frontier_system_config();
+  SetpointOptimizerConfig opt = fast_optimizer();
+  const SetpointOptimizationResult r = optimize_basin_setpoint(config, 17.0e6, 18.0, opt);
+  const double limit = config.cooling.primary.htws_setpoint_c +
+                       config.cooling.ct.ct_stage_temp_band_k + opt.htws_margin_k;
+  for (const auto& c : r.evaluated) {
+    EXPECT_EQ(c.feasible, c.htws_c <= limit) << "offset " << c.basin_offset_k;
+    EXPECT_GT(c.pue, 1.0);
+    EXPECT_GE(c.fan_power_w, 0.0);
+  }
+}
+
+TEST(AutonomousTest, Deterministic) {
+  const SystemConfig config = frontier_system_config();
+  const SetpointOptimizationResult a =
+      optimize_basin_setpoint(config, 12.0e6, 12.0, fast_optimizer());
+  const SetpointOptimizationResult b =
+      optimize_basin_setpoint(config, 12.0e6, 12.0, fast_optimizer());
+  EXPECT_DOUBLE_EQ(a.best.basin_offset_k, b.best.basin_offset_k);
+  EXPECT_DOUBLE_EQ(a.best.pue, b.best.pue);
+}
+
+TEST(AutonomousTest, Validation) {
+  const SystemConfig config = frontier_system_config();
+  EXPECT_THROW(optimize_basin_setpoint(config, 0.0, 14.0), ConfigError);
+  SetpointOptimizerConfig bad = fast_optimizer();
+  bad.offset_min_k = -1.0;
+  bad.offset_max_k = -5.0;
+  EXPECT_THROW(optimize_basin_setpoint(config, 1e7, 14.0, bad), ConfigError);
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,100 @@
+#include "core/digital_twin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace exadigit {
+namespace {
+
+TEST(DigitalTwinTest, CoupledRunRecordsAllSeries) {
+  DigitalTwin twin(frontier_system_config());
+  twin.set_wetbulb_constant(16.0);
+  twin.submit(make_hpl_job(60.0, 1200.0));
+  twin.run_until(1800.0);
+  EXPECT_FALSE(twin.pue_series().empty());
+  EXPECT_FALSE(twin.htws_temp_series().empty());
+  EXPECT_FALSE(twin.cooling_efficiency_series().empty());
+  EXPECT_EQ(twin.cdu_series().size(), 25u);
+  EXPECT_EQ(twin.cdu_series()[0].pri_flow_gpm.size(), twin.pue_series().size());
+  EXPECT_EQ(twin.cdu_rack_power_series().size(), 25u);
+}
+
+TEST(DigitalTwinTest, CoolingEfficiencyNearConfiguredValue) {
+  DigitalTwin twin(frontier_system_config());
+  twin.set_wetbulb_constant(16.0);
+  twin.run_until(600.0);
+  // eta_cooling = H / P_system; H = 0.945 * rack wall power, so the ratio
+  // sits just below 0.945 (CDU pumps are in P_system but not in H).
+  const double eta = twin.cooling_efficiency_series().values().back();
+  EXPECT_GT(eta, 0.90);
+  EXPECT_LT(eta, 0.945);
+}
+
+TEST(DigitalTwinTest, CoolingDisabledSkipsFmu) {
+  DigitalTwinOptions options;
+  options.enable_cooling = false;
+  DigitalTwin twin(frontier_system_config(), options);
+  twin.run_until(300.0);
+  EXPECT_FALSE(twin.cooling_enabled());
+  EXPECT_TRUE(twin.pue_series().empty());
+  EXPECT_THROW(twin.cooling(), ConfigError);
+  // Power side still runs.
+  EXPECT_GT(twin.engine().power().system_power_w, 1e6);
+}
+
+TEST(DigitalTwinTest, WetbulbSeriesDrivesPlant) {
+  // Weather propagates into the loops (the paper's "how weather correlates
+  // to GPU temperatures" use case). Run a real load so the plant works.
+  SystemConfig config = frontier_system_config();
+  DigitalTwin cold(config);
+  cold.set_wetbulb_constant(5.0);
+  cold.submit(make_hpl_job(10.0, 4.0 * units::kSecondsPerHour));
+  cold.run_until(4.0 * units::kSecondsPerHour);
+  DigitalTwin hot(config);
+  hot.set_wetbulb_constant(24.0);
+  hot.submit(make_hpl_job(10.0, 4.0 * units::kSecondsPerHour));
+  hot.run_until(4.0 * units::kSecondsPerHour);
+  // In hot weather the plant cannot hold its HTW setpoint: supply and rack
+  // coolant run warmer than on the cold day.
+  EXPECT_GT(hot.cooling().outputs().pri_supply_t_c,
+            cold.cooling().outputs().pri_supply_t_c + 1.0);
+  EXPECT_GT(hot.cooling().outputs().cdus[0].sec_supply_t_c,
+            cold.cooling().outputs().cdus[0].sec_supply_t_c + 0.5);
+}
+
+TEST(DigitalTwinTest, WetbulbSeriesInterpolated) {
+  DigitalTwin twin(frontier_system_config());
+  twin.set_wetbulb_series(TimeSeries::uniform(0.0, 60.0, std::vector<double>(61, 12.0)));
+  EXPECT_NO_THROW(twin.run_until(600.0));
+  EXPECT_THROW(twin.set_wetbulb_series(TimeSeries{}), ConfigError);
+}
+
+TEST(DigitalTwinTest, HplStepShowsThermalLag) {
+  // Fig. 8's shape: power steps immediately, the primary return
+  // temperature follows with a lag of minutes.
+  DigitalTwin twin(frontier_system_config());
+  twin.set_wetbulb_constant(16.0);
+  twin.run_until(1800.0);  // settle at idle
+  const double t_before = twin.cooling().outputs().pri_return_t_c;
+  twin.submit(make_hpl_job(1805.0, 1800.0));
+  twin.run_until(1800.0 + 60.0);  // one minute into the run
+  const double p_early = twin.engine().power().system_power_w;
+  const double t_early = twin.cooling().outputs().pri_return_t_c;
+  EXPECT_GT(p_early, 20.0e6);          // power is already up
+  EXPECT_LT(t_early - t_before, 4.0);  // temperature still mid-transient
+  twin.run_until(1800.0 + 1500.0);
+  const double t_settled = twin.cooling().outputs().pri_return_t_c;
+  EXPECT_GT(t_settled, t_before + 3.0);
+  EXPECT_GT(t_settled, t_early + 1.0);  // kept rising after the first minute
+}
+
+TEST(DigitalTwinTest, ReportMatchesEngine) {
+  DigitalTwin twin(frontier_system_config());
+  twin.run_until(900.0);
+  EXPECT_DOUBLE_EQ(twin.report().avg_power_mw, twin.engine().report().avg_power_mw);
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,107 @@
+#include "core/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "core/physical_twin.hpp"
+#include "raps/workload.hpp"
+
+namespace exadigit {
+namespace {
+
+/// Shared fixture: one physical-twin dataset reused by all replay tests
+/// (generation is the expensive part).
+class ReplayTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    spec_ = new SystemConfig(frontier_system_config());
+    SyntheticPhysicalTwin twin(*spec_, PhysicalTwinOptions{});
+    WorkloadGenerator gen(spec_->workload, *spec_, Rng(42));
+    std::vector<JobRecord> jobs = gen.generate(0.0, kDuration);
+    jobs.push_back(make_hpl_job(2.0 * 3600.0, 1800.0));
+    const std::size_t n = static_cast<std::size_t>(kDuration / 60.0) + 2;
+    dataset_ = new TelemetryDataset(
+        twin.record(jobs, TimeSeries::uniform(0.0, 60.0, std::vector<double>(n, 16.0)),
+                    kDuration));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete spec_;
+    dataset_ = nullptr;
+    spec_ = nullptr;
+  }
+
+  static constexpr double kDuration = 5.0 * 3600.0;
+  static SystemConfig* spec_;
+  static TelemetryDataset* dataset_;
+};
+
+SystemConfig* ReplayTest::spec_ = nullptr;
+TelemetryDataset* ReplayTest::dataset_ = nullptr;
+
+TEST_F(ReplayTest, ScoreSeriesMetrics) {
+  const TimeSeries a = TimeSeries::uniform(0.0, 1.0, {1.0, 2.0, 3.0, 4.0});
+  const TimeSeries b = TimeSeries::uniform(0.0, 1.0, {1.5, 2.5, 3.5, 4.5});
+  const SeriesScore s = score_series(a, b, 1.0);
+  EXPECT_NEAR(s.rmse, 0.5, 1e-12);
+  EXPECT_NEAR(s.mae, 0.5, 1e-12);
+  EXPECT_NEAR(s.pearson, 1.0, 1e-9);
+}
+
+TEST_F(ReplayTest, ScoreSeriesRequiresOverlap) {
+  const TimeSeries a = TimeSeries::uniform(0.0, 1.0, {1.0, 2.0});
+  const TimeSeries b = TimeSeries::uniform(100.0, 1.0, {1.0, 2.0});
+  EXPECT_THROW(score_series(a, b, 1.0), ConfigError);
+}
+
+TEST_F(ReplayTest, PowerReplayTracksMeasuredWithinFivePercent) {
+  // Fig. 9 headline: the DT's predicted power follows the measured trace.
+  const PowerReplayResult r = replay_power(*spec_, *dataset_, /*with_cooling=*/false);
+  EXPECT_LT(r.power_score.mape_pct, 5.0);
+  EXPECT_GT(r.power_score.pearson, 0.98);
+  // Every recorded job re-enters the twin; late starters may still be
+  // running when the window closes (just as on the physical machine).
+  EXPECT_EQ(r.report.jobs_submitted, static_cast<int>(dataset_->jobs.size()));
+  EXPECT_LE(r.report.jobs_completed, r.report.jobs_submitted);
+  EXPECT_GT(r.report.jobs_completed, r.report.jobs_submitted * 3 / 4);
+}
+
+TEST_F(ReplayTest, PowerReplayEtaSeriesNear093) {
+  const PowerReplayResult r = replay_power(*spec_, *dataset_, false);
+  ASSERT_FALSE(r.eta_system.empty());
+  const double eta = r.eta_system.time_weighted_mean();
+  EXPECT_GT(eta, 0.91);
+  EXPECT_LT(eta, 0.96);
+}
+
+TEST_F(ReplayTest, CoupledReplayAddsCoolingChannels) {
+  const PowerReplayResult r = replay_power(*spec_, *dataset_, /*with_cooling=*/true);
+  EXPECT_FALSE(r.pue.empty());
+  EXPECT_FALSE(r.cooling_eff.empty());
+  // eta_cooling = H / P_system ~ 0.9-0.95 (paper Fig. 9 blue trace).
+  const double eta_cooling = r.cooling_eff.time_weighted_mean();
+  EXPECT_GT(eta_cooling, 0.85);
+  EXPECT_LT(eta_cooling, 0.95);
+}
+
+TEST_F(ReplayTest, CoolingValidationReproducesFig7Bounds) {
+  const CoolingValidationResult r = validate_cooling(*spec_, *dataset_);
+  // Fig. 7 "within reasonable bounds": flows within a few % of the
+  // measured fleet average, temperatures within ~2 C.
+  EXPECT_LT(r.cdu_pri_flow.mape_pct, 12.0);
+  EXPECT_LT(r.cdu_return_temp.rmse, 2.5);
+  EXPECT_LT(r.htw_supply_pressure.mape_pct, 10.0);
+  // Fig. 7(d): PUE within 1.4 % of telemetry.
+  EXPECT_LT(r.pue_max_rel_error, 0.014);
+  EXPECT_FALSE(r.predicted_flow_gpm.empty());
+  EXPECT_EQ(r.predicted_flow_gpm.size(), r.measured_flow_gpm.size());
+}
+
+TEST_F(ReplayTest, CduCountMismatchRejected) {
+  TelemetryDataset bad = *dataset_;
+  bad.cdus.resize(10);
+  EXPECT_THROW(validate_cooling(*spec_, bad), ConfigError);
+}
+
+}  // namespace
+}  // namespace exadigit

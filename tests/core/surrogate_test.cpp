@@ -1,0 +1,129 @@
+#include "core/surrogate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "core/physical_twin.hpp"
+#include "power/rack_power.hpp"
+#include "raps/workload.hpp"
+
+namespace exadigit {
+namespace {
+
+/// Builds exact training data from the L4 power model itself (the paper's
+/// "use the simulations to generate data to train a machine-learned
+/// surrogate" path).
+std::vector<SurrogateSample> simulation_samples(const SystemConfig& config,
+                                                double util_lo, double util_hi) {
+  const SystemPowerModel model(config);
+  std::vector<SurrogateSample> samples;
+  for (double a = 0.1; a <= 1.0; a += 0.15) {
+    for (double u = util_lo; u <= util_hi + 1e-9; u += 0.1) {
+      SurrogateSample s;
+      s.active_fraction = a;
+      s.cpu_util = 0.6 * u;
+      s.gpu_util = u;
+      // Approximate fleet power: a fraction of racks at utilization u, the
+      // rest idle, matching the feature semantics.
+      const double busy = model.uniform_system_power_w(s.cpu_util, s.gpu_util);
+      const double idle = model.uniform_system_power_w(0.0, 0.0);
+      s.power_w = idle + a * (busy - idle);
+      samples.push_back(s);
+    }
+  }
+  return samples;
+}
+
+TEST(SurrogateTest, FitsSimulationDataInDistribution) {
+  const SystemConfig config = frontier_system_config();
+  const auto samples = simulation_samples(config, 0.1, 0.9);
+  PowerSurrogate surrogate;
+  surrogate.fit(samples);
+  ASSERT_TRUE(surrogate.trained());
+  // L3 accuracy target: in-distribution MAPE well under the paper's
+  // verification errors.
+  EXPECT_LT(surrogate.mape_pct(samples), 2.0);
+}
+
+TEST(SurrogateTest, PredictionsScaleWithLoad) {
+  const SystemConfig config = frontier_system_config();
+  PowerSurrogate surrogate;
+  surrogate.fit(simulation_samples(config, 0.1, 0.9));
+  const double low = surrogate.predict_w(0.3, 0.2, 0.3);
+  const double high = surrogate.predict_w(0.9, 0.5, 0.8);
+  EXPECT_GT(high, low + 5e6);
+  EXPECT_GT(low, 6e6);  // near idle floor
+}
+
+TEST(SurrogateTest, EnvelopeFlagsExtrapolation) {
+  const SystemConfig config = frontier_system_config();
+  PowerSurrogate surrogate;
+  surrogate.fit(simulation_samples(config, 0.1, 0.6));
+  EXPECT_TRUE(surrogate.in_training_envelope(0.5, 0.3, 0.5));
+  // The paper's caveat: beyond the training envelope is extrapolation.
+  EXPECT_FALSE(surrogate.in_training_envelope(0.5, 0.3, 0.95));
+  EXPECT_FALSE(surrogate.in_training_envelope(1.5, 0.3, 0.5));
+}
+
+TEST(SurrogateTest, ExtrapolationDegradesAccuracy) {
+  // Train on light load only, test at near-peak: the interpolative model
+  // must do visibly worse than in-distribution (Section III discussion).
+  const SystemConfig config = frontier_system_config();
+  PowerSurrogate narrow;
+  narrow.fit(simulation_samples(config, 0.1, 0.5));
+  const auto peak_samples = simulation_samples(config, 0.9, 1.0);
+  const auto mid_samples = simulation_samples(config, 0.2, 0.4);
+  EXPECT_GT(narrow.mape_pct(peak_samples), 2.0 * narrow.mape_pct(mid_samples));
+}
+
+TEST(SurrogateTest, FitValidation) {
+  PowerSurrogate surrogate;
+  std::vector<SurrogateSample> few(4);
+  EXPECT_THROW(surrogate.fit(few), ConfigError);
+  // Degenerate: all-identical samples leave the design matrix singular
+  // even with a tiny ridge when lambda is zero.
+  std::vector<SurrogateSample> same(16);
+  for (auto& s : same) s = SurrogateSample{0.5, 0.5, 0.5, 1e7};
+  EXPECT_THROW(surrogate.fit(same, 0.0), SolverError);
+  EXPECT_THROW(surrogate.predict_w(0.5, 0.5, 0.5), ConfigError);
+}
+
+TEST(SurrogateTest, HarvestAndTrainFromTelemetry) {
+  // Full L2 -> L3 pipeline: physical-twin telemetry in, surrogate out.
+  const SystemConfig config = frontier_system_config();
+  WorkloadGenerator gen(config.workload, config, Rng(33));
+  std::vector<JobRecord> jobs = gen.generate(0.0, 2.0 * units::kSecondsPerHour);
+  SyntheticPhysicalTwin physical(config, PhysicalTwinOptions{});
+  const std::size_t n = static_cast<std::size_t>(2.0 * 3600.0 / 60.0) + 2;
+  const TelemetryDataset dataset = physical.record(
+      jobs, TimeSeries::uniform(0.0, 60.0, std::vector<double>(n, 15.0)),
+      2.0 * units::kSecondsPerHour);
+
+  const auto samples = harvest_samples(config, dataset);
+  ASSERT_GT(samples.size(), 100u);
+  PowerSurrogate surrogate;
+  surrogate.fit(samples);
+  // Telemetry-trained surrogate reproduces the measured power within a few
+  // percent in-distribution.
+  EXPECT_LT(surrogate.mape_pct(samples), 4.0);
+}
+
+TEST(SurrogateTest, HarvestFeatureRangesValid) {
+  const SystemConfig config = frontier_system_config();
+  WorkloadGenerator gen(config.workload, config, Rng(34));
+  std::vector<JobRecord> jobs = gen.generate(0.0, 3600.0);
+  SyntheticPhysicalTwin physical(config, PhysicalTwinOptions{});
+  const TelemetryDataset dataset = physical.record(
+      jobs, TimeSeries::uniform(0.0, 60.0, std::vector<double>(62, 15.0)), 3600.0);
+  for (const auto& s : harvest_samples(config, dataset)) {
+    EXPECT_GE(s.active_fraction, 0.0);
+    EXPECT_LE(s.active_fraction, 1.0);
+    EXPECT_GE(s.cpu_util, 0.0);
+    EXPECT_LE(s.cpu_util, 1.0);
+    EXPECT_GT(s.power_w, 5e6);
+  }
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,90 @@
+#include "core/thermal_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/digital_twin.hpp"
+#include "raps/workload.hpp"
+
+namespace exadigit {
+namespace {
+
+class ThermalScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    twin_ = std::make_unique<DigitalTwin>(frontier_system_config());
+    twin_->set_wetbulb_constant(16.0);
+    JobRecord hpl = make_hpl_job(10.0, 2.0 * 3600.0);
+    twin_->submit(hpl);
+    twin_->run_until(3600.0);  // settle one hour into the run
+  }
+  std::unique_ptr<DigitalTwin> twin_;
+};
+
+TEST_F(ThermalScanTest, CoversEveryRunningNode) {
+  const ThermalScanResult r =
+      scan_fleet_thermals(twin_->engine(), twin_->cooling().outputs());
+  EXPECT_EQ(r.readings.size(), 9216u);
+  EXPECT_EQ(r.rack_max_gpu_c.size(), 74u);
+  // Racks with no running nodes are marked -1 (9216/128 = 72 busy racks).
+  int active_racks = 0;
+  for (double t : r.rack_max_gpu_c) {
+    if (t >= 0.0) ++active_racks;
+  }
+  EXPECT_EQ(active_racks, 72);
+}
+
+TEST_F(ThermalScanTest, HealthyFleetTemperaturesPlausible) {
+  const ThermalScanResult r =
+      scan_fleet_thermals(twin_->engine(), twin_->cooling().outputs());
+  EXPECT_GT(r.fleet_mean_gpu_c, 40.0);
+  EXPECT_LT(r.fleet_max_gpu_c, 100.0);
+  EXPECT_EQ(r.throttled_nodes, 0);
+  // A uniform HPL run on a healthy plant yields no statistical anomalies.
+  EXPECT_TRUE(r.anomalies.empty());
+}
+
+TEST_F(ThermalScanTest, BlockedNodesSurfaceAsAnomalies) {
+  // Water-quality use case: three nodes with fouled channels stand out of
+  // the fleet distribution and are returned hottest-first.
+  ThermalScanConfig scan;
+  scan.node_blockage.assign(static_cast<std::size_t>(9472), 1.0);
+  scan.node_blockage[100] = 0.35;
+  scan.node_blockage[2000] = 0.45;
+  scan.node_blockage[5000] = 0.25;
+  const ThermalScanResult r =
+      scan_fleet_thermals(twin_->engine(), twin_->cooling().outputs(), scan);
+  ASSERT_EQ(r.anomalies.size(), 3u);
+  EXPECT_EQ(r.anomalies[0].node_index, 5000);  // worst blockage hottest
+  EXPECT_GT(r.anomalies[0].max_gpu_die_c, r.fleet_mean_gpu_c + 5.0);
+}
+
+TEST_F(ThermalScanTest, SevereBlockageFlagsThrottle) {
+  ThermalScanConfig scan;
+  scan.node_blockage.assign(static_cast<std::size_t>(9472), 1.0);
+  scan.node_blockage[42] = 0.05;
+  const ThermalScanResult r =
+      scan_fleet_thermals(twin_->engine(), twin_->cooling().outputs(), scan);
+  EXPECT_GE(r.throttled_nodes, 1);
+}
+
+TEST_F(ThermalScanTest, IdleFleetScansEmpty) {
+  DigitalTwin idle(frontier_system_config());
+  idle.set_wetbulb_constant(16.0);
+  idle.run_until(120.0);
+  const ThermalScanResult r =
+      scan_fleet_thermals(idle.engine(), idle.cooling().outputs());
+  EXPECT_TRUE(r.readings.empty());
+  EXPECT_EQ(r.throttled_nodes, 0);
+}
+
+TEST_F(ThermalScanTest, Validation) {
+  ThermalScanConfig scan;
+  scan.node_blockage.assign(10, 1.0);  // wrong size
+  EXPECT_THROW(
+      scan_fleet_thermals(twin_->engine(), twin_->cooling().outputs(), scan),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,103 @@
+#include "core/whatif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "raps/workload.hpp"
+
+namespace exadigit {
+namespace {
+
+std::vector<JobRecord> day_workload(std::uint64_t seed) {
+  const SystemConfig c = frontier_system_config();
+  WorkloadGenerator gen(c.workload, c, Rng(seed));
+  return gen.generate(0.0, units::kSecondsPerDay / 4.0);
+}
+
+TEST(WhatIfTest, SmartRectifiersGiveSmallPositiveGain) {
+  // Paper Section IV-3 what-if 1: "a modest efficiency gain of 0.1 %".
+  const SystemConfig c = frontier_system_config();
+  const auto jobs = day_workload(11);
+  const WhatIfResult r =
+      run_smart_rectifier_whatif(c, jobs, units::kSecondsPerDay / 4.0);
+  EXPECT_GT(r.delta_eta, 0.0);
+  EXPECT_LT(r.delta_eta, 0.01);  // modest, well under a point
+  EXPECT_GT(r.annual_savings_usd, 0.0);
+  EXPECT_GT(r.avg_power_saving_mw, 0.0);
+  // Same workload completes either way.
+  EXPECT_EQ(r.baseline.jobs_completed, r.variant.jobs_completed);
+}
+
+TEST(WhatIfTest, Dc380MatchesPaperHeadline) {
+  // Paper Section IV-3 what-if 2: efficiency 93.3 % -> 97.3 %, ~8.2 % CO2
+  // reduction, ~$542k/yr.
+  const SystemConfig c = frontier_system_config();
+  const auto jobs = day_workload(12);
+  const WhatIfResult r = run_dc380_whatif(c, jobs, units::kSecondsPerDay / 4.0);
+  EXPECT_NEAR(r.baseline.avg_eta_system, 0.933, 0.012);
+  EXPECT_NEAR(r.variant.avg_eta_system, 0.973, 0.004);
+  EXPECT_NEAR(r.delta_eta, 0.04, 0.012);
+  // Carbon reduction: Eq. (6)'s 1/eta weighting makes it roughly twice the
+  // energy saving -> high single digits.
+  EXPECT_GT(r.carbon_delta_frac, 0.05);
+  EXPECT_LT(r.carbon_delta_frac, 0.11);
+  EXPECT_GT(r.annual_savings_usd, 250e3);
+  EXPECT_LT(r.annual_savings_usd, 900e3);
+}
+
+TEST(WhatIfTest, Dc380BeatsSmartRectifiers) {
+  const SystemConfig c = frontier_system_config();
+  const auto jobs = day_workload(13);
+  const double window = units::kSecondsPerDay / 6.0;
+  const WhatIfResult smart = run_smart_rectifier_whatif(c, jobs, window);
+  const WhatIfResult dc = run_dc380_whatif(c, jobs, window);
+  EXPECT_GT(dc.delta_eta, 5.0 * smart.delta_eta);
+  EXPECT_GT(dc.annual_savings_usd, smart.annual_savings_usd);
+}
+
+TEST(WhatIfTest, ReportRendering) {
+  const SystemConfig c = frontier_system_config();
+  const auto jobs = day_workload(14);
+  const WhatIfResult r = run_dc380_whatif(c, jobs, 3600.0);
+  const std::string text = r.to_string();
+  EXPECT_NE(text.find("direct 380 V DC power"), std::string::npos);
+  EXPECT_NE(text.find("Annual savings"), std::string::npos);
+  EXPECT_NE(text.find("eta_system"), std::string::npos);
+}
+
+TEST(WhatIfTest, GenericWhatIfValidation) {
+  const SystemConfig c = frontier_system_config();
+  EXPECT_THROW(run_whatif(c, c, {}, 0.0, "x"), ConfigError);
+}
+
+TEST(WhatIfTest, CoolingExtensionRaisesPlantLoad) {
+  // Requirements-analysis use case: virtually extend the plant with a
+  // future secondary system and check the impact on cooling performance.
+  const SystemConfig c = frontier_system_config();
+  const CoolingExtensionResult r =
+      run_cooling_extension_whatif(c, 17.0e6, 6.0e6, 16.0);
+  EXPECT_GT(r.extended_htws_c, r.base_htws_c - 0.2);
+  EXPECT_GE(r.extended_ct_cells, r.base_ct_cells);
+  EXPECT_GT(r.extended_pue, 1.0);
+  // 6 MW of extra heat at mild weather: the plant still holds its band.
+  EXPECT_TRUE(r.setpoint_held);
+}
+
+TEST(WhatIfTest, OversizedExtensionBreaksSetpoint) {
+  const SystemConfig c = frontier_system_config();
+  const CoolingExtensionResult r =
+      run_cooling_extension_whatif(c, 17.0e6, 40.0e6, 24.0);
+  // A 40 MW bolt-on in hot weather must exceed the plant's capability.
+  EXPECT_FALSE(r.setpoint_held);
+  EXPECT_GT(r.extended_htws_c, r.base_htws_c + 1.0);
+}
+
+TEST(WhatIfTest, ExtensionValidation) {
+  const SystemConfig c = frontier_system_config();
+  EXPECT_THROW(run_cooling_extension_whatif(c, 0.0, 1.0, 16.0), ConfigError);
+  EXPECT_THROW(run_cooling_extension_whatif(c, 1e6, -1.0, 16.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace exadigit

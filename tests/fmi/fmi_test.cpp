@@ -1,0 +1,110 @@
+#include "fmi/cooling_fmu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace exadigit {
+namespace {
+
+class CoolingFmuTest : public ::testing::Test {
+ protected:
+  SystemConfig config_ = frontier_system_config();
+  CoolingFmu fmu_{config_};
+
+  void apply_uniform_load(double system_mw, double wetbulb_c) {
+    const double heat = units::watts_from_mw(system_mw) *
+                        config_.cooling.cooling_efficiency / config_.cdu_count;
+    for (int i = 0; i < config_.cdu_count; ++i) {
+      fmu_.set_real(static_cast<ValueRef>(i), heat);
+    }
+    fmu_.set_by_name("wetbulb_c", wetbulb_c);
+    fmu_.set_by_name("system_power_w", units::watts_from_mw(system_mw));
+  }
+};
+
+TEST_F(CoolingFmuTest, Exposes317Outputs) {
+  // Paper Section III-C4: "a total of 317 outputs for each timestep".
+  EXPECT_EQ(fmu_.output_count(), 317u);
+  EXPECT_EQ(fmu_.variables_with(Causality::kOutput).size(), 317u);
+  // Inputs: 25 heats + wetbulb + system power.
+  EXPECT_EQ(fmu_.variables_with(Causality::kInput).size(), 27u);
+}
+
+TEST_F(CoolingFmuTest, VariableNamesFollowConvention) {
+  EXPECT_TRUE(fmu_.has_variable("cdu[0].heat_w"));
+  EXPECT_TRUE(fmu_.has_variable("cdu[24].sec_supply_t_c"));
+  EXPECT_TRUE(fmu_.has_variable("plant.pue"));
+  EXPECT_TRUE(fmu_.has_variable("plant.htwp_staged"));
+  EXPECT_FALSE(fmu_.has_variable("cdu[25].heat_w"));
+  EXPECT_THROW(fmu_.ref_of("bogus"), ConfigError);
+}
+
+TEST_F(CoolingFmuTest, SetGetInputRoundTrip) {
+  fmu_.set_by_name("wetbulb_c", 17.5);
+  EXPECT_DOUBLE_EQ(fmu_.get_by_name("wetbulb_c"), 17.5);
+  fmu_.set_real(3, 123456.0);
+  EXPECT_DOUBLE_EQ(fmu_.get_real(3), 123456.0);
+}
+
+TEST_F(CoolingFmuTest, SetRealOnOutputThrows) {
+  const ValueRef out_ref = fmu_.ref_of("plant.pue");
+  EXPECT_THROW(fmu_.set_real(out_ref, 1.0), ConfigError);
+  EXPECT_THROW(fmu_.set_real(static_cast<ValueRef>(0), -5.0), ConfigError);
+}
+
+TEST_F(CoolingFmuTest, DoStepAdvancesPlant) {
+  fmu_.setup_experiment(0.0);
+  apply_uniform_load(17.0, 16.0);
+  for (int i = 0; i < 4 * 240; ++i) fmu_.do_step(i * 15.0, 15.0);
+  const double pue = fmu_.get_by_name("plant.pue");
+  EXPECT_GT(pue, 1.005);
+  EXPECT_LT(pue, 1.06);
+  // Station outputs are live.
+  EXPECT_GT(fmu_.get_by_name("cdu[0].sec_flow_m3s"), 0.01);
+  EXPECT_GT(fmu_.get_by_name("plant.pri_flow_m3s"), 0.2);
+  EXPECT_NEAR(fmu_.get_by_name("plant.htwp_staged"),
+              std::round(fmu_.get_by_name("plant.htwp_staged")), 1e-12);
+}
+
+TEST_F(CoolingFmuTest, OutputsConsistentWithPlantStruct) {
+  fmu_.setup_experiment(0.0);
+  apply_uniform_load(15.0, 14.0);
+  for (int i = 0; i < 200; ++i) fmu_.do_step(i * 15.0, 15.0);
+  const PlantOutputs& o = fmu_.outputs();
+  EXPECT_DOUBLE_EQ(fmu_.get_by_name("plant.pue"), o.pue);
+  EXPECT_DOUBLE_EQ(fmu_.get_by_name("plant.pri_supply_t_c"), o.pri_supply_t_c);
+  EXPECT_DOUBLE_EQ(fmu_.get_by_name("cdu[7].hex_duty_w"), o.cdus[7].hex_duty_w);
+  EXPECT_DOUBLE_EQ(fmu_.get_by_name("cdu[7].pump_power_w"), o.cdus[7].pump_power_w);
+}
+
+TEST_F(CoolingFmuTest, ResetRestoresInitialState) {
+  fmu_.setup_experiment(0.0);
+  apply_uniform_load(25.0, 20.0);
+  for (int i = 0; i < 400; ++i) fmu_.do_step(i * 15.0, 15.0);
+  const double hot = fmu_.get_by_name("cdu[0].sec_return_t_c");
+  fmu_.reset();
+  const double fresh = fmu_.get_by_name("cdu[0].sec_return_t_c");
+  EXPECT_LT(fresh, hot - 3.0);
+  EXPECT_DOUBLE_EQ(fmu_.plant().time_s(), 0.0);
+}
+
+TEST_F(CoolingFmuTest, VariableMetadataComplete) {
+  for (const auto& v : fmu_.variables()) {
+    EXPECT_FALSE(v.name.empty());
+    EXPECT_FALSE(v.unit.empty());
+    EXPECT_FALSE(v.description.empty());
+    // ref_of must invert the table.
+    EXPECT_EQ(fmu_.ref_of(v.name), v.ref);
+  }
+}
+
+TEST_F(CoolingFmuTest, ModelNameStable) {
+  EXPECT_EQ(fmu_.model_name(), "exadigit.cooling_plant");
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,110 @@
+/// Failure-injection tests for the operational use cases from the paper's
+/// requirements analysis (Section III-A): rectifier failures riding through
+/// on the shared DC bus, coolant blockages detected as thermal anomalies,
+/// and pump degradation.
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "cooling/cold_plate.hpp"
+#include "cooling/plant.hpp"
+#include "power/conversion.hpp"
+
+namespace exadigit {
+namespace {
+
+TEST(FailureInjectionTest, RectifierFailureKeepsBladesPowered) {
+  // Paper Section III-B1: "in case of rectifier failure, blades are
+  // continuously powered and should perform their job without any
+  // interruption".
+  const SystemConfig config = frontier_system_config();
+  ConversionChain chain(config.power);
+  const double group_load = 16 * 1200.0;  // moderately loaded group
+  for (int failed = 0; failed <= 2; ++failed) {
+    const ConversionResult r = chain.convert(group_load, failed);
+    EXPECT_DOUBLE_EQ(r.output_w, group_load) << failed << " failed";
+    EXPECT_FALSE(r.overloaded) << failed << " failed";
+  }
+  // Wall power rises slightly as survivors leave their optimum.
+  const double p0 = chain.convert(group_load, 0).input_w;
+  const double p2 = chain.convert(group_load, 2).input_w;
+  EXPECT_NEAR(p2, p0, p0 * 0.02);
+}
+
+TEST(FailureInjectionTest, BladeBlockageDetectableFromTemperature) {
+  // Water-quality use case: a partially blocked blade shows an anomalous
+  // die temperature long before it throttles.
+  BladeThermalModel blade(frontier_cpu_cold_plate(), frontier_gpu_cold_plate());
+  const double blade_flow = 1.6e-4;
+  const NodeThermalState healthy = blade.evaluate_node(280.0, 500.0, 4, 33.0, blade_flow);
+  const NodeThermalState fouled =
+      blade.evaluate_node(280.0, 500.0, 4, 33.0, blade_flow, 0.5);
+  const double anomaly = fouled.gpu_die_c[0] - healthy.gpu_die_c[0];
+  EXPECT_GT(anomaly, 2.0);   // detectable
+  EXPECT_FALSE(fouled.gpu_throttled);  // but not yet throttling
+}
+
+class PlantFailureTest : public ::testing::Test {
+ protected:
+  SystemConfig config_ = frontier_system_config();
+  CoolingPlantModel plant_{config_};
+
+  void settle(double system_mw, double hours) {
+    CoolingInputs in;
+    in.cdu_heat_w.assign(25, units::watts_from_mw(system_mw) *
+                                 config_.cooling.cooling_efficiency / 25.0);
+    in.wetbulb_c = 16.0;
+    in.system_power_w = units::watts_from_mw(system_mw);
+    const int steps = static_cast<int>(hours * 3600.0 / 15.0);
+    for (int i = 0; i < steps; ++i) plant_.step(in, 15.0);
+  }
+};
+
+TEST_F(PlantFailureTest, RackBlockageShowsAsCduAnomaly) {
+  plant_.reset(20.0);
+  settle(17.0, 3.0);
+  // Inject a 50 % blockage in CDU 10, rack slot 2.
+  plant_.set_rack_blockage(10, 2, 0.5);
+  settle(17.0, 1.5);
+  const auto& cdus = plant_.outputs().cdus;
+  // The blocked CDU runs less secondary flow and hotter return than the
+  // fleet: exactly the detection signature the paper's use case wants.
+  double fleet_flow = 0.0;
+  double fleet_ret = 0.0;
+  for (std::size_t i = 0; i < cdus.size(); ++i) {
+    if (i == 10) continue;
+    fleet_flow += cdus[i].sec_flow_m3s;
+    fleet_ret += cdus[i].sec_return_t_c;
+  }
+  fleet_flow /= 24.0;
+  fleet_ret /= 24.0;
+  EXPECT_LT(cdus[10].sec_flow_m3s, fleet_flow * 0.97);
+  EXPECT_GT(cdus[10].sec_return_t_c, fleet_ret + 0.4);
+}
+
+TEST_F(PlantFailureTest, DegradedCduPumpRaisesReturnTemp) {
+  plant_.reset(20.0);
+  settle(17.0, 3.0);
+  const double t_before = plant_.outputs().cdus[5].sec_return_t_c;
+  // Pump stuck at 40 % speed (failed VFD).
+  plant_.force_cdu_pump_speed(5, 0.4);
+  settle(17.0, 1.5);
+  const auto& c = plant_.outputs().cdus[5];
+  EXPECT_NEAR(c.pump_speed, 0.4, 1e-9);
+  EXPECT_GT(c.sec_return_t_c, t_before + 1.0);
+  // The rest of the plant keeps regulating.
+  EXPECT_NEAR(plant_.outputs().cdus[6].sec_return_t_c, t_before, 2.5);
+}
+
+TEST_F(PlantFailureTest, PlantSurvivesColdRestartUnderFullLoad) {
+  // Worst-case transient: plant at rest, full 27 MW applied instantly.
+  plant_.reset(15.0);
+  settle(27.0, 4.0);
+  const PlantOutputs& out = plant_.outputs();
+  const double heat = 27.0e6 * config_.cooling.cooling_efficiency;
+  EXPECT_NEAR(out.total_hex_duty_w(), heat, heat * 0.05);
+  EXPECT_LT(out.cdus[0].sec_return_t_c, 70.0);
+}
+
+}  // namespace
+}  // namespace exadigit

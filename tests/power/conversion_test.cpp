@@ -1,0 +1,151 @@
+#include "power/conversion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+namespace {
+
+PowerChainConfig frontier_chain() { return frontier_system_config().power; }
+
+TEST(ConversionTest, ZeroLoadIsLossless) {
+  ConversionChain chain(frontier_chain());
+  const ConversionResult r = chain.convert(0.0);
+  EXPECT_DOUBLE_EQ(r.input_w, 0.0);
+  EXPECT_DOUBLE_EQ(r.rectifier_loss_w, 0.0);
+  EXPECT_DOUBLE_EQ(r.sivoc_loss_w, 0.0);
+  EXPECT_DOUBLE_EQ(r.eta_chain, 1.0);
+}
+
+TEST(ConversionTest, EnergyBalanceEq2) {
+  ConversionChain chain(frontier_chain());
+  for (double load : {1000.0, 10000.0, 25000.0, 43264.0}) {
+    const ConversionResult r = chain.convert(load);
+    // Eq. (2): P_L = P_LR + P_LS = P_RAC - P_S48V.
+    EXPECT_NEAR(r.rectifier_loss_w + r.sivoc_loss_w, r.input_w - r.output_w, 1e-9);
+    EXPECT_GT(r.input_w, r.output_w);
+    EXPECT_NEAR(r.rectifier_output_w, r.output_w / r.eta_sivoc, 1e-9);
+  }
+}
+
+TEST(ConversionTest, Eq1EfficiencyComposition) {
+  ConversionChain chain(frontier_chain());
+  const ConversionResult r = chain.convert(30000.0);
+  // Eq. (1): eta_system = eta_R * eta_S = P_S48V / P_RAC.
+  EXPECT_NEAR(r.eta_chain, r.eta_rectifier * r.eta_sivoc, 1e-12);
+  EXPECT_NEAR(r.eta_chain, r.output_w / r.input_w, 1e-9);
+}
+
+TEST(ConversionTest, EfficiencyDropsNearIdle) {
+  ConversionChain chain(frontier_chain());
+  // Paper Section IV-3: "near idle the efficiency drops 1-2 %".
+  const double eta_idle = chain.convert(10016.0).eta_rectifier;   // idle group
+  const double eta_opt = chain.convert(4 * 7500.0 / 0.9765).eta_rectifier;
+  EXPECT_GT(eta_opt - eta_idle, 0.01);
+  EXPECT_LT(eta_opt - eta_idle, 0.03);
+}
+
+TEST(ConversionTest, SharedBusUsesAllRectifiers) {
+  ConversionChain chain(frontier_chain());
+  EXPECT_EQ(chain.convert(20000.0).staged_rectifiers, 4);
+}
+
+TEST(ConversionTest, SmartStagingUsesFewerAtLightLoad) {
+  PowerChainConfig cfg = frontier_chain();
+  cfg.load_sharing = LoadSharingPolicy::kSmartStaging;
+  ConversionChain chain(cfg);
+  EXPECT_LT(chain.convert(8000.0).staged_rectifiers, 4);
+  EXPECT_GE(chain.convert(8000.0).staged_rectifiers, 1);
+  // Heavy loads still use the full group.
+  EXPECT_EQ(chain.convert(43000.0).staged_rectifiers, 4);
+}
+
+TEST(ConversionTest, SmartStagingImprovesLightLoadEfficiency) {
+  PowerChainConfig shared = frontier_chain();
+  PowerChainConfig smart = frontier_chain();
+  smart.load_sharing = LoadSharingPolicy::kSmartStaging;
+  ConversionChain a(shared), b(smart);
+  // The gain concentrates at light load (paper: "modest" overall).
+  EXPECT_GT(b.system_efficiency(10000.0), a.system_efficiency(10000.0));
+  EXPECT_NEAR(b.system_efficiency(40000.0), a.system_efficiency(40000.0), 1e-3);
+}
+
+TEST(ConversionTest, SmartStagingRespectsNameplate) {
+  PowerChainConfig cfg = frontier_chain();
+  cfg.load_sharing = LoadSharingPolicy::kSmartStaging;
+  ConversionChain chain(cfg);
+  for (double load = 2000.0; load < 48000.0; load += 1000.0) {
+    const ConversionResult r = chain.convert(load);
+    const double per_unit = r.rectifier_output_w / r.staged_rectifiers;
+    if (r.staged_rectifiers < cfg.rectifiers_per_group) {
+      EXPECT_LE(per_unit, cfg.rectifier_rated_w * (1.0 + 1e-9)) << "load " << load;
+    }
+  }
+}
+
+TEST(ConversionTest, Dc380RemovesRectifierLoss) {
+  PowerChainConfig cfg = frontier_chain();
+  cfg.feed = PowerFeed::kDC380;
+  ConversionChain chain(cfg);
+  const ConversionResult r = chain.convert(25000.0);
+  EXPECT_EQ(r.staged_rectifiers, 0);
+  EXPECT_DOUBLE_EQ(r.eta_rectifier, cfg.dc_feed_efficiency);
+  // 0.9965 * ~0.976 ~ 0.973 (paper's DC what-if result).
+  EXPECT_NEAR(r.eta_chain, 0.973, 0.003);
+}
+
+TEST(ConversionTest, RectifierFailureRideThrough) {
+  ConversionChain chain(frontier_chain());
+  const double load = 20000.0;
+  const ConversionResult ok = chain.convert(load, 0);
+  const ConversionResult degraded = chain.convert(load, 2);
+  // Blades keep full power (paper Fig. 3 discussion): output unchanged,
+  // survivors carry more load each.
+  EXPECT_DOUBLE_EQ(degraded.output_w, ok.output_w);
+  EXPECT_EQ(degraded.staged_rectifiers, 2);
+  EXPECT_FALSE(degraded.overloaded);
+  // Three failures push the last unit past nameplate.
+  const ConversionResult critical = chain.convert(43000.0, 3);
+  EXPECT_TRUE(critical.overloaded);
+  EXPECT_DOUBLE_EQ(critical.output_w, 43000.0);
+}
+
+TEST(ConversionTest, AllRectifiersFailedRejected) {
+  ConversionChain chain(frontier_chain());
+  EXPECT_THROW(chain.convert(1000.0, 4), ConfigError);
+  EXPECT_THROW(chain.convert(-1.0), ConfigError);
+}
+
+/// Property sweep: the chain efficiency stays within physical bounds and
+/// input power is monotone in output power under every policy/feed combo.
+struct ChainCase {
+  LoadSharingPolicy sharing;
+  PowerFeed feed;
+};
+
+class ChainProperty : public ::testing::TestWithParam<ChainCase> {};
+
+TEST_P(ChainProperty, EfficiencyBoundedAndInputMonotone) {
+  PowerChainConfig cfg = frontier_chain();
+  cfg.load_sharing = GetParam().sharing;
+  cfg.feed = GetParam().feed;
+  ConversionChain chain(cfg);
+  double prev_input = 0.0;
+  for (double load = 500.0; load <= 45000.0; load += 500.0) {
+    const ConversionResult r = chain.convert(load);
+    EXPECT_GT(r.eta_chain, 0.80);
+    EXPECT_LT(r.eta_chain, 1.0);
+    EXPECT_GT(r.input_w, prev_input) << "input power must grow with load";
+    prev_input = r.input_w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, ChainProperty,
+    ::testing::Values(ChainCase{LoadSharingPolicy::kSharedBus, PowerFeed::kAC},
+                      ChainCase{LoadSharingPolicy::kSmartStaging, PowerFeed::kAC},
+                      ChainCase{LoadSharingPolicy::kSharedBus, PowerFeed::kDC380}));
+
+}  // namespace
+}  // namespace exadigit

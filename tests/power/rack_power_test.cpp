@@ -1,0 +1,107 @@
+#include "power/rack_power.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+namespace {
+
+class RackPowerTest : public ::testing::Test {
+ protected:
+  SystemConfig config_ = frontier_system_config();
+  RackPowerModel model_{config_.rack, config_.power};
+};
+
+TEST_F(RackPowerTest, GroupGeometry) {
+  // 32 rectifiers / 4 per group = 8 groups; 128 nodes / 8 = 16 per group.
+  EXPECT_EQ(model_.groups_per_rack(), 8);
+  EXPECT_EQ(model_.nodes_per_group(), 16);
+}
+
+TEST_F(RackPowerTest, UniformEqualsExplicitGroups) {
+  const double node_w = 1500.0;
+  const RackPowerResult uniform = model_.from_uniform_node_power(node_w, 128);
+  std::vector<double> groups(8, node_w * 16.0);
+  const RackPowerResult explicit_groups = model_.from_group_outputs(groups);
+  EXPECT_NEAR(uniform.input_w, explicit_groups.input_w, 1e-6);
+  EXPECT_NEAR(uniform.rectifier_loss_w, explicit_groups.rectifier_loss_w, 1e-6);
+}
+
+TEST_F(RackPowerTest, PartialGroupHandled) {
+  // 20 active nodes = one full group (16) + 4 in a second group.
+  const RackPowerResult r = model_.from_uniform_node_power(2000.0, 20);
+  EXPECT_NEAR(r.node_output_w, 2000.0 * 20, 1e-9);
+  EXPECT_GT(r.input_w, r.node_output_w);
+}
+
+TEST_F(RackPowerTest, SwitchesIncludedAtRackLevel) {
+  const RackPowerResult r = model_.from_uniform_node_power(626.0, 128);
+  // Eq. (4): 32 switches x 250 W, drawn through the rectifier stage.
+  EXPECT_DOUBLE_EQ(r.switch_output_w, 8000.0);
+  EXPECT_GT(r.input_w, r.node_output_w + r.switch_output_w);
+}
+
+TEST_F(RackPowerTest, InputMonotoneInActiveNodes) {
+  double prev = 0.0;
+  for (int active = 0; active <= 128; active += 16) {
+    const double input =
+        active == 0 ? model_.from_uniform_node_power(626.0, 0).input_w
+                    : model_.from_uniform_node_power(2704.0, active).input_w;
+    EXPECT_GE(input, prev);
+    prev = input;
+  }
+}
+
+TEST_F(RackPowerTest, GroupCountValidation) {
+  std::vector<double> wrong(7, 1000.0);
+  EXPECT_THROW(model_.from_group_outputs(wrong), ConfigError);
+  EXPECT_THROW(model_.from_uniform_node_power(100.0, 129), ConfigError);
+  EXPECT_THROW(model_.from_uniform_node_power(100.0, -1), ConfigError);
+}
+
+TEST(SystemPowerTest, PeakMatchesPaper28MW) {
+  const SystemPowerModel m(frontier_system_config());
+  // Paper Section III-B2: peak utilization consumes 28.2 MW.
+  EXPECT_NEAR(m.uniform_system_power_w(1.0, 1.0) / 1e6, 28.2, 0.15);
+}
+
+TEST(SystemPowerTest, CduPumpConstant) {
+  const SystemPowerModel m(frontier_system_config());
+  // 25 CDUs x 8.7 kW = 217.5 kW (paper Section III-B2).
+  EXPECT_DOUBLE_EQ(m.cdu_pump_power_w(), 217500.0);
+}
+
+TEST(SystemPowerTest, BreakdownSumsToSystemPower) {
+  const SystemPowerModel m(frontier_system_config());
+  for (double util : {0.0, 0.4, 1.0}) {
+    const PowerBreakdown b = m.breakdown(util, util);
+    const double system = m.uniform_system_power_w(util, util);
+    EXPECT_NEAR(b.total_w(), system, system * 1e-9) << "util " << util;
+  }
+}
+
+TEST(SystemPowerTest, GpusDominateBreakdownAtPeak) {
+  // Paper Fig. 4: GPUs are by far the largest consumer at peak.
+  const SystemPowerModel m(frontier_system_config());
+  const PowerBreakdown b = m.breakdown(1.0, 1.0);
+  EXPECT_GT(b.gpus_w, b.cpus_w);
+  EXPECT_GT(b.gpus_w, 0.6 * b.total_w());
+  EXPECT_GT(b.cpus_w, b.switches_w);
+  EXPECT_GT(b.rectifier_loss_w, b.sivoc_loss_w);
+  EXPECT_GT(b.rectifier_loss_w + b.sivoc_loss_w, 1.0e6);  // MW-scale losses
+}
+
+TEST(SystemPowerTest, LossesRoughly6PercentAtTypicalLoad) {
+  const SystemPowerModel m(frontier_system_config());
+  const PowerBreakdown b = m.breakdown(0.38, 0.62);
+  const double loss_frac = (b.rectifier_loss_w + b.sivoc_loss_w) / b.total_w();
+  // Paper Table IV: loss between 6.26 % and 8.36 %, avg 6.74 %.
+  EXPECT_GT(loss_frac, 0.05);
+  EXPECT_LT(loss_frac, 0.09);
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,139 @@
+#include "raps/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "raps/workload.hpp"
+
+namespace exadigit {
+namespace {
+
+class PowerModelTest : public ::testing::Test {
+ protected:
+  SystemConfig config_ = frontier_system_config();
+  RapsPowerModel model_{config_};
+
+  static std::vector<int> node_range(int first, int count) {
+    std::vector<int> nodes(static_cast<std::size_t>(count));
+    std::iota(nodes.begin(), nodes.end(), first);
+    return nodes;
+  }
+};
+
+TEST_F(PowerModelTest, IdleSystemMatchesCalibration) {
+  const PowerSample& s = model_.recompute(0.0, {});
+  EXPECT_NEAR(s.system_power_w / 1e6, 7.27, 0.10);
+  EXPECT_EQ(s.active_nodes, 0);
+}
+
+TEST_F(PowerModelTest, FullMachineAtPeakMatchesCalibration) {
+  const JobRecord peak = make_constant_job(0.0, 1000.0, 9472, 1.0, 1.0);
+  const auto nodes = node_range(0, 9472);
+  RunningJobView view{&peak, &nodes, 0.0};
+  const PowerSample& s = model_.recompute(0.0, std::span(&view, 1));
+  EXPECT_NEAR(s.system_power_w / 1e6, 28.2, 0.15);
+  EXPECT_EQ(s.active_nodes, 9472);
+}
+
+TEST_F(PowerModelTest, LossesDecomposeConsistently) {
+  const JobRecord j = make_constant_job(0.0, 1000.0, 4000, 0.5, 0.5);
+  const auto nodes = node_range(0, 4000);
+  RunningJobView view{&j, &nodes, 0.0};
+  const PowerSample& s = model_.recompute(0.0, std::span(&view, 1));
+  EXPECT_GT(s.rectifier_loss_w, s.sivoc_loss_w);
+  EXPECT_GT(s.eta_system, 0.90);
+  EXPECT_LT(s.eta_system, 0.96);
+  EXPECT_NEAR(s.loss_w(), s.rectifier_loss_w + s.sivoc_loss_w, 1e-9);
+}
+
+TEST_F(PowerModelTest, CduPowerMapsToAllocatedRacks) {
+  // A job on the first CDU's racks (nodes 0..383) must heat only CDU 0.
+  const JobRecord j = make_constant_job(0.0, 1000.0, 384, 0.9, 0.9);
+  const auto nodes = node_range(0, 384);
+  RunningJobView view{&j, &nodes, 0.0};
+  model_.recompute(0.0, std::span(&view, 1));
+  const auto& cdu = model_.cdu_wall_power_w();
+  ASSERT_EQ(cdu.size(), 25u);
+  EXPECT_GT(cdu[0], cdu[1] * 2.0);
+  // All other CDUs sit at their idle floor.
+  for (std::size_t i = 1; i < 24; ++i) {
+    EXPECT_NEAR(cdu[i], cdu[1], cdu[1] * 1e-9);
+  }
+}
+
+TEST_F(PowerModelTest, CduHeatAppliesCoolingEfficiency) {
+  model_.recompute(0.0, {});
+  const auto heat = model_.cdu_heat_w();
+  const auto& wall = model_.cdu_wall_power_w();
+  for (std::size_t i = 0; i < heat.size(); ++i) {
+    EXPECT_NEAR(heat[i], wall[i] * config_.cooling.cooling_efficiency, 1e-9);
+  }
+}
+
+TEST_F(PowerModelTest, SystemPowerSumsRacksPlusPumps) {
+  model_.recompute(0.0, {});
+  const double rack_sum = std::accumulate(model_.rack_wall_power_w().begin(),
+                                          model_.rack_wall_power_w().end(), 0.0);
+  EXPECT_NEAR(model_.sample().system_power_w, rack_sum + 217500.0, 1.0);
+}
+
+TEST_F(PowerModelTest, TraceDrivesTimeVaryingPower) {
+  JobRecord j = make_constant_job(0.0, 1000.0, 1000, 0.0, 0.0);
+  j.gpu_util_trace = {0.1, 0.9};
+  const auto nodes = node_range(0, 1000);
+  RunningJobView view{&j, &nodes, 0.0};
+  const double p_early = model_.recompute(5.0, std::span(&view, 1)).system_power_w;
+  const double p_late = model_.recompute(20.0, std::span(&view, 1)).system_power_w;
+  EXPECT_GT(p_late, p_early + 1e6);
+}
+
+TEST_F(PowerModelTest, PartitionNodeConfigsApply) {
+  const SystemConfig setonix = setonix_like_config();
+  RapsPowerModel model(setonix);
+  JobRecord cpu_job = make_constant_job(0.0, 100.0, 64, 1.0, 1.0);
+  cpu_job.partition = "work";
+  JobRecord gpu_job = make_constant_job(0.0, 100.0, 64, 1.0, 1.0);
+  gpu_job.partition = "gpu";
+  const auto cpu_nodes = node_range(0, 64);     // work partition range
+  const auto gpu_nodes = node_range(1024, 64);  // gpu partition range
+  RunningJobView cpu_view{&cpu_job, &cpu_nodes, 0.0};
+  RunningJobView gpu_view{&gpu_job, &gpu_nodes, 0.0};
+  const double p_cpu = model.recompute(0.0, std::span(&cpu_view, 1)).system_power_w;
+  const double p_gpu = model.recompute(0.0, std::span(&gpu_view, 1)).system_power_w;
+  // Same node count at full tilt: the GPU partition draws far more.
+  EXPECT_GT(p_gpu, p_cpu + 64 * 1000.0);
+}
+
+TEST_F(PowerModelTest, UnknownPartitionThrows) {
+  JobRecord j = make_constant_job(0.0, 100.0, 4, 0.5, 0.5);
+  j.partition = "nope";
+  const auto nodes = node_range(0, 4);
+  RunningJobView view{&j, &nodes, 0.0};
+  EXPECT_THROW(model_.recompute(0.0, std::span(&view, 1)), ConfigError);
+}
+
+/// Property: system power is monotone in the number of active nodes.
+class PowerMonotoneProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerMonotoneProperty, MorePowerWithMoreNodes) {
+  const double util = GetParam();
+  SystemConfig config = frontier_system_config();
+  RapsPowerModel model(config);
+  double prev = model.recompute(0.0, {}).system_power_w;
+  for (int count : {500, 2000, 5000, 9472}) {
+    const JobRecord j = make_constant_job(0.0, 1000.0, count, util, util);
+    std::vector<int> nodes(static_cast<std::size_t>(count));
+    std::iota(nodes.begin(), nodes.end(), 0);
+    RunningJobView view{&j, &nodes, 0.0};
+    const double p = model.recompute(0.0, std::span(&view, 1)).system_power_w;
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Utils, PowerMonotoneProperty, ::testing::Values(0.2, 0.5, 1.0));
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,89 @@
+#include "raps/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "raps/engine.hpp"
+#include "raps/workload.hpp"
+
+namespace exadigit {
+namespace {
+
+TEST(CarbonTest, Eq6ReproducesTableIVRow) {
+  // Table IV: avg daily energy 405 MWh at eta ~ 0.933 -> ~168 t CO2.
+  EconomicsConfig eco;
+  EXPECT_NEAR(carbon_tons_from_energy(405.0, 0.933, eco), 168.0, 1.5);
+}
+
+TEST(CarbonTest, ScalesInverseWithEfficiency) {
+  EconomicsConfig eco;
+  const double base = carbon_tons_from_energy(100.0, 0.933, eco);
+  const double dc = carbon_tons_from_energy(100.0, 0.973, eco);
+  // Eq. (6)'s 1/eta factor: better efficiency directly cuts the factor.
+  EXPECT_NEAR(dc / base, 0.933 / 0.973, 1e-9);
+}
+
+TEST(CarbonTest, InvalidEtaThrows) {
+  EXPECT_THROW(carbon_tons_from_energy(1.0, 0.0, EconomicsConfig{}), ConfigError);
+}
+
+TEST(CostTest, TariffApplication) {
+  EconomicsConfig eco;
+  eco.electricity_usd_per_kwh = 0.09;
+  // Paper Section IV-3: 1.14 MW average loss ~ $900k/yr.
+  const double loss_mwh_per_year = 1.14 * units::kHoursPerYear;
+  EXPECT_NEAR(energy_cost_usd(loss_mwh_per_year, eco), 899000.0, 10000.0);
+}
+
+TEST(ReportTest, RenderContainsPaperStatistics) {
+  RapsEngine engine(frontier_system_config());
+  engine.submit(make_hpl_job(10.0, 600.0));
+  engine.run_until(1200.0);
+  const Report r = engine.report();
+  const std::string text = r.to_string();
+  // Section III-B5 output statistics all present.
+  EXPECT_NE(text.find("Jobs completed"), std::string::npos);
+  EXPECT_NE(text.find("Throughput (jobs/hr)"), std::string::npos);
+  EXPECT_NE(text.find("Avg power (MW)"), std::string::npos);
+  EXPECT_NE(text.find("Total energy (MW-hr)"), std::string::npos);
+  EXPECT_NE(text.find("Conversion loss (MW)"), std::string::npos);
+  EXPECT_NE(text.find("CO2 emissions (t)"), std::string::npos);
+  EXPECT_NE(text.find("Energy cost (USD)"), std::string::npos);
+}
+
+TEST(ReportTest, InternalConsistency) {
+  RapsEngine engine(frontier_system_config());
+  engine.submit(make_hpl_job(5.0, 1200.0));
+  engine.run_until(3600.0);
+  const Report r = engine.report();
+  EXPECT_EQ(r.jobs_completed, 1);
+  EXPECT_NEAR(r.throughput_jobs_per_hour, 1.0, 1e-9);
+  EXPECT_GE(r.max_power_mw, r.avg_power_mw);
+  EXPECT_GE(r.avg_power_mw, r.min_power_mw);
+  // Energy = avg power x duration.
+  EXPECT_NEAR(r.total_energy_mwh, r.avg_power_mw * r.duration_s / 3600.0,
+              r.total_energy_mwh * 1e-6);
+  EXPECT_GT(r.avg_eta_system, 0.90);
+  EXPECT_LT(r.avg_eta_system, 0.96);
+  EXPECT_NEAR(r.loss_fraction, r.avg_loss_mw / r.avg_power_mw, 1e-9);
+  EXPECT_NEAR(r.avg_nodes_per_job, 9216.0, 1e-9);
+  EXPECT_NEAR(r.avg_runtime_min, 20.0, 1e-9);
+  EXPECT_NEAR(r.carbon_tons,
+              carbon_tons_from_energy(r.total_energy_mwh, r.avg_eta_system,
+                                      frontier_system_config().economics),
+              1e-9);
+}
+
+TEST(ReportTest, HplRunPowerNearPaperFig8) {
+  // Fig. 8: HPL drives the system to the low-20s MW.
+  RapsEngine engine(frontier_system_config());
+  engine.submit(make_hpl_job(5.0, 1200.0));
+  engine.run_until(1200.0);
+  const Report r = engine.report();
+  EXPECT_GT(r.max_power_mw, 21.0);
+  EXPECT_LT(r.max_power_mw, 23.5);
+}
+
+}  // namespace
+}  // namespace exadigit

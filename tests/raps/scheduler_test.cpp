@@ -1,0 +1,194 @@
+#include "raps/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace exadigit {
+namespace {
+
+JobRecord job(const std::string& name, int nodes, double wall_s) {
+  JobRecord j;
+  j.name = name;
+  j.node_count = nodes;
+  j.wall_time_s = wall_s;
+  return j;
+}
+
+SchedulerConfig policy_config(SchedulerPolicy p, int depth = 0) {
+  SchedulerConfig c;
+  c.policy = p;
+  c.max_queue_depth = depth;
+  return c;
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SystemConfig system_ = [] {
+    SystemConfig c = frontier_system_config();
+    c.cdu_count = 1;
+    c.racks_per_cdu = 1;
+    c.rack_count = 1;  // 128 nodes
+    return c;
+  }();
+  NodeAllocator alloc_{system_};
+  std::vector<std::string> started_;
+
+  /// Runs a scheduling pass where start_job really allocates.
+  void pass(Scheduler& s, double now = 0.0, std::vector<RunningJobInfo> running = {}) {
+    s.schedule(now, alloc_, running, [this](const JobRecord& j) {
+      auto nodes = alloc_.allocate(j.node_count, j.partition);
+      if (!nodes.has_value()) return false;
+      started_.push_back(j.name);
+      return true;
+    });
+  }
+};
+
+TEST_F(SchedulerTest, FcfsStartsInArrivalOrder) {
+  Scheduler s(policy_config(SchedulerPolicy::kFcfs));
+  s.enqueue(job("a", 50, 100));
+  s.enqueue(job("b", 50, 10));
+  s.enqueue(job("c", 20, 1));
+  pass(s);
+  EXPECT_EQ(started_, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(s.queue_depth(), 0u);
+}
+
+TEST_F(SchedulerTest, FcfsBlocksStrictlyAtHead) {
+  Scheduler s(policy_config(SchedulerPolicy::kFcfs));
+  s.enqueue(job("big", 200, 100));  // can never fit (128-node machine)
+  s.enqueue(job("small", 1, 10));
+  pass(s);
+  // Strict FCFS: "small" must not jump the blocked head.
+  EXPECT_TRUE(started_.empty());
+  EXPECT_EQ(s.queue_depth(), 2u);
+}
+
+TEST_F(SchedulerTest, SjfPrefersShortJobs) {
+  Scheduler s(policy_config(SchedulerPolicy::kSjf));
+  s.enqueue(job("long", 64, 5000));
+  s.enqueue(job("short", 64, 10));
+  s.enqueue(job("medium", 64, 500));
+  pass(s);
+  // Only two fit at once (128 nodes): the two shortest start first.
+  EXPECT_EQ(started_, (std::vector<std::string>{"short", "medium"}));
+}
+
+TEST_F(SchedulerTest, SjfSkipsOversizedButStartsRest) {
+  Scheduler s(policy_config(SchedulerPolicy::kSjf));
+  s.enqueue(job("giant", 500, 1));
+  s.enqueue(job("ok", 10, 100));
+  pass(s);
+  EXPECT_EQ(started_, (std::vector<std::string>{"ok"}));
+  EXPECT_EQ(s.queue_depth(), 1u);
+}
+
+TEST_F(SchedulerTest, BackfillFillsAroundBlockedHead) {
+  Scheduler s(policy_config(SchedulerPolicy::kEasyBackfill));
+  // Occupy 100 nodes, ending at t=1000.
+  ASSERT_TRUE(alloc_.allocate(100).has_value());
+  std::vector<RunningJobInfo> running{{1000.0, 100}};
+  s.enqueue(job("head", 100, 500));     // needs the running job's nodes
+  s.enqueue(job("filler", 20, 400));    // fits now, ends before shadow
+  s.enqueue(job("too-long", 20, 5000)); // would overrun the shadow time
+  pass(s, 0.0, running);
+  EXPECT_EQ(started_, (std::vector<std::string>{"filler"}));
+  EXPECT_EQ(s.queue_depth(), 2u);
+}
+
+TEST_F(SchedulerTest, BackfillAllowsLongJobOnSpareNodes) {
+  Scheduler s(policy_config(SchedulerPolicy::kEasyBackfill));
+  ASSERT_TRUE(alloc_.allocate(100).has_value());
+  std::vector<RunningJobInfo> running{{1000.0, 100}};
+  s.enqueue(job("head", 120, 500));
+  // 8 spare nodes remain even when the head starts: a long 8-node job may
+  // backfill despite crossing the shadow time.
+  s.enqueue(job("spare-rider", 8, 100000));
+  pass(s, 0.0, running);
+  EXPECT_EQ(started_, (std::vector<std::string>{"spare-rider"}));
+}
+
+TEST_F(SchedulerTest, BackfillDegeneratesToFcfsWhenHeadFits) {
+  Scheduler s(policy_config(SchedulerPolicy::kEasyBackfill));
+  s.enqueue(job("a", 30, 10));
+  s.enqueue(job("b", 30, 10));
+  pass(s);
+  EXPECT_EQ(started_, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(SchedulerTest, BoundedQueueRejects) {
+  Scheduler s(policy_config(SchedulerPolicy::kFcfs, 2));
+  EXPECT_TRUE(s.enqueue(job("a", 1, 1)));
+  EXPECT_TRUE(s.enqueue(job("b", 1, 1)));
+  EXPECT_FALSE(s.enqueue(job("c", 1, 1)));
+  EXPECT_EQ(s.rejected_count(), 1);
+  EXPECT_EQ(s.queue_depth(), 2u);
+}
+
+TEST_F(SchedulerTest, InvalidConfigRejected) {
+  SchedulerConfig bad;
+  bad.max_queue_depth = -1;
+  EXPECT_THROW(Scheduler{bad}, ConfigError);
+}
+
+/// Property: under every policy, a full random workload eventually starts
+/// every job exactly once (no loss, no duplication) when jobs are released
+/// over time.
+class SchedulerDrainProperty : public ::testing::TestWithParam<SchedulerPolicy> {};
+
+TEST_P(SchedulerDrainProperty, EveryJobStartsExactlyOnce) {
+  SystemConfig system = frontier_system_config();
+  system.cdu_count = 1;
+  system.racks_per_cdu = 1;
+  system.rack_count = 1;
+  NodeAllocator alloc(system);
+  Scheduler sched(policy_config(GetParam()));
+
+  std::map<std::string, int> starts;
+  std::vector<std::pair<double, std::vector<int>>> running;  // end time, nodes
+  Rng rng(99);
+  for (int i = 0; i < 60; ++i) {
+    JobRecord j = job("j" + std::to_string(i),
+                      static_cast<int>(rng.uniform_int(1, 100)), rng.uniform(10.0, 300.0));
+    sched.enqueue(j);
+  }
+  double now = 0.0;
+  int guard = 0;
+  while ((sched.queue_depth() > 0 || !running.empty()) && ++guard < 100000) {
+    now += 5.0;
+    for (std::size_t i = 0; i < running.size();) {
+      if (running[i].first <= now) {
+        alloc.release(running[i].second);
+        running[i] = std::move(running.back());
+        running.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    std::vector<RunningJobInfo> infos;
+    for (const auto& r : running) {
+      infos.push_back({r.first, static_cast<int>(r.second.size())});
+    }
+    sched.schedule(now, alloc, infos, [&](const JobRecord& j) {
+      auto nodes = alloc.allocate(j.node_count);
+      if (!nodes.has_value()) return false;
+      ++starts[j.name];
+      running.emplace_back(now + j.wall_time_s, std::move(*nodes));
+      return true;
+    });
+  }
+  EXPECT_EQ(starts.size(), 60u);
+  for (const auto& [name, count] : starts) EXPECT_EQ(count, 1) << name;
+  EXPECT_EQ(alloc.free_nodes(), 128);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SchedulerDrainProperty,
+                         ::testing::Values(SchedulerPolicy::kFcfs, SchedulerPolicy::kSjf,
+                                           SchedulerPolicy::kEasyBackfill));
+
+}  // namespace
+}  // namespace exadigit

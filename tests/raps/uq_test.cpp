@@ -1,0 +1,95 @@
+#include "raps/uq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "raps/engine.hpp"
+#include "raps/workload.hpp"
+
+namespace exadigit {
+namespace {
+
+SystemConfig small_system() {
+  SystemConfig c = frontier_system_config();
+  c.cdu_count = 2;
+  c.racks_per_cdu = 2;
+  c.rack_count = 4;
+  return c;
+}
+
+std::vector<JobRecord> sample_jobs() {
+  return {make_constant_job(10.0, 600.0, 256, 0.4, 0.6),
+          make_constant_job(200.0, 900.0, 128, 0.3, 0.8)};
+}
+
+TEST(UqTest, PerturbConfigStaysValid) {
+  const SystemConfig base = small_system();
+  UqConfig uq;
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    const SystemConfig p = perturb_config(base, uq, rng);
+    EXPECT_NO_THROW(p.validate());
+    // Perturbation is bounded: curves stay near the base.
+    EXPECT_NEAR(p.power.rectifier_efficiency(7500.0),
+                base.power.rectifier_efficiency(7500.0), 0.02);
+  }
+}
+
+TEST(UqTest, ZeroSigmaReplicasAreIdentical) {
+  UqConfig uq;
+  uq.samples = 4;
+  uq.efficiency_sigma = 0.0;
+  uq.utilization_sigma = 0.0;
+  uq.idle_power_sigma = 0.0;
+  const UqResult r = run_power_uq(small_system(), sample_jobs(), 1800.0, uq, Rng(5));
+  EXPECT_EQ(r.avg_power_mw.count(), 4u);
+  EXPECT_NEAR(r.avg_power_mw.stddev(), 0.0, 1e-12);
+}
+
+TEST(UqTest, SpreadGrowsWithSigma) {
+  UqConfig narrow;
+  narrow.samples = 16;
+  narrow.efficiency_sigma = 0.001;
+  narrow.utilization_sigma = 0.005;
+  narrow.idle_power_sigma = 0.002;
+  UqConfig wide = narrow;
+  wide.efficiency_sigma = 0.01;
+  wide.utilization_sigma = 0.08;
+  wide.idle_power_sigma = 0.05;
+  const UqResult a = run_power_uq(small_system(), sample_jobs(), 1800.0, narrow, Rng(6));
+  const UqResult b = run_power_uq(small_system(), sample_jobs(), 1800.0, wide, Rng(6));
+  EXPECT_GT(b.avg_power_mw.stddev(), a.avg_power_mw.stddev());
+}
+
+TEST(UqTest, DeterministicAcrossThreadSchedules) {
+  UqConfig uq;
+  uq.samples = 8;
+  const UqResult a = run_power_uq(small_system(), sample_jobs(), 900.0, uq, Rng(7));
+  const UqResult b = run_power_uq(small_system(), sample_jobs(), 900.0, uq, Rng(7));
+  EXPECT_DOUBLE_EQ(a.avg_power_mw.mean(), b.avg_power_mw.mean());
+  EXPECT_DOUBLE_EQ(a.total_energy_mwh.mean(), b.total_energy_mwh.mean());
+}
+
+TEST(UqTest, MeanNearUnperturbedRun) {
+  UqConfig uq;
+  uq.samples = 24;
+  const SystemConfig config = small_system();
+  const UqResult r = run_power_uq(config, sample_jobs(), 1800.0, uq, Rng(8));
+  RapsEngine engine(config);
+  engine.submit_all(sample_jobs());
+  engine.run_until(1800.0);
+  const Report base = engine.report();
+  EXPECT_NEAR(r.avg_power_mw.mean(), base.avg_power_mw, base.avg_power_mw * 0.03);
+  EXPECT_EQ(r.avg_power_samples_mw.size(), 24u);
+}
+
+TEST(UqTest, Validation) {
+  UqConfig bad;
+  bad.samples = 0;
+  EXPECT_THROW(run_power_uq(small_system(), sample_jobs(), 100.0, bad, Rng(1)), ConfigError);
+  UqConfig ok;
+  EXPECT_THROW(run_power_uq(small_system(), sample_jobs(), 0.0, ok, Rng(1)), ConfigError);
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,112 @@
+#include "raps/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+#include "common/units.hpp"
+
+namespace exadigit {
+namespace {
+
+TEST(WorkloadTest, DeterministicForSameSeed) {
+  const SystemConfig c = frontier_system_config();
+  WorkloadGenerator a(c.workload, c, Rng(3));
+  WorkloadGenerator b(c.workload, c, Rng(3));
+  const auto ja = a.generate(0.0, 3600.0);
+  const auto jb = b.generate(0.0, 3600.0);
+  ASSERT_EQ(ja.size(), jb.size());
+  for (std::size_t i = 0; i < ja.size(); ++i) {
+    EXPECT_EQ(ja[i].node_count, jb[i].node_count);
+    EXPECT_DOUBLE_EQ(ja[i].submit_time_s, jb[i].submit_time_s);
+  }
+}
+
+TEST(WorkloadTest, ArrivalsFollowPoissonRate) {
+  const SystemConfig c = frontier_system_config();
+  WorkloadGenerator gen(c.workload, c, Rng(5));
+  const double duration = 10.0 * units::kSecondsPerDay;
+  const auto jobs = gen.generate(0.0, duration);
+  const double expected = duration / c.workload.mean_arrival_s;
+  EXPECT_NEAR(static_cast<double>(jobs.size()), expected, 4.0 * std::sqrt(expected));
+}
+
+TEST(WorkloadTest, SubmitTimesSortedWithinWindow) {
+  const SystemConfig c = frontier_system_config();
+  WorkloadGenerator gen(c.workload, c, Rng(6));
+  const auto jobs = gen.generate(100.0, 86400.0);
+  double prev = 100.0;
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.submit_time_s, prev);
+    EXPECT_LT(j.submit_time_s, 100.0 + 86400.0);
+    prev = j.submit_time_s;
+  }
+}
+
+TEST(WorkloadTest, JobFieldsWithinBounds) {
+  const SystemConfig c = frontier_system_config();
+  WorkloadGenerator gen(c.workload, c, Rng(7));
+  const auto jobs = gen.generate(0.0, 2.0 * units::kSecondsPerDay);
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.node_count, 1);
+    EXPECT_LE(j.node_count, c.total_nodes());
+    EXPECT_GE(j.wall_time_s, 60.0);
+    EXPECT_GE(j.mean_cpu_util, 0.0);
+    EXPECT_LE(j.mean_cpu_util, 1.0);
+    for (double u : j.cpu_util_trace) {
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0);
+    }
+    EXPECT_FALSE(j.cpu_util_trace.empty());
+    EXPECT_GT(j.id, 0);
+  }
+}
+
+TEST(WorkloadTest, SizeDistributionMatchesTableIV) {
+  const SystemConfig c = frontier_system_config();
+  WorkloadGenerator gen(c.workload, c, Rng(8));
+  SummaryStats nodes, wall;
+  for (int i = 0; i < 20000; ++i) {
+    const JobRecord j = gen.draw_job(0.0);
+    nodes.add(j.node_count);
+    wall.add(j.wall_time_s);
+  }
+  // Table IV: avg nodes/job 268, avg runtime 39 min. Clamping at the
+  // machine size shaves the heavy tail slightly.
+  EXPECT_NEAR(nodes.mean(), 268.0, 45.0);
+  EXPECT_NEAR(wall.mean() / 60.0, 39.0, 6.0);
+}
+
+TEST(WorkloadTest, HplProfileMatchesPaper) {
+  const JobRecord j = make_hpl_job(100.0, 1800.0);
+  EXPECT_EQ(j.node_count, 9216);
+  EXPECT_DOUBLE_EQ(j.mean_cpu_util, 0.33);
+  EXPECT_DOUBLE_EQ(j.mean_gpu_util, 0.79);
+  EXPECT_EQ(j.name, "hpl");
+  EXPECT_DOUBLE_EQ(j.submit_time_s, 100.0);
+}
+
+TEST(WorkloadTest, OpenMxPProfileGpuDominated) {
+  const JobRecord j = make_openmxp_job(0.0, 600.0);
+  EXPECT_GT(j.mean_gpu_util, 0.85);
+  EXPECT_LT(j.mean_cpu_util, 0.5);
+}
+
+TEST(WorkloadTest, ConstantJobValidation) {
+  EXPECT_THROW(make_constant_job(0.0, 10.0, 0, 0.5, 0.5), ConfigError);
+  EXPECT_THROW(make_constant_job(0.0, 0.0, 10, 0.5, 0.5), ConfigError);
+  const JobRecord j = make_constant_job(0.0, 10.0, 10, 2.0, -1.0);
+  EXPECT_DOUBLE_EQ(j.mean_cpu_util, 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(j.mean_gpu_util, 0.0);
+}
+
+TEST(WorkloadTest, EmptyWindowYieldsNoJobs) {
+  const SystemConfig c = frontier_system_config();
+  WorkloadConfig sparse = c.workload;
+  sparse.mean_arrival_s = 1e9;
+  WorkloadGenerator gen(sparse, c, Rng(9));
+  EXPECT_TRUE(gen.generate(0.0, 60.0).empty());
+}
+
+}  // namespace
+}  // namespace exadigit

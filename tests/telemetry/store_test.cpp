@@ -1,0 +1,123 @@
+#include "telemetry/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+namespace {
+
+namespace fs = std::filesystem;
+
+TelemetryDataset sample_dataset() {
+  TelemetryDataset d;
+  d.system_name = "frontier";
+  d.start_time_s = 0.0;
+  d.duration_s = 120.0;
+  d.trace_quantum_s = 15.0;
+
+  JobRecord j;
+  j.name = "hpl";
+  j.id = 7;
+  j.node_count = 9216;
+  j.submit_time_s = 5.0;
+  j.wall_time_s = 60.0;
+  j.mean_cpu_util = 0.33;
+  j.mean_gpu_util = 0.79;
+  j.fixed_start_time_s = 10.0;
+  j.cpu_util_trace = {0.3, 0.33, 0.31};
+  d.jobs.push_back(j);
+
+  d.measured_system_power_w = TimeSeries::uniform(0.0, 15.0, {1e7, 1.1e7, 1.2e7});
+  d.wetbulb_c = TimeSeries::uniform(0.0, 60.0, {15.0, 15.5});
+  d.cdus.resize(2);
+  d.cdus[0].rack_power_w = TimeSeries::uniform(0.0, 15.0, {4e5, 4.1e5});
+  d.cdus[0].supply_temp_c = TimeSeries::uniform(0.0, 15.0, {32.0, 32.1});
+  d.cdus[1].htw_flow_gpm = TimeSeries::uniform(0.0, 15.0, {210.0, 220.0});
+  d.facility.pue = TimeSeries::uniform(0.0, 15.0, {1.02, 1.021});
+  d.facility.htw_supply_pressure_pa = TimeSeries::uniform(0.0, 30.0, {2e5});
+  return d;
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "exadigit_store_test").string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(StoreTest, RoundTripPreservesEverything) {
+  const TelemetryDataset d = sample_dataset();
+  save_dataset(d, dir_);
+  const TelemetryDataset back = load_dataset(dir_);
+
+  EXPECT_EQ(back.system_name, "frontier");
+  EXPECT_DOUBLE_EQ(back.duration_s, 120.0);
+  ASSERT_EQ(back.jobs.size(), 1u);
+  EXPECT_EQ(back.jobs[0].name, "hpl");
+  EXPECT_EQ(back.jobs[0].node_count, 9216);
+  EXPECT_DOUBLE_EQ(back.jobs[0].fixed_start_time_s, 10.0);
+  ASSERT_EQ(back.jobs[0].cpu_util_trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(back.jobs[0].cpu_util_trace[1], 0.33);
+
+  ASSERT_EQ(back.measured_system_power_w.size(), 3u);
+  EXPECT_NEAR(back.measured_system_power_w.value(2), 1.2e7, 1.0);
+  ASSERT_EQ(back.cdus.size(), 2u);
+  EXPECT_NEAR(back.cdus[0].rack_power_w.value(1), 4.1e5, 1.0);
+  EXPECT_NEAR(back.cdus[1].htw_flow_gpm.value(0), 210.0, 1e-3);
+  EXPECT_NEAR(back.facility.pue.value(0), 1.02, 1e-5);
+}
+
+TEST_F(StoreTest, ExpectedFilesOnDisk) {
+  save_dataset(sample_dataset(), dir_);
+  EXPECT_TRUE(fs::exists(dir_ + "/manifest.json"));
+  EXPECT_TRUE(fs::exists(dir_ + "/jobs.json"));
+  EXPECT_TRUE(fs::exists(dir_ + "/system.csv"));
+  EXPECT_TRUE(fs::exists(dir_ + "/cdu.csv"));
+  EXPECT_TRUE(fs::exists(dir_ + "/facility.csv"));
+}
+
+TEST_F(StoreTest, LoadMissingDirectoryThrows) {
+  EXPECT_THROW(load_dataset(dir_ + "/nope"), ConfigError);
+}
+
+TEST_F(StoreTest, RegistryResolvesBuiltInFormat) {
+  save_dataset(sample_dataset(), dir_);
+  auto& registry = TelemetryReaderRegistry::instance();
+  ASSERT_NE(registry.find("exadigit-csv"), nullptr);
+  const TelemetryDataset d = registry.load("exadigit-csv", dir_);
+  EXPECT_EQ(d.system_name, "frontier");
+}
+
+TEST_F(StoreTest, UnknownFormatThrows) {
+  EXPECT_THROW(TelemetryReaderRegistry::instance().load("pm100", "x"), TelemetryError);
+}
+
+/// A bespoke-format adapter, as Section V's pluggable architecture intends.
+class Pm100LikeReader final : public TelemetryReader {
+ public:
+  [[nodiscard]] std::string format() const override { return "pm100-like"; }
+  [[nodiscard]] TelemetryDataset load(const std::string&) const override {
+    TelemetryDataset d;
+    d.system_name = "marconi100";
+    d.duration_s = 60.0;
+    return d;
+  }
+};
+
+TEST_F(StoreTest, CustomReaderRegistration) {
+  auto& registry = TelemetryReaderRegistry::instance();
+  registry.register_reader(std::make_shared<Pm100LikeReader>());
+  const TelemetryDataset d = registry.load("pm100-like", "ignored");
+  EXPECT_EQ(d.system_name, "marconi100");
+  const auto formats = registry.formats();
+  EXPECT_NE(std::find(formats.begin(), formats.end(), "pm100-like"), formats.end());
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,89 @@
+#include "telemetry/weather.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/statistics.hpp"
+#include "common/units.hpp"
+
+namespace exadigit {
+namespace {
+
+TEST(WeatherTest, DeterministicForSameSeed) {
+  SyntheticWeather a(WeatherConfig{}, Rng(5));
+  SyntheticWeather b(WeatherConfig{}, Rng(5));
+  const TimeSeries sa = a.generate(0.0, 3600.0);
+  const TimeSeries sb = b.generate(0.0, 3600.0);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sa.value(i), sb.value(i));
+  }
+}
+
+TEST(WeatherTest, SixtySecondSampling) {
+  SyntheticWeather w(WeatherConfig{}, Rng(1));
+  const TimeSeries s = w.generate(0.0, 600.0);
+  ASSERT_GE(s.size(), 10u);
+  EXPECT_DOUBLE_EQ(s.time(1) - s.time(0), 60.0);
+}
+
+TEST(WeatherTest, BoundsRespected) {
+  WeatherConfig cfg;
+  SyntheticWeather w(cfg, Rng(2));
+  const TimeSeries s = w.generate(0.0, 30.0 * units::kSecondsPerDay);
+  EXPECT_GE(s.min_value(), cfg.min_c);
+  EXPECT_LE(s.max_value(), cfg.max_c);
+}
+
+TEST(WeatherTest, SeasonalCycleVisible) {
+  SyntheticWeather w(WeatherConfig{}, Rng(3));
+  // Mean function only: February vs late July.
+  const double feb = w.mean_at(35.0 * units::kSecondsPerDay);
+  const double jul = w.mean_at(205.0 * units::kSecondsPerDay);
+  EXPECT_GT(jul - feb, 10.0);
+}
+
+TEST(WeatherTest, DiurnalCycleVisible) {
+  SyntheticWeather w(WeatherConfig{}, Rng(4));
+  const double day100 = 100.0 * units::kSecondsPerDay;
+  const double night = w.mean_at(day100 + 4.0 * 3600.0);   // 4 am
+  const double afternoon = w.mean_at(day100 + 15.0 * 3600.0);  // 3 pm
+  EXPECT_GT(afternoon - night, 2.0);
+}
+
+TEST(WeatherTest, NoiseHasConfiguredScale) {
+  WeatherConfig cfg;
+  cfg.diurnal_amplitude_c = 0.0;
+  cfg.seasonal_amplitude_c = 0.0;
+  SyntheticWeather w(cfg, Rng(6));
+  const TimeSeries s = w.generate(0.0, 40.0 * units::kSecondsPerDay);
+  SummaryStats stats;
+  for (std::size_t i = 0; i < s.size(); ++i) stats.add(s.value(i));
+  EXPECT_NEAR(stats.mean(), cfg.annual_mean_c, 1.0);
+  EXPECT_NEAR(stats.stddev(), cfg.noise_stddev_c, cfg.noise_stddev_c * 0.5);
+}
+
+TEST(WeatherTest, ConsecutiveWindowsContinueSmoothly) {
+  // The AR(1) state persists across generate() calls: no jump between the
+  // end of one window and the start of the next.
+  WeatherConfig cfg;
+  SyntheticWeather w(cfg, Rng(7));
+  const TimeSeries first = w.generate(0.0, 6 * 3600.0);
+  const TimeSeries second = w.generate(first.end_time() + 60.0, 3600.0);
+  EXPECT_LT(std::abs(second.value(0) - first.values().back()), 5.0 * cfg.noise_stddev_c);
+}
+
+TEST(WeatherTest, Validation) {
+  WeatherConfig bad;
+  bad.sample_period_s = 0.0;
+  EXPECT_THROW(SyntheticWeather(bad, Rng(1)), ConfigError);
+  WeatherConfig inverted;
+  inverted.min_c = 30.0;
+  inverted.max_c = 10.0;
+  EXPECT_THROW(SyntheticWeather(inverted, Rng(1)), ConfigError);
+  SyntheticWeather ok(WeatherConfig{}, Rng(1));
+  EXPECT_THROW(ok.generate(0.0, 0.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "raps/workload.hpp"
+#include "viz/dashboard.hpp"
+#include "viz/heatmap.hpp"
+#include "viz/scene_export.hpp"
+
+namespace exadigit {
+namespace {
+
+TEST(HeatmapTest, RampCharCoverage) {
+  EXPECT_EQ(ramp_char(0.0), ' ');
+  EXPECT_EQ(ramp_char(1.0), '@');
+  EXPECT_EQ(ramp_char(-5.0), ' ');
+  EXPECT_EQ(ramp_char(5.0), '@');
+}
+
+TEST(HeatmapTest, ThermalColorEndpoints) {
+  // Cold end: blue-dominant cube entry; hot end: red-dominant.
+  EXPECT_EQ(thermal_color(0.0), "\x1b[48;5;21m");    // 16 + 0 + 0 + 5
+  EXPECT_EQ(thermal_color(1.0), "\x1b[48;5;196m");   // 16 + 36*5
+}
+
+TEST(HeatmapTest, RenderShapeAndLegend) {
+  std::vector<double> values(50);
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = static_cast<double>(i);
+  HeatmapOptions options;
+  options.columns = 25;
+  options.use_color = false;
+  options.title = "rack power";
+  options.unit = "kW";
+  const std::string out = render_heatmap(values, options);
+  EXPECT_NE(out.find("rack power"), std::string::npos);
+  EXPECT_NE(out.find("scale: 0.0 kW"), std::string::npos);
+  EXPECT_NE(out.find("49.0 kW"), std::string::npos);
+  // Two grid rows of 25 cells (2 chars each).
+  EXPECT_GE(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(HeatmapTest, FixedScaleClamps) {
+  HeatmapOptions options;
+  options.columns = 2;
+  options.use_color = false;
+  options.scale_min = 0.0;
+  options.scale_max = 10.0;
+  const std::string out = render_heatmap({-5.0, 50.0}, options);
+  EXPECT_NE(out.find("10.0"), std::string::npos);
+}
+
+TEST(HeatmapTest, EmptyValues) {
+  HeatmapOptions options;
+  EXPECT_TRUE(render_heatmap({}, options).empty() ||
+              render_heatmap({}, options).find("scale") == std::string::npos);
+}
+
+class DashboardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    twin_ = std::make_unique<DigitalTwin>(frontier_system_config());
+    twin_->set_wetbulb_constant(16.0);
+    twin_->submit(make_hpl_job(30.0, 600.0));
+    twin_->run_until(300.0);
+  }
+  std::unique_ptr<DigitalTwin> twin_;
+};
+
+TEST_F(DashboardTest, FullDashboardPanels) {
+  DashboardOptions options;
+  options.use_color = false;
+  const std::string out = render_dashboard(*twin_, options);
+  EXPECT_NE(out.find("ExaDigiT :: frontier"), std::string::npos);
+  EXPECT_NE(out.find("P_system"), std::string::npos);
+  EXPECT_NE(out.find("rack wall power"), std::string::npos);
+  EXPECT_NE(out.find("Primary (HTW)"), std::string::npos);
+  EXPECT_NE(out.find("Cooling tower"), std::string::npos);
+  EXPECT_NE(out.find("PUE"), std::string::npos);
+  EXPECT_NE(out.find("utilization"), std::string::npos);
+}
+
+TEST_F(DashboardTest, CoolingPanelValuesSane) {
+  const std::string out = render_cooling_panel(*twin_);
+  EXPECT_NE(out.find("CDU-rack (avg)"), std::string::npos);
+  EXPECT_NE(out.find("HTWP"), std::string::npos);
+}
+
+TEST_F(DashboardTest, CoolingDisabledPanel) {
+  DigitalTwinOptions options;
+  options.enable_cooling = false;
+  DigitalTwin twin(frontier_system_config(), options);
+  EXPECT_NE(render_cooling_panel(twin).find("disabled"), std::string::npos);
+}
+
+TEST(SceneExportTest, FrontierSceneInventory) {
+  const SystemConfig c = frontier_system_config();
+  const SceneGraph scene = build_scene(c);
+  int racks = 0, cdus = 0, pumps = 0, cells = 0, ehx = 0;
+  for (const auto& a : scene.assets) {
+    if (a.type == "rack") ++racks;
+    else if (a.type == "cdu") ++cdus;
+    else if (a.type == "pump") ++pumps;
+    else if (a.type == "cooling_tower_cell") ++cells;
+    else if (a.type == "heat_exchanger") ++ehx;
+  }
+  EXPECT_EQ(racks, 74);
+  EXPECT_EQ(cdus, 25);
+  EXPECT_EQ(pumps, 8);   // 4 HTWP + 4 CTWP
+  EXPECT_EQ(cells, 20);
+  EXPECT_EQ(ehx, 5);
+}
+
+TEST(SceneExportTest, ChannelsBindToFmuNames) {
+  const SceneGraph scene = build_scene(frontier_system_config());
+  for (const auto& a : scene.assets) {
+    EXPECT_FALSE(a.channels.empty()) << a.id;
+  }
+  // Spot-check binding syntax matches the FMU variable convention.
+  bool found = false;
+  for (const auto& a : scene.assets) {
+    if (a.id == "cdu-3") {
+      found = true;
+      EXPECT_EQ(a.channels[0], "cdu[3].sec_supply_t_c");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SceneExportTest, JsonRoundTrip) {
+  const SceneGraph scene = build_scene(frontier_system_config());
+  const SceneGraph back = SceneGraph::from_json(scene.to_json());
+  ASSERT_EQ(back.assets.size(), scene.assets.size());
+  EXPECT_EQ(back.system_name, scene.system_name);
+  EXPECT_EQ(back.assets[5].id, scene.assets[5].id);
+  EXPECT_DOUBLE_EQ(back.assets[5].x_m, scene.assets[5].x_m);
+  EXPECT_EQ(back.assets[5].channels, scene.assets[5].channels);
+}
+
+TEST(SceneExportTest, ExportWritesFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "exadigit_scene.json").string();
+  export_scene(build_scene(frontier_system_config()), path);
+  const Json j = Json::load_file(path);
+  EXPECT_GT(j.at("assets").as_array().size(), 100u);
+  std::filesystem::remove(path);
+}
+
+TEST(SceneExportTest, DistinctPositions) {
+  const SceneGraph scene = build_scene(frontier_system_config());
+  // No two racks share a position (the UE5 layout requirement).
+  std::set<std::pair<double, double>> positions;
+  for (const auto& a : scene.assets) {
+    if (a.type != "rack") continue;
+    EXPECT_TRUE(positions.insert({a.x_m, a.y_m}).second) << a.id;
+  }
+}
+
+}  // namespace
+}  // namespace exadigit
