@@ -1,0 +1,28 @@
+# Resolve google-benchmark for bench_perf_micro. Most bench/ programs are
+# plain executables; only the micro-benchmark needs the library. We never
+# download it: if neither a CMake package nor a system library exists, the
+# caller skips that one target (EXADIGIT_HAVE_BENCHMARK is FALSE).
+
+set(EXADIGIT_HAVE_BENCHMARK FALSE)
+
+find_package(benchmark QUIET)
+if(TARGET benchmark::benchmark)
+  set(EXADIGIT_HAVE_BENCHMARK TRUE)
+  message(STATUS "ExaDIGIT: google-benchmark via find_package")
+else()
+  find_library(EXADIGIT_BENCHMARK_LIB benchmark)
+  find_path(EXADIGIT_BENCHMARK_INCLUDE benchmark/benchmark.h)
+  if(EXADIGIT_BENCHMARK_LIB AND EXADIGIT_BENCHMARK_INCLUDE)
+    add_library(benchmark::benchmark UNKNOWN IMPORTED)
+    set_target_properties(benchmark::benchmark PROPERTIES
+      IMPORTED_LOCATION "${EXADIGIT_BENCHMARK_LIB}"
+      INTERFACE_INCLUDE_DIRECTORIES "${EXADIGIT_BENCHMARK_INCLUDE}")
+    find_package(Threads REQUIRED)
+    set_property(TARGET benchmark::benchmark APPEND PROPERTY
+      INTERFACE_LINK_LIBRARIES Threads::Threads)
+    set(EXADIGIT_HAVE_BENCHMARK TRUE)
+    message(STATUS "ExaDIGIT: google-benchmark via system library ${EXADIGIT_BENCHMARK_LIB}")
+  else()
+    message(STATUS "ExaDIGIT: google-benchmark not found; skipping bench_perf_micro")
+  endif()
+endif()

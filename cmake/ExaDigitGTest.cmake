@@ -1,0 +1,51 @@
+# Resolve GoogleTest, preferring offline sources so the tier-1 loop works
+# without network access:
+#   1. an installed package (find_package(GTest)),
+#   2. the Debian/Ubuntu source tree at /usr/src/googletest,
+#   3. FetchContent from GitHub (online builds / fresh CI machines).
+#
+# Whatever the path, the targets GTest::gtest and GTest::gtest_main exist
+# afterwards, and the GoogleTest CMake module (gtest_discover_tests) is loaded.
+
+include(GoogleTest)
+
+set(EXADIGIT_GTEST_PROVIDER "" CACHE INTERNAL "Where GoogleTest came from")
+
+if(NOT TARGET GTest::gtest_main)
+  find_package(GTest QUIET)
+  if(TARGET GTest::gtest_main)
+    set(EXADIGIT_GTEST_PROVIDER "system package" CACHE INTERNAL "")
+  endif()
+endif()
+
+if(NOT TARGET GTest::gtest_main AND EXISTS "/usr/src/googletest/CMakeLists.txt")
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  add_subdirectory(/usr/src/googletest "${CMAKE_BINARY_DIR}/_deps/googletest-system" EXCLUDE_FROM_ALL)
+  if(TARGET gtest_main AND NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+  set(EXADIGIT_GTEST_PROVIDER "/usr/src/googletest" CACHE INTERNAL "")
+endif()
+
+if(NOT TARGET GTest::gtest_main)
+  include(FetchContent)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  FetchContent_MakeAvailable(googletest)
+  set(EXADIGIT_GTEST_PROVIDER "FetchContent" CACHE INTERNAL "")
+endif()
+
+if(NOT TARGET GTest::gtest_main)
+  message(FATAL_ERROR
+    "GoogleTest not found: no installed package, no /usr/src/googletest, and "
+    "FetchContent failed. Install libgtest-dev or allow network access, or "
+    "configure with -DEXADIGIT_BUILD_TESTS=OFF.")
+endif()
+
+message(STATUS "ExaDIGIT: GoogleTest via ${EXADIGIT_GTEST_PROVIDER}")

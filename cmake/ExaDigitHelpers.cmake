@@ -1,0 +1,80 @@
+# Helper functions shared by the per-layer and per-suite CMakeLists files.
+
+# exadigit_add_library(<layer> [DEPS <layer>...])
+#
+# Defines a static library `exadigit_<layer>` (alias `exadigit::<layer>`) from
+# every .cpp in the current source directory, with the repository-wide include
+# root (src/) and warning flags applied. DEPS name other layers and are linked
+# PUBLIC so transitive includes keep working.
+function(exadigit_add_library layer)
+  cmake_parse_arguments(ARG "" "" "DEPS" ${ARGN})
+
+  file(GLOB layer_sources CONFIGURE_DEPENDS "${CMAKE_CURRENT_SOURCE_DIR}/*.cpp")
+  file(GLOB layer_headers CONFIGURE_DEPENDS "${CMAKE_CURRENT_SOURCE_DIR}/*.hpp")
+
+  set(target exadigit_${layer})
+  if(layer_sources)
+    add_library(${target} STATIC ${layer_sources} ${layer_headers})
+  else()
+    # Header-only layer: still expose a linkable target for dependents.
+    add_library(${target} INTERFACE ${layer_headers})
+  endif()
+  add_library(exadigit::${layer} ALIAS ${target})
+
+  if(layer_sources)
+    target_include_directories(${target} PUBLIC "${PROJECT_SOURCE_DIR}/src")
+    target_link_libraries(${target} PRIVATE exadigit::warnings)
+    foreach(dep IN LISTS ARG_DEPS)
+      target_link_libraries(${target} PUBLIC exadigit::${dep})
+    endforeach()
+  else()
+    target_include_directories(${target} INTERFACE "${PROJECT_SOURCE_DIR}/src")
+    foreach(dep IN LISTS ARG_DEPS)
+      target_link_libraries(${target} INTERFACE exadigit::${dep})
+    endforeach()
+  endif()
+endfunction()
+
+# exadigit_add_test_dir(<suite> [DEPS <layer>...])
+#
+# Defines one gtest binary `exadigit_<suite>_tests` from every *_test.cpp in
+# the current source directory and registers its cases with ctest via
+# gtest_discover_tests, labelled with the suite name so `ctest -L <suite>`
+# runs a single layer.
+function(exadigit_add_test_dir suite)
+  cmake_parse_arguments(ARG "" "" "DEPS" ${ARGN})
+
+  file(GLOB test_sources CONFIGURE_DEPENDS "${CMAKE_CURRENT_SOURCE_DIR}/*_test.cpp")
+  if(NOT test_sources)
+    message(FATAL_ERROR "No *_test.cpp files found for test suite '${suite}'")
+  endif()
+
+  set(target exadigit_${suite}_tests)
+  add_executable(${target} ${test_sources})
+  target_link_libraries(${target} PRIVATE exadigit::warnings GTest::gtest_main)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    # EXPECT_THROW on a [[nodiscard]] call is idiomatic in the suites.
+    target_compile_options(${target} PRIVATE -Wno-unused-result)
+  endif()
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(${target} PRIVATE exadigit::${dep})
+  endforeach()
+
+  gtest_discover_tests(${target}
+    TEST_PREFIX "${suite}."
+    PROPERTIES LABELS "${suite}"
+    DISCOVERY_TIMEOUT 60)
+endfunction()
+
+# exadigit_add_program(<name> <source> [DEPS <layer>...])
+#
+# Defines one executable from a single source file (examples/ and bench/).
+function(exadigit_add_program name source)
+  cmake_parse_arguments(ARG "" "" "DEPS" ${ARGN})
+
+  add_executable(${name} ${source})
+  target_link_libraries(${name} PRIVATE exadigit::warnings)
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(${name} PRIVATE exadigit::${dep})
+  endforeach()
+endfunction()

@@ -1,0 +1,25 @@
+/// Build-hygiene smoke test: pulls every header under src/ into one
+/// translation unit (via a configure-time generated umbrella header) so ODR
+/// violations, macro leaks, and cross-header name collisions surface as a
+/// compile or link failure of the integration suite. Per-header
+/// self-containment is checked separately by the ctest entry
+/// integration.header_self_containment, which compiles one generated TU per
+/// header.
+
+#include "exadigit_all_headers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace exadigit {
+namespace {
+
+TEST(BuildSanity, AllHeadersCoexistInOneTranslationUnit) {
+  // Compiling this TU is the real assertion; keep a live symbol from a few
+  // layers so the linker exercises each layer library too.
+  const SystemConfig config = frontier_system_config();
+  EXPECT_GT(config.cdu_count, 0);
+  EXPECT_FALSE(config.name.empty());
+}
+
+}  // namespace
+}  // namespace exadigit
