@@ -1,6 +1,13 @@
 /// The terminal console interface (paper Fig. 6 top-right): a CLI over the
 /// twin's main workflows, driven by JSON descriptors (Section V).
 ///
+/// `run` is the single declarative entry point: it executes any batch of
+/// scenarios — replays, what-ifs, day sweeps, thermal scans, optimizer
+/// runs — concurrently through the ScenarioRegistry/ScenarioRunner, and
+/// exports per-scenario summaries and series. The remaining subcommands
+/// are interactive conveniences over the same kernels.
+///
+///   exadigit_cli run       <scenarios.json> [--jobs N] [--out DIR] [--seed S]
 ///   exadigit_cli simulate  [--hours H] [--seed S] [--config system.json]
 ///   exadigit_cli replay    <dataset_dir> [--config system.json] [--no-cooling]
 ///   exadigit_cli record    <output_dir> [--hours H] [--seed S]
@@ -8,21 +15,21 @@
 ///   exadigit_cli optimize  [--power-mw P] [--wetbulb C]
 ///   exadigit_cli scene     <output.json>
 ///   exadigit_cli config    <output.json>      # dump the Frontier descriptor
+///   exadigit_cli types                        # list registered scenario types
 
 #include <cstdio>
-#include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "common/arg_parser.hpp"
 #include "common/units.hpp"
 #include "config/config_json.hpp"
-#include "core/autonomous.hpp"
 #include "core/physical_twin.hpp"
 #include "core/replay.hpp"
-#include "core/whatif.hpp"
 #include "raps/workload.hpp"
+#include "scenario/scenario_runner.hpp"
 #include "telemetry/store.hpp"
-#include "telemetry/weather.hpp"
 #include "viz/dashboard.hpp"
 #include "viz/scene_export.hpp"
 
@@ -37,25 +44,25 @@ struct Args {
   double power_mw = 17.0;
   double wetbulb_c = 16.0;
   std::string config_path;
+  std::string out_dir = "scenario_out";
   bool cooling = true;
+  bool seed_set = false;  ///< --seed appeared (run: overrides the batch seed)
+  int jobs = 0;           ///< scenario-runner concurrency cap; 0 = batch/hardware
 };
 
 Args parse_args(int argc, char** argv) {
   Args args;
-  for (int i = 2; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) throw ConfigError("missing value for " + a);
-      return argv[++i];
-    };
-    if (a == "--hours") args.hours = std::stod(next());
-    else if (a == "--seed") args.seed = std::stoull(next());
-    else if (a == "--power-mw") args.power_mw = std::stod(next());
-    else if (a == "--wetbulb") args.wetbulb_c = std::stod(next());
-    else if (a == "--config") args.config_path = next();
-    else if (a == "--no-cooling") args.cooling = false;
-    else args.positional.push_back(a);
-  }
+  ArgParser parser;
+  parser.add_double("--hours", &args.hours)
+      .add_uint64("--seed", &args.seed)
+      .track(&args.seed_set)
+      .add_double("--power-mw", &args.power_mw)
+      .add_double("--wetbulb", &args.wetbulb_c)
+      .add_string("--config", &args.config_path)
+      .add_string("--out", &args.out_dir)
+      .add_int("--jobs", &args.jobs)
+      .add_switch("--no-cooling", &args.cooling, false);
+  args.positional = parser.parse(argc, argv, 2);
   return args;
 }
 
@@ -64,14 +71,67 @@ SystemConfig load_config(const Args& args) {
   return system_config_from_json(Json::load_file(args.config_path));
 }
 
-TimeSeries synthetic_wetbulb(double duration_s, std::uint64_t seed) {
-  SyntheticWeather weather(WeatherConfig{}, Rng(seed));
-  TimeSeries raw = weather.generate(120.0 * units::kSecondsPerDay, duration_s + 120.0);
-  TimeSeries shifted;
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    shifted.push_back(static_cast<double>(i) * 60.0, raw.value(i));
+/// The declarative path: execute a batch file through the runner.
+int cmd_run(const Args& args) {
+  if (args.positional.empty()) throw ConfigError("run requires a scenarios.json path");
+  const ScenarioBatch batch = ScenarioBatch::load_file(args.positional[0]);
+  // Validate every type up front so a typo fails before hours of work.
+  for (const ScenarioSpec& spec : batch.scenarios) {
+    ScenarioRegistry::instance().require_type(spec.type);
   }
-  return shifted;
+  // The batch summary must be writable even when every scenario fails
+  // (export_files only creates the directory for successful scenarios).
+  std::filesystem::create_directories(args.out_dir);
+
+  ScenarioRunner::Options options;
+  options.jobs = args.jobs > 0 ? args.jobs : batch.jobs;
+  options.batch_seed = args.seed_set ? args.seed : batch.seed;
+  options.on_status = [](std::size_t index, const ScenarioSpec& spec,
+                         ScenarioResult::Status status) {
+    std::printf("[%zu] %-28s %s\n", index, spec.name.c_str(), to_string(status));
+  };
+  const std::vector<ScenarioResult> results = ScenarioRunner(options).run(batch.scenarios);
+
+  int failed = 0;
+  int exported = 0;
+  for (const ScenarioResult& r : results) {
+    std::printf("\n=== %s (%s) — %s ===\n", r.name.c_str(), r.type.c_str(),
+                to_string(r.status));
+    if (r.status == ScenarioResult::Status::kFailed) {
+      ++failed;
+      std::printf("error: %s\n", r.error.c_str());
+      continue;
+    }
+    if (!r.text.empty()) std::printf("%s\n", r.text.c_str());
+    std::printf("%s", r.summary_table().c_str());
+    r.export_files(args.out_dir);
+    ++exported;
+  }
+
+  batch_summary_csv(results).save(args.out_dir + "/batch_summary.csv");
+  Json batch_json{Json::Array{}};
+  for (const ScenarioResult& r : results) batch_json.push_back(r.to_json());
+  batch_json.save_file(args.out_dir + "/batch_summary.json");
+
+  std::printf("\n%s", batch_summary_table(results).c_str());
+  std::printf("exported %d of %zu scenario(s) to %s\n", exported, results.size(),
+              args.out_dir.c_str());
+  return failed == 0 ? 0 : 1;
+}
+
+int cmd_types(const Args&) {
+  for (const std::string& type : ScenarioRegistry::instance().types()) {
+    std::printf("%s\n", type.c_str());
+  }
+  return 0;
+}
+
+/// One ad-hoc scenario through the same registry path as `run`.
+int run_single(ScenarioSpec spec) {
+  const ScenarioResult r = ScenarioRegistry::instance().run(spec);
+  if (!r.text.empty()) std::printf("%s\n", r.text.c_str());
+  std::printf("%s", r.summary_table().c_str());
+  return 0;
 }
 
 int cmd_simulate(const Args& args) {
@@ -80,7 +140,7 @@ int cmd_simulate(const Args& args) {
   options.enable_cooling = args.cooling;
   DigitalTwin twin(config, options);
   const double duration = args.hours * units::kSecondsPerHour;
-  if (args.cooling) twin.set_wetbulb_series(synthetic_wetbulb(duration, args.seed + 1));
+  if (args.cooling) twin.set_wetbulb_series(synthetic_wetbulb_series(duration, args.seed + 1));
   WorkloadGenerator gen(config.workload, config, Rng(args.seed));
   twin.submit_all(gen.generate(0.0, duration));
   twin.run_until(duration);
@@ -97,9 +157,9 @@ int cmd_record(const Args& args) {
   const double duration = args.hours * units::kSecondsPerHour;
   WorkloadGenerator gen(config.workload, config, Rng(args.seed));
   SyntheticPhysicalTwin physical(config, PhysicalTwinOptions{});
-  const TelemetryDataset dataset =
-      physical.record(gen.generate(0.0, duration), synthetic_wetbulb(duration, args.seed + 1),
-                      duration);
+  const TelemetryDataset dataset = physical.record(
+      gen.generate(0.0, duration), synthetic_wetbulb_series(duration, args.seed + 1),
+      duration);
   save_dataset(dataset, args.positional[0]);
   std::printf("recorded %zu jobs over %.1f h into %s\n", dataset.jobs.size(), args.hours,
               args.positional[0].c_str());
@@ -128,39 +188,35 @@ int cmd_replay(const Args& args) {
 
 int cmd_whatif(const Args& args) {
   if (args.positional.empty()) throw ConfigError("whatif requires a scenario name");
-  const SystemConfig config = load_config(args);
-  const double duration = args.hours * units::kSecondsPerHour;
-  WorkloadGenerator gen(config.workload, config, Rng(args.seed));
-  const std::vector<JobRecord> jobs = gen.generate(0.0, duration);
   const std::string& scenario = args.positional[0];
-  WhatIfResult r;
+  ScenarioSpec spec;
   if (scenario == "smart_rectifiers") {
-    r = run_smart_rectifier_whatif(config, jobs, duration);
+    spec.type = "whatif_smart_rectifiers";
   } else if (scenario == "dc380") {
-    r = run_dc380_whatif(config, jobs, duration);
+    spec.type = "whatif_dc380";
   } else {
     throw ConfigError("unknown scenario: " + scenario +
                       " (expected smart_rectifiers or dc380)");
   }
-  std::printf("%s\n", r.to_string().c_str());
-  return 0;
+  spec.name = scenario;
+  spec.config_path = args.config_path;
+  spec.horizon_hours = args.hours;
+  spec.seed = args.seed;
+  return run_single(std::move(spec));
 }
 
 int cmd_optimize(const Args& args) {
-  const SystemConfig config = load_config(args);
-  const SetpointOptimizationResult r = optimize_basin_setpoint(
-      config, units::watts_from_mw(args.power_mw), args.wetbulb_c);
-  std::printf("autonomous basin-setpoint optimization @ %.1f MW, wet bulb %.1f C\n\n",
+  ScenarioSpec spec;
+  spec.type = "optimize_setpoint";
+  spec.name = "optimize_setpoint";
+  spec.config_path = args.config_path;
+  Json params;
+  params["power_mw"] = args.power_mw;
+  params["wetbulb_c"] = args.wetbulb_c;
+  spec.params = std::move(params);
+  std::printf("autonomous basin-setpoint optimization @ %.1f MW, wet bulb %.1f C\n",
               args.power_mw, args.wetbulb_c);
-  std::printf("  baseline: offset %.2f K -> PUE %.4f (HTWS %.2f C, fans %.0f kW)\n",
-              r.baseline.basin_offset_k, r.baseline.pue, r.baseline.htws_c,
-              r.baseline.fan_power_w / 1e3);
-  std::printf("  optimum:  offset %.2f K -> PUE %.4f (HTWS %.2f C, fans %.0f kW)%s\n",
-              r.best.basin_offset_k, r.best.pue, r.best.htws_c,
-              r.best.fan_power_w / 1e3, r.best.feasible ? "" : "  [INFEASIBLE]");
-  std::printf("  PUE improvement %.4f | auxiliary savings ~$%.0f/yr | %zu candidates\n",
-              r.pue_improvement, r.annual_savings_usd, r.evaluated.size());
-  return 0;
+  return run_single(std::move(spec));
 }
 
 int cmd_scene(const Args& args) {
@@ -183,13 +239,15 @@ void usage() {
   std::printf(
       "exadigit_cli — console interface to the ExaDigiT digital twin\n\n"
       "commands:\n"
+      "  run       <scenarios.json> [--jobs N] [--out DIR] [--seed S]\n"
       "  simulate  [--hours H] [--seed S] [--config f.json] [--no-cooling]\n"
       "  record    <dir> [--hours H] [--seed S]\n"
       "  replay    <dir> [--config f.json] [--no-cooling]\n"
       "  whatif    <smart_rectifiers|dc380> [--hours H]\n"
       "  optimize  [--power-mw P] [--wetbulb C]\n"
       "  scene     <out.json>\n"
-      "  config    <out.json>\n");
+      "  config    <out.json>\n"
+      "  types\n");
 }
 
 }  // namespace
@@ -202,6 +260,8 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Args args = parse_args(argc, argv);
+    if (command == "run") return cmd_run(args);
+    if (command == "types") return cmd_types(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "record") return cmd_record(args);
     if (command == "replay") return cmd_replay(args);

@@ -1,0 +1,119 @@
+#include "common/arg_parser.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+ArgParser& ArgParser::add(const std::string& name, Kind kind, void* target,
+                          bool switch_value) {
+  require(name.rfind("--", 0) == 0, "option names must start with --: " + name);
+  for (const Option& o : options_) {
+    require(o.name != name, "duplicate option: " + name);
+  }
+  options_.push_back(Option{name, kind, target, switch_value});
+  return *this;
+}
+
+ArgParser& ArgParser::add_double(const std::string& name, double* target) {
+  return add(name, Kind::kDouble, target);
+}
+
+ArgParser& ArgParser::add_int(const std::string& name, int* target) {
+  return add(name, Kind::kInt, target);
+}
+
+ArgParser& ArgParser::add_uint64(const std::string& name, std::uint64_t* target) {
+  return add(name, Kind::kUint64, target);
+}
+
+ArgParser& ArgParser::add_string(const std::string& name, std::string* target) {
+  return add(name, Kind::kString, target);
+}
+
+ArgParser& ArgParser::add_switch(const std::string& name, bool* target,
+                                 bool value_when_present) {
+  return add(name, Kind::kSwitch, target, value_when_present);
+}
+
+ArgParser& ArgParser::track(bool* seen) {
+  require(!options_.empty(), "track() requires a previously added option");
+  require(seen != nullptr, "track() requires a target");
+  *seen = false;
+  options_.back().seen = seen;
+  return *this;
+}
+
+std::vector<std::string> ArgParser::parse(int argc, char** argv, int first) const {
+  std::vector<std::string> positional;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    const Option* match = nullptr;
+    for (const Option& o : options_) {
+      if (o.name == arg) {
+        match = &o;
+        break;
+      }
+    }
+    if (match == nullptr) throw ConfigError("unknown option: " + arg);
+    if (match->seen != nullptr) *match->seen = true;
+    if (match->kind == Kind::kSwitch) {
+      *static_cast<bool*>(match->target) = match->switch_value;
+      continue;
+    }
+    if (i + 1 >= argc) throw ConfigError("missing value for " + arg);
+    const std::string value = argv[++i];
+    try {
+      std::size_t consumed = 0;
+      switch (match->kind) {
+        case Kind::kDouble:
+          *static_cast<double*>(match->target) = std::stod(value, &consumed);
+          break;
+        case Kind::kInt:
+          *static_cast<int*>(match->target) = std::stoi(value, &consumed);
+          break;
+        case Kind::kUint64:
+          *static_cast<std::uint64_t*>(match->target) = std::stoull(value, &consumed);
+          break;
+        case Kind::kString:
+          *static_cast<std::string*>(match->target) = value;
+          consumed = value.size();
+          break;
+        case Kind::kSwitch:
+          break;
+      }
+      if (consumed != value.size()) {
+        throw ConfigError("bad value for " + arg + ": " + value);
+      }
+    } catch (const ConfigError&) {
+      throw;
+    } catch (const std::exception&) {
+      throw ConfigError("bad value for " + arg + ": " + value);
+    }
+  }
+  return positional;
+}
+
+std::string ArgParser::options_help() const {
+  std::string out;
+  for (const Option& o : options_) {
+    out += "  " + o.name;
+    switch (o.kind) {
+      case Kind::kDouble: out += " <number>"; break;
+      case Kind::kInt: out += " <int>"; break;
+      case Kind::kUint64: out += " <uint>"; break;
+      case Kind::kString: out += " <string>"; break;
+      case Kind::kSwitch: break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace exadigit

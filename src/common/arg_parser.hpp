@@ -1,0 +1,56 @@
+#pragma once
+
+/// @file arg_parser.hpp
+/// Minimal declarative command-line flag parsing for the example programs.
+///
+/// The console interface (paper Fig. 6) grew one hand-rolled `--flag` loop
+/// per subcommand; this helper replaces them with a single table of typed
+/// options bound to caller-owned variables. Unknown `--options` and missing
+/// values throw ConfigError so every program reports usage errors the same
+/// way.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exadigit {
+
+/// A table of typed `--name value` options (plus valueless switches) bound
+/// to caller variables. `parse` fills the bound targets and returns the
+/// positional arguments in order.
+class ArgParser {
+ public:
+  ArgParser& add_double(const std::string& name, double* target);
+  ArgParser& add_int(const std::string& name, int* target);
+  ArgParser& add_uint64(const std::string& name, std::uint64_t* target);
+  ArgParser& add_string(const std::string& name, std::string* target);
+  /// A valueless switch: when present, `*target = value_when_present`.
+  ArgParser& add_switch(const std::string& name, bool* target, bool value_when_present);
+
+  /// Presence tracking for the most recently added option: `*seen` becomes
+  /// true when that option appears on the command line (distinguishes "the
+  /// default" from "the user passed the default").
+  ArgParser& track(bool* seen);
+
+  /// Parses argv[first, argc). Throws ConfigError on an unknown `--option`,
+  /// a missing value, or a value that fails numeric conversion.
+  [[nodiscard]] std::vector<std::string> parse(int argc, char** argv, int first = 1) const;
+
+  /// One "--name <kind>" summary per registered option (for usage text).
+  [[nodiscard]] std::string options_help() const;
+
+ private:
+  enum class Kind { kDouble, kInt, kUint64, kString, kSwitch };
+  struct Option {
+    std::string name;
+    Kind kind = Kind::kString;
+    void* target = nullptr;
+    bool switch_value = true;
+    bool* seen = nullptr;
+  };
+  std::vector<Option> options_;
+
+  ArgParser& add(const std::string& name, Kind kind, void* target, bool switch_value = true);
+};
+
+}  // namespace exadigit

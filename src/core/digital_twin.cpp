@@ -21,6 +21,8 @@ DigitalTwin::DigitalTwin(const SystemConfig& config, const DigitalTwinOptions& o
     engine_.set_cooling_callback(
         [this](RapsEngine&, double now_s) { on_cooling_quantum(now_s); });
   }
+  // Options seed both the plant temperature and the constant wet bulb so a
+  // twin with no explicit ambient is internally consistent.
   wetbulb_constant_ = options.ambient_c;
 }
 

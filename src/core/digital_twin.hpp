@@ -27,7 +27,12 @@ struct DigitalTwinOptions {
   bool enable_cooling = true;
   bool collect_series = true;
   double start_time_s = 0.0;
-  double ambient_c = 20.0;  ///< initial plant temperature seed
+  /// Initial plant temperature seed AND the default constant wet bulb.
+  /// Precedence for the ambient boundary condition, highest first:
+  ///   1. set_wetbulb_series()  — a telemetry/synthetic series;
+  ///   2. set_wetbulb_constant() — an explicit constant;
+  ///   3. this field.
+  double ambient_c = 20.0;
 };
 
 /// Per-CDU series recorded during a coupled run.
@@ -46,7 +51,8 @@ class DigitalTwin {
   DigitalTwin(const SystemConfig& config, const DigitalTwinOptions& options);
 
   /// Ambient boundary condition: a wet-bulb series (60 s telemetry) or a
-  /// constant; the series wins when both are set.
+  /// constant; the series wins when both are set. Until either setter is
+  /// called the constant is seeded from DigitalTwinOptions::ambient_c.
   void set_wetbulb_series(TimeSeries series);
   void set_wetbulb_constant(double wetbulb_c);
 
@@ -85,7 +91,9 @@ class DigitalTwin {
   RapsEngine engine_;
   std::unique_ptr<CoolingFmu> fmu_;
   std::optional<TimeSeries> wetbulb_series_;
-  double wetbulb_constant_ = 15.0;
+  /// Seeded from DigitalTwinOptions::ambient_c at construction (see the
+  /// precedence note on that field); never read before then.
+  double wetbulb_constant_ = 20.0;
   bool collect_series_;
 
   TimeSeries pue_series_;

@@ -9,6 +9,9 @@
 /// are drawn from meta-distributions (light weekend days, heavy benchmark
 /// days, occasional full-system HPL runs), days run OpenMP-parallel, and
 /// the daily reports aggregate into Table IV's min/avg/max/std rows.
+///
+/// run_day_sweep is the domain kernel behind the "day_sweep" scenario type
+/// in the ScenarioRegistry.
 
 #include <string>
 #include <vector>

@@ -12,6 +12,9 @@
 ///   - cooling validation (Fig. 7): the cooling FMU alone is driven by the
 ///     telemetry heat + wet bulb, and its flows, temperatures, pressures,
 ///     and PUE are scored against the measured channels.
+///
+/// These functions are the domain kernels behind the "replay" and
+/// "cooling_validation" scenario types in the ScenarioRegistry.
 
 #include "core/digital_twin.hpp"
 #include "telemetry/schema.hpp"

@@ -10,6 +10,9 @@
 /// the engine's per-node power, the plant's per-CDU coolant conditions,
 /// and the cold-plate models into die-temperature estimates for every
 /// running node, then flags outliers against the fleet distribution.
+///
+/// scan_fleet_thermals is the domain kernel behind the "thermal_scan"
+/// scenario type in the ScenarioRegistry.
 
 #include <vector>
 

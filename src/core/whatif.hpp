@@ -12,6 +12,11 @@
 /// plus (from the requirements analysis) virtually extending the cooling
 /// plant with a future secondary HPC system. All three are implemented as
 /// config-delta scenarios replayed over the same workload.
+///
+/// These functions are the *domain kernels*; the declarative entry points
+/// are the scenario types "whatif", "whatif_smart_rectifiers",
+/// "whatif_dc380", and "whatif_cooling_extension" in the ScenarioRegistry
+/// (scenario/scenario_registry.hpp), which call straight into them.
 
 #include <string>
 #include <vector>

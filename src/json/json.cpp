@@ -453,6 +453,21 @@ Json Json::parse(const std::string& text) {
   return parser.parse_document();
 }
 
+Json Json::merge_patch(const Json& base, const Json& patch) {
+  if (!patch.is_object()) return patch;
+  Object merged = base.is_object() ? base.as_object() : Object{};
+  for (const auto& [key, value] : patch.as_object()) {
+    if (value.is_null()) {
+      merged.erase(key);
+    } else {
+      const auto it = merged.find(key);
+      merged[key] = it == merged.end() ? Json::merge_patch(Json(), value)
+                                       : Json::merge_patch(it->second, value);
+    }
+  }
+  return Json(std::move(merged));
+}
+
 Json Json::load_file(const std::string& path) {
   std::ifstream f(path);
   require(f.good(), "cannot open json file: " + path);

@@ -110,6 +110,12 @@ class Json {
   /// Parses a complete JSON document; trailing non-space input is an error.
   static Json parse(const std::string& text);
 
+  /// RFC 7386-style merge patch: objects merge recursively, a null member in
+  /// `patch` removes the key, any other value replaces the base wholesale.
+  /// This is how scenario descriptors express config *deltas* over a full
+  /// system descriptor without repeating it.
+  static Json merge_patch(const Json& base, const Json& patch);
+
   /// Reads and parses a file; throws ConfigError when unreadable.
   static Json load_file(const std::string& path);
   void save_file(const std::string& path, int indent = 2) const;

@@ -1,0 +1,66 @@
+#include "scenario/scenario_registry.hpp"
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    register_builtin_scenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ScenarioRegistry::register_type(const std::string& type, Factory factory) {
+  require(!type.empty(), "scenario type name must be non-empty");
+  require(factory != nullptr, "scenario factory must be callable");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  factories_[type] = std::move(factory);
+}
+
+bool ScenarioRegistry::contains(const std::string& type) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(type) != 0;
+}
+
+std::vector<std::string> ScenarioRegistry::types() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [type, factory] : factories_) {
+    (void)factory;
+    names.push_back(type);
+  }
+  return names;
+}
+
+ScenarioRegistry::Factory ScenarioRegistry::find_factory(const std::string& type) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = factories_.find(type);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& [name, factory] : factories_) {
+      (void)factory;
+      known += known.empty() ? name : ", " + name;
+    }
+    throw ConfigError("unknown scenario type: \"" + type + "\" (known: " + known + ")");
+  }
+  return it->second;
+}
+
+void ScenarioRegistry::require_type(const std::string& type) const {
+  (void)find_factory(type);
+}
+
+ScenarioResult ScenarioRegistry::run(const ScenarioSpec& spec) const {
+  const Factory factory = find_factory(spec.type);
+  ScenarioResult result = factory(spec);
+  result.name = spec.name;
+  result.type = spec.type;
+  result.status = ScenarioResult::Status::kDone;
+  return result;
+}
+
+}  // namespace exadigit

@@ -1,0 +1,65 @@
+#pragma once
+
+/// @file scenario_registry.hpp
+/// The workflow registry: scenario type name -> factory.
+///
+/// Mirrors the telemetry reader registry pattern: each twin workflow
+/// (simulate, replay, cooling validation, the what-ifs, the day sweep, the
+/// thermal scan, the setpoint optimizer) registers a factory under a type
+/// name, and a declarative ScenarioSpec selects one by string. New
+/// machines — and new experiments — plug in here without touching the
+/// runner or the CLI (paper Section V's "configuration, not code").
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_result.hpp"
+#include "scenario/scenario_spec.hpp"
+
+namespace exadigit {
+
+/// Registry of scenario factories keyed by type name. Lookups are
+/// thread-safe (the runner's workers resolve types concurrently);
+/// registration is expected to happen before a batch runs.
+class ScenarioRegistry {
+ public:
+  /// Executes one spec and returns the uniform result shape. Factories
+  /// throw on invalid specs; the runner converts throws into kFailed.
+  using Factory = std::function<ScenarioResult(const ScenarioSpec&)>;
+
+  /// The process-wide registry, pre-populated with the built-in workflows.
+  static ScenarioRegistry& instance();
+
+  /// Registers (or replaces) a factory for `type`.
+  void register_type(const std::string& type, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& type) const;
+  [[nodiscard]] std::vector<std::string> types() const;
+
+  /// Throws ConfigError (listing the known types) when `type` is not
+  /// registered — batch pre-flight validation without running anything.
+  void require_type(const std::string& type) const;
+
+  /// Runs `spec` through its factory, stamping name/type/status on the
+  /// result. Throws ConfigError (listing the known types) when
+  /// `spec.type` is not registered.
+  [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+
+  /// Factory for `type`, or the require_type ConfigError.
+  [[nodiscard]] Factory find_factory(const std::string& type) const;
+};
+
+/// Registers every built-in workflow type:
+///   simulate, replay, cooling_validation, whatif, whatif_smart_rectifiers,
+///   whatif_dc380, whatif_cooling_extension, day_sweep, thermal_scan,
+///   optimize_setpoint.
+void register_builtin_scenarios(ScenarioRegistry& registry);
+
+}  // namespace exadigit

@@ -1,0 +1,123 @@
+#include "scenario/scenario_result.hpp"
+
+#include <cctype>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace exadigit {
+
+void ScenarioResult::add_metric(const std::string& metric, double value) {
+  summary.push_back(ScenarioMetric{metric, value});
+}
+
+bool ScenarioResult::has_metric(const std::string& metric) const {
+  for (const ScenarioMetric& m : summary) {
+    if (m.name == metric) return true;
+  }
+  return false;
+}
+
+double ScenarioResult::metric(const std::string& metric) const {
+  for (const ScenarioMetric& m : summary) {
+    if (m.name == metric) return m.value;
+  }
+  throw ConfigError("scenario \"" + name + "\" has no metric \"" + metric + "\"");
+}
+
+std::string ScenarioResult::summary_table() const {
+  AsciiTable t({"Metric", "Value"});
+  for (const ScenarioMetric& m : summary) {
+    t.add_row({m.name, AsciiTable::num(m.value, 4)});
+  }
+  return t.render();
+}
+
+Json ScenarioResult::to_json() const {
+  Json j;
+  j["name"] = name;
+  j["type"] = type;
+  j["status"] = to_string(status);
+  if (!error.empty()) j["error"] = error;
+  Json metrics{Json::Object{}};
+  for (const ScenarioMetric& m : summary) metrics[m.name] = m.value;
+  j["summary"] = std::move(metrics);
+  Json names{Json::Array{}};
+  for (const auto& [channel, series] : channels) {
+    (void)series;
+    names.push_back(channel);
+  }
+  j["channels"] = std::move(names);
+  return j;
+}
+
+CsvDocument ScenarioResult::series_csv() const {
+  CsvDocument doc({"channel", "time_s", "value"});
+  for (const auto& [channel, series] : channels) {
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      doc.add_row({channel, AsciiTable::num(series.time(i), 3),
+                   AsciiTable::num(series.value(i), 6)});
+    }
+  }
+  return doc;
+}
+
+void ScenarioResult::export_files(const std::string& directory) const {
+  std::filesystem::create_directories(directory);
+  const std::string stem = directory + "/" + sanitize_scenario_name(name);
+  to_json().save_file(stem + ".summary.json");
+  series_csv().save(stem + ".series.csv");
+}
+
+const char* to_string(ScenarioResult::Status status) {
+  switch (status) {
+    case ScenarioResult::Status::kPending: return "pending";
+    case ScenarioResult::Status::kRunning: return "running";
+    case ScenarioResult::Status::kDone: return "done";
+    case ScenarioResult::Status::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::string sanitize_scenario_name(const std::string& name) {
+  std::string safe = name;
+  for (char& c : safe) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+                    c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return safe.empty() ? std::string("scenario") : safe;
+}
+
+std::string batch_summary_table(const std::vector<ScenarioResult>& results) {
+  AsciiTable t({"Scenario", "Type", "Status", "Headline"});
+  for (const ScenarioResult& r : results) {
+    std::string headline;
+    if (r.status == ScenarioResult::Status::kFailed) {
+      headline = r.error;
+    } else if (!r.summary.empty()) {
+      headline = r.summary.front().name + " = " +
+                 AsciiTable::num(r.summary.front().value, 4);
+    }
+    t.add_row({r.name, r.type, to_string(r.status), headline});
+  }
+  return t.render();
+}
+
+CsvDocument batch_summary_csv(const std::vector<ScenarioResult>& results) {
+  CsvDocument doc({"scenario", "type", "status", "metric", "value"});
+  for (const ScenarioResult& r : results) {
+    if (r.status == ScenarioResult::Status::kFailed) {
+      doc.add_row({r.name, r.type, to_string(r.status), "error", "1"});
+      continue;
+    }
+    for (const ScenarioMetric& m : r.summary) {
+      doc.add_row({r.name, r.type, to_string(r.status), m.name,
+                   AsciiTable::num(m.value, 6)});
+    }
+  }
+  return doc;
+}
+
+}  // namespace exadigit

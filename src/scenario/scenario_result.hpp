@@ -1,0 +1,76 @@
+#pragma once
+
+/// @file scenario_result.hpp
+/// Uniform scenario output: summary metrics, named series, and export.
+///
+/// Every workflow in the ScenarioRegistry returns the same polymorphic
+/// shape — a flat list of named summary metrics, a dictionary of named
+/// TimeSeries channels, the engine Report when one exists, and the
+/// workflow's native text rendering. That uniformity is what lets the
+/// runner, the CLI `run` subcommand, and the exporters treat a replay, a
+/// what-if, and a 183-day sweep identically (the paper's console/dashboard
+/// duality, Fig. 6).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/time_series.hpp"
+#include "json/json.hpp"
+#include "raps/report.hpp"
+
+namespace exadigit {
+
+/// One named summary value (e.g. {"delta_eta", 0.04}).
+struct ScenarioMetric {
+  std::string name;
+  double value = 0.0;
+};
+
+/// The uniform result of one scenario execution.
+struct ScenarioResult {
+  enum class Status { kPending, kRunning, kDone, kFailed };
+
+  std::string name;
+  std::string type;
+  Status status = Status::kPending;
+  std::string error;  ///< populated when status == kFailed
+
+  std::vector<ScenarioMetric> summary;        ///< insertion-ordered metrics
+  std::map<std::string, TimeSeries> channels; ///< named exported series
+  std::optional<Report> report;               ///< engine report when one exists
+  std::string text;                           ///< workflow-native rendering
+
+  void add_metric(const std::string& metric, double value);
+  [[nodiscard]] bool has_metric(const std::string& metric) const;
+  /// Value of a summary metric; throws ConfigError when absent.
+  [[nodiscard]] double metric(const std::string& metric) const;
+
+  /// Two-column Metric/Value ASCII table of the summary.
+  [[nodiscard]] std::string summary_table() const;
+
+  /// {"name", "type", "status", "error"?, "summary": {...}, "channels": [...]}.
+  [[nodiscard]] Json to_json() const;
+
+  /// Long-format (channel,time_s,value) document of every channel.
+  [[nodiscard]] CsvDocument series_csv() const;
+
+  /// Writes `<directory>/<sanitized name>.summary.json` and
+  /// `.series.csv`; creates the directory when missing.
+  void export_files(const std::string& directory) const;
+};
+
+[[nodiscard]] const char* to_string(ScenarioResult::Status status);
+
+/// File-system-safe version of a scenario name (non [A-Za-z0-9._-] -> '_').
+[[nodiscard]] std::string sanitize_scenario_name(const std::string& name);
+
+/// One-row-per-scenario overview table of a finished batch.
+[[nodiscard]] std::string batch_summary_table(const std::vector<ScenarioResult>& results);
+
+/// Long-format (scenario,type,status,metric,value) document of a batch.
+[[nodiscard]] CsvDocument batch_summary_csv(const std::vector<ScenarioResult>& results);
+
+}  // namespace exadigit

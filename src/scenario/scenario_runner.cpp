@@ -1,0 +1,89 @@
+#include "scenario/scenario_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace exadigit {
+
+std::uint64_t derive_scenario_seed(std::uint64_t batch_seed, std::size_t index) {
+  // splitmix64 over (batch_seed + index): well-mixed, collision-free per
+  // batch, and stable across platforms.
+  std::uint64_t z = batch_seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::vector<ScenarioResult> ScenarioRunner::run(const std::vector<ScenarioSpec>& specs,
+                                                const ScenarioRegistry& registry) const {
+  // Resolve effective specs up front so seeding is deterministic in batch
+  // order, independent of which worker picks up which scenario.
+  std::vector<ScenarioSpec> effective = specs;
+  for (std::size_t i = 0; i < effective.size(); ++i) {
+    if (!effective[i].seed.has_value()) {
+      effective[i].seed = derive_scenario_seed(options_.batch_seed, i);
+    }
+  }
+
+  std::vector<ScenarioResult> results(effective.size());
+  if (effective.empty()) return results;
+
+  std::mutex status_mutex;
+  const auto notify = [&](std::size_t index, ScenarioResult::Status status) {
+    if (!options_.on_status) return;
+    const std::lock_guard<std::mutex> lock(status_mutex);
+    options_.on_status(index, effective[index], status);
+  };
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= effective.size()) return;
+      notify(i, ScenarioResult::Status::kRunning);
+      ScenarioResult& result = results[i];
+      try {
+        result = registry.run(effective[i]);
+      } catch (const std::exception& e) {
+        result.name = effective[i].name;
+        result.type = effective[i].type;
+        result.status = ScenarioResult::Status::kFailed;
+        result.error = e.what();
+      } catch (...) {
+        // User-registered factories may throw anything; an escape would
+        // std::terminate the pool and take the whole batch down.
+        result.name = effective[i].name;
+        result.type = effective[i].type;
+        result.status = ScenarioResult::Status::kFailed;
+        result.error = "unknown non-standard exception";
+      }
+      notify(i, result.status);
+    }
+  };
+
+  std::size_t pool = options_.jobs > 0 ? static_cast<std::size_t>(options_.jobs)
+                                       : static_cast<std::size_t>(
+                                             std::thread::hardware_concurrency());
+  pool = std::clamp<std::size_t>(pool, 1, effective.size());
+  if (pool == 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(pool);
+  for (std::size_t t = 0; t < pool; ++t) workers.emplace_back(worker);
+  for (std::thread& t : workers) t.join();
+  return results;
+}
+
+std::vector<ScenarioResult> ScenarioRunner::run(const ScenarioBatch& batch,
+                                                const ScenarioRegistry& registry) const {
+  ScenarioRunner effective(*this);
+  if (effective.options_.jobs <= 0) effective.options_.jobs = batch.jobs;
+  effective.options_.batch_seed = batch.seed;
+  return effective.run(batch.scenarios, registry);
+}
+
+}  // namespace exadigit

@@ -1,0 +1,67 @@
+#pragma once
+
+/// @file scenario_runner.hpp
+/// Concurrent batch execution of scenarios over a worker pool.
+///
+/// The paper runs whole families of experiments at once — 183 replay days
+/// "in parallel on a single Frontier node" — and the service view of the
+/// twin evaluates many policies concurrently. The runner reproduces that
+/// shape for declarative batches: N workers pull specs from a shared
+/// queue, every spec gets a deterministic seed (its own, or one derived
+/// from the batch seed and its position), per-scenario status is reported
+/// through a callback, and one failed scenario never takes down the batch.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "scenario/scenario_registry.hpp"
+#include "scenario/scenario_result.hpp"
+#include "scenario/scenario_spec.hpp"
+
+namespace exadigit {
+
+/// Deterministic per-spec seed for specs that do not pin one: a splitmix64
+/// mix of the batch seed and the spec's position in the batch.
+[[nodiscard]] std::uint64_t derive_scenario_seed(std::uint64_t batch_seed,
+                                                 std::size_t index);
+
+/// Executes batches of scenario specs concurrently.
+class ScenarioRunner {
+ public:
+  struct Options {
+    /// Worker cap; <= 0 means hardware concurrency. The pool never exceeds
+    /// the number of scenarios.
+    int jobs = 0;
+    /// Base seed for specs without one (see derive_scenario_seed).
+    std::uint64_t batch_seed = 42;
+    /// Per-scenario status transitions (kRunning, then kDone/kFailed),
+    /// serialized — implementations need no locking. The spec passed is
+    /// the *effective* spec (derived seed filled in).
+    std::function<void(std::size_t index, const ScenarioSpec& spec,
+                       ScenarioResult::Status status)>
+        on_status;
+  };
+
+  ScenarioRunner() = default;
+  explicit ScenarioRunner(Options options) : options_(std::move(options)) {}
+
+  /// Runs every spec through `registry` on the worker pool and returns the
+  /// results in spec order. A factory throw marks that scenario kFailed
+  /// (result.error holds the message) and the batch continues.
+  [[nodiscard]] std::vector<ScenarioResult> run(
+      const std::vector<ScenarioSpec>& specs,
+      const ScenarioRegistry& registry = ScenarioRegistry::instance()) const;
+
+  /// Convenience: runs a parsed batch file. `Options::jobs` wins when
+  /// positive, otherwise the batch's own `jobs` applies; the batch seed
+  /// always comes from the file.
+  [[nodiscard]] std::vector<ScenarioResult> run(
+      const ScenarioBatch& batch,
+      const ScenarioRegistry& registry = ScenarioRegistry::instance()) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace exadigit

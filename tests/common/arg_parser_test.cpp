@@ -1,0 +1,108 @@
+#include "common/arg_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+namespace {
+
+/// argv helper: builds a mutable char* array over string literals.
+template <std::size_t N>
+std::array<char*, N> argv_of(const std::array<const char*, N>& args) {
+  std::array<char*, N> out{};
+  for (std::size_t i = 0; i < N; ++i) out[i] = const_cast<char*>(args[i]);
+  return out;
+}
+
+TEST(ArgParserTest, ParsesTypedOptionsAndPositionals) {
+  double hours = 1.0;
+  std::uint64_t seed = 42;
+  std::string config;
+  bool cooling = true;
+  int jobs = 0;
+  ArgParser parser;
+  parser.add_double("--hours", &hours)
+      .add_uint64("--seed", &seed)
+      .add_string("--config", &config)
+      .add_int("--jobs", &jobs)
+      .add_switch("--no-cooling", &cooling, false);
+
+  auto argv = argv_of<9>({"prog", "pos1", "--hours", "2.5", "--seed", "7",
+                                       "--no-cooling", "--jobs", "4"});
+  const auto positional = parser.parse(static_cast<int>(argv.size()), argv.data(), 1);
+  ASSERT_EQ(positional.size(), 1u);
+  EXPECT_EQ(positional[0], "pos1");
+  EXPECT_DOUBLE_EQ(hours, 2.5);
+  EXPECT_EQ(seed, 7u);
+  EXPECT_FALSE(cooling);
+  EXPECT_EQ(jobs, 4);
+  EXPECT_TRUE(config.empty());
+}
+
+TEST(ArgParserTest, UnknownOptionThrows) {
+  ArgParser parser;
+  auto argv = argv_of<2>({"prog", "--bogus"});
+  EXPECT_THROW(parser.parse(2, argv.data(), 1), ConfigError);
+}
+
+TEST(ArgParserTest, MissingAndMalformedValuesThrow) {
+  double hours = 0.0;
+  int jobs = 0;
+  ArgParser parser;
+  parser.add_double("--hours", &hours).add_int("--jobs", &jobs);
+  {
+    auto argv = argv_of<2>({"prog", "--hours"});
+    EXPECT_THROW(parser.parse(2, argv.data(), 1), ConfigError);
+  }
+  {
+    auto argv = argv_of<3>({"prog", "--hours", "abc"});
+    EXPECT_THROW(parser.parse(3, argv.data(), 1), ConfigError);
+  }
+  {
+    auto argv = argv_of<3>({"prog", "--jobs", "3x"});
+    EXPECT_THROW(parser.parse(3, argv.data(), 1), ConfigError);
+  }
+}
+
+TEST(ArgParserTest, TrackRecordsPresence) {
+  std::uint64_t seed = 42;
+  double hours = 1.0;
+  bool seed_set = true;  // track() must reset this
+  ArgParser parser;
+  parser.add_uint64("--seed", &seed).track(&seed_set).add_double("--hours", &hours);
+  {
+    auto argv = argv_of<3>({"prog", "--hours", "2"});
+    (void)parser.parse(3, argv.data(), 1);
+    EXPECT_FALSE(seed_set);
+  }
+  {
+    auto argv = argv_of<3>({"prog", "--seed", "42"});
+    (void)parser.parse(3, argv.data(), 1);
+    EXPECT_TRUE(seed_set);  // passing the default still counts as present
+  }
+  ArgParser empty;
+  EXPECT_THROW(empty.track(&seed_set), ConfigError);
+}
+
+TEST(ArgParserTest, DuplicateRegistrationThrows) {
+  double a = 0.0;
+  ArgParser parser;
+  parser.add_double("--x", &a);
+  EXPECT_THROW(parser.add_double("--x", &a), ConfigError);
+}
+
+TEST(ArgParserTest, OptionsHelpListsEveryOption) {
+  double a = 0.0;
+  bool b = false;
+  ArgParser parser;
+  parser.add_double("--alpha", &a).add_switch("--beta", &b, true);
+  const std::string help = parser.options_help();
+  EXPECT_NE(help.find("--alpha <number>"), std::string::npos);
+  EXPECT_NE(help.find("--beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exadigit

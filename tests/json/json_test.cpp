@@ -122,6 +122,28 @@ TEST(JsonDumpTest, StringEscaping) {
   EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
 }
 
+TEST(JsonMergePatchTest, ObjectsMergeRecursively) {
+  const Json base = Json::parse(R"({"a": {"x": 1, "y": 2}, "b": 3})");
+  const Json patch = Json::parse(R"({"a": {"y": 20, "z": 30}})");
+  const Json merged = Json::merge_patch(base, patch);
+  EXPECT_TRUE(merged == Json::parse(R"({"a": {"x": 1, "y": 20, "z": 30}, "b": 3})"));
+}
+
+TEST(JsonMergePatchTest, NullDeletesAndScalarsReplace) {
+  const Json base = Json::parse(R"({"a": 1, "b": {"c": 2}, "d": [1, 2]})");
+  const Json patch = Json::parse(R"({"a": null, "b": 7, "d": [9]})");
+  const Json merged = Json::merge_patch(base, patch);
+  EXPECT_TRUE(merged == Json::parse(R"({"b": 7, "d": [9]})"));
+}
+
+TEST(JsonMergePatchTest, NonObjectPatchReplacesWholesale) {
+  EXPECT_TRUE(Json::merge_patch(Json::parse(R"({"a": 1})"), Json(5.0)) == Json(5.0));
+  // A patch object applied to a scalar builds a fresh object, stripping the
+  // patch's own null members (RFC 7386).
+  const Json merged = Json::merge_patch(Json(1.0), Json::parse(R"({"a": 1, "b": null})"));
+  EXPECT_TRUE(merged == Json::parse(R"({"a": 1})"));
+}
+
 TEST(JsonEqualityTest, DeepEquality) {
   const Json a = Json::parse(R"({"x":[1,{"y":2}]})");
   const Json b = Json::parse(R"({ "x" : [ 1, { "y": 2 } ] })");
