@@ -3,7 +3,19 @@
 /// telemetry replay with back-to-back 9216-node HPL jobs, plotting
 /// predicted vs measured P_system, eta_system, the cooling efficiency
 /// eta_cooling = H / P_system, and node utilization.
+///
+/// `--json <path>` additionally records the perf trajectory
+/// (BENCH_replay24h.json): wall-clock of the cooled Fig. 9 replay, plus a
+/// power-side replay (the paper's "three minutes instead of nine" path)
+/// timed under the event-driven engine and under the legacy configuration
+/// (fixed 1 s tick loop + full per-sample power rebuild, the seed's hot
+/// path). Note the legacy path still benefits from this PR's shared
+/// conversion-layer optimizations, so speedup_vs_legacy understates the
+/// end-to-end gain over the unoptimized seed.
+///
+/// EXADIGIT_BENCH_HOURS shrinks the replayed window for smoke runs.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -11,12 +23,45 @@
 #include "common/units.hpp"
 #include "core/physical_twin.hpp"
 #include "core/replay.hpp"
+#include "perf_json.hpp"
 #include "raps/workload.hpp"
 #include "telemetry/weather.hpp"
 
 using namespace exadigit;
 
-int main() {
+namespace {
+
+struct TimedRun {
+  double wall_ms = 0.0;
+  Report report;
+};
+
+/// Power-side replay (no cooling) under an explicit engine configuration.
+TimedRun time_power_replay(const SystemConfig& base, const TelemetryDataset& dataset,
+                           EngineMode mode, RapsEngine::PowerEval eval) {
+  SystemConfig config = base;
+  config.simulation.engine = mode;
+  RapsEngine::Options options;
+  options.start_time_s = dataset.start_time_s;
+  options.collect_series = true;
+  options.power_eval = eval;
+  RapsEngine engine(config, options);
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.submit_all(dataset.jobs);
+  engine.run_until(dataset.start_time_s + dataset.duration_s);
+  TimedRun r;
+  r.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                  .count();
+  r.report = engine.report();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (!bench::parse_json_flag(argc, argv, "bench_fig9_replay24h", &json_path)) return 2;
+
   const char* env = std::getenv("EXADIGIT_BENCH_HOURS");
   const double hours = env != nullptr ? std::atof(env) : 24.0;
   const double duration = hours * units::kSecondsPerHour;
@@ -87,5 +132,35 @@ int main() {
   std::printf("jobs: %d submitted, %d completed | shape target: predicted power hugs the\n"
               "measured trace through the HPL plateau; eta_system ~0.93; eta_cooling ~0.93.\n",
               r.report.jobs_submitted, r.report.jobs_completed);
+
+  if (!json_path.empty()) {
+    // Perf trajectory: the power-side replay timed under the new engine and
+    // the preserved legacy configuration.
+    const TimedRun fast = time_power_replay(spec, dataset, EngineMode::kEventDriven,
+                                            RapsEngine::PowerEval::kIncremental);
+    const TimedRun legacy = time_power_replay(spec, dataset, EngineMode::kTickLoop,
+                                              RapsEngine::PowerEval::kFullRecompute);
+    const double sim_rate = fast.wall_ms > 0.0 ? duration / (fast.wall_ms / 1000.0) : 0.0;
+    Json out;
+    out["bench"] = Json(std::string("replay24h"));
+    out["hours"] = Json(hours);
+    out["sim_seconds"] = Json(duration);
+    out["jobs"] = Json(static_cast<std::int64_t>(dataset.jobs.size()));
+    out["jobs_completed"] = Json(fast.report.jobs_completed);
+    out["wall_ms"] = Json(fast.wall_ms);
+    out["wall_ms_cooled"] = Json(r.wall_ms);
+    out["wall_ms_legacy"] = Json(legacy.wall_ms);
+    out["sim_rate"] = Json(sim_rate);  // simulated seconds per wall second
+    out["speedup_vs_legacy"] =
+        Json(fast.wall_ms > 0.0 ? legacy.wall_ms / fast.wall_ms : 0.0);
+    out["energy_mwh"] = Json(fast.report.total_energy_mwh);
+    out["avg_power_mw"] = Json(fast.report.avg_power_mw);
+    out["engine"] = Json(std::string("event"));
+    if (!bench::write_perf_json(json_path, out)) return 1;
+    std::printf("\nperf: power replay %.0f ms (%.0f sim-s/wall-s), legacy %.0f ms "
+                "(%.1fx); JSON -> %s\n",
+                fast.wall_ms, sim_rate, legacy.wall_ms, legacy.wall_ms / fast.wall_ms,
+                json_path.c_str());
+  }
   return 0;
 }

@@ -4,18 +4,25 @@
 /// meta-distributions (occasional full-system HPL campaigns included, as
 /// in the paper's window); the table reports min/avg/max/std across days.
 ///
-/// Set EXADIGIT_BENCH_DAYS to shrink the sweep for quick runs.
+/// Set EXADIGIT_BENCH_DAYS to shrink the sweep for quick runs. `--json
+/// <path>` records the perf trajectory (BENCH_replay183.json): wall-clock,
+/// replay rate, and the headline energy statistics.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "common/table.hpp"
+#include "common/units.hpp"
 #include "core/experiment.hpp"
+#include "perf_json.hpp"
 
 using namespace exadigit;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (!bench::parse_json_flag(argc, argv, "bench_table4_replay183", &json_path)) return 2;
+
   const char* env = std::getenv("EXADIGIT_BENCH_DAYS");
   DaySweepConfig sweep;
   sweep.days = env != nullptr ? std::atoi(env) : 183;
@@ -56,5 +63,24 @@ int main() {
               loss_mw * 8766.0 * 1000.0 * 0.09 / 1000.0);
   std::printf("replayed %d days in %.1f s (%.2f s/day)\n", sweep.days, wall,
               wall / sweep.days);
+
+  if (!json_path.empty()) {
+    const double sim_seconds = sweep.days * units::kSecondsPerDay;
+    double energy_mwh = 0.0;
+    for (const Report& r : result.daily) energy_mwh += r.total_energy_mwh;
+    Json out;
+    out["bench"] = Json(std::string("replay183"));
+    out["days"] = Json(sweep.days);
+    out["wall_ms"] = Json(wall * 1000.0);
+    out["sim_seconds"] = Json(sim_seconds);
+    out["sim_rate"] = Json(wall > 0.0 ? sim_seconds / wall : 0.0);
+    out["seconds_per_day"] = Json(wall / sweep.days);
+    out["avg_power_mw"] = Json(power_mw);
+    out["avg_eta_system"] = Json(eta);
+    out["energy_mwh"] = Json(energy_mwh);
+    out["engine"] = Json(std::string("event"));
+    if (!bench::write_perf_json(json_path, out)) return 1;
+    std::printf("perf JSON -> %s\n", json_path.c_str());
+  }
   return 0;
 }

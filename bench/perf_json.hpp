@@ -1,0 +1,49 @@
+#pragma once
+
+/// Shared `--json` plumbing for the perf-trajectory benches: parse the
+/// flag, reject stray positional arguments (a forgotten `--json` must not
+/// silently produce nothing), and write a Json record with error checking.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/arg_parser.hpp"
+#include "common/error.hpp"
+#include "json/json.hpp"
+
+namespace exadigit::bench {
+
+/// Parses `--json <path>` (the only accepted option) from argv. Returns
+/// false (after printing usage to stderr) on an unknown option, a missing
+/// value, or a stray positional argument; `*json_path` stays empty when
+/// the flag is absent.
+inline bool parse_json_flag(int argc, char** argv, const char* program,
+                            std::string* json_path) {
+  ArgParser parser;
+  parser.add_string("--json", json_path);
+  try {
+    const std::vector<std::string> positional = parser.parse(argc, argv);
+    if (!positional.empty()) {
+      throw ConfigError("unexpected argument: " + positional.front());
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\nusage: %s [--json <path>]\n", e.what(), program);
+    return false;
+  }
+  return true;
+}
+
+/// Writes `record` pretty-printed to `path`. Returns false with a
+/// diagnostic on stderr when the file cannot be written.
+inline bool write_perf_json(const std::string& path, const Json& record) {
+  std::ofstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  file << record.dump(2) << '\n';
+  return file.good();
+}
+
+}  // namespace exadigit::bench

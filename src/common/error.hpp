@@ -35,4 +35,11 @@ inline void require(bool cond, const std::string& what) {
   if (!cond) throw ConfigError(what);
 }
 
+/// Literal-message overload: avoids materializing a std::string (a heap
+/// allocation for most messages) on the hot success path. Call sites inside
+/// inner loops rely on this, so keep it when refactoring.
+inline void require(bool cond, const char* what) {
+  if (!cond) throw ConfigError(what);
+}
+
 }  // namespace exadigit

@@ -278,6 +278,16 @@ SchedulerPolicy policy_from_name(const std::string& s) {
 
 }  // namespace
 
+const char* engine_mode_name(EngineMode mode) {
+  return mode == EngineMode::kTickLoop ? "tick" : "event";
+}
+
+EngineMode engine_mode_from_name(const std::string& name) {
+  if (name == "event") return EngineMode::kEventDriven;
+  if (name == "tick") return EngineMode::kTickLoop;
+  throw ConfigError("engine mode must be \"event\" or \"tick\", got \"" + name + "\"");
+}
+
 Json system_config_to_json(const SystemConfig& c) {
   Json j;
   j["name"] = Json(c.name);
@@ -311,6 +321,7 @@ Json system_config_to_json(const SystemConfig& c) {
   sim["tick_s"] = Json(c.simulation.tick_s);
   sim["cooling_quantum_s"] = Json(c.simulation.cooling_quantum_s);
   sim["trace_quantum_s"] = Json(c.simulation.trace_quantum_s);
+  sim["engine"] = Json(std::string(engine_mode_name(c.simulation.engine)));
   j["simulation"] = sim;
   if (!c.partitions.empty()) {
     Json::Array parts;
@@ -372,6 +383,9 @@ SystemConfig system_config_from_json(const Json& j) {
     c.simulation.cooling_quantum_s =
         s.number_or("cooling_quantum_s", c.simulation.cooling_quantum_s);
     c.simulation.trace_quantum_s = s.number_or("trace_quantum_s", c.simulation.trace_quantum_s);
+    if (s.contains("engine")) {
+      c.simulation.engine = engine_mode_from_name(s.at("engine").as_string());
+    }
   }
   if (j.contains("partitions")) {
     for (const auto& jp : j.at("partitions").as_array()) {

@@ -21,4 +21,10 @@ namespace exadigit {
 [[nodiscard]] Json curve_to_json(const PiecewiseLinearCurve& curve);
 [[nodiscard]] PiecewiseLinearCurve curve_from_json(const Json& j);
 
+/// Engine-mode exchange names ("event" / "tick"), shared by the
+/// simulation.engine config field and scenario params.
+[[nodiscard]] const char* engine_mode_name(EngineMode mode);
+/// Parses an engine-mode name; throws ConfigError on anything else.
+[[nodiscard]] EngineMode engine_mode_from_name(const std::string& name);
+
 }  // namespace exadigit

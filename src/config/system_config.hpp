@@ -215,11 +215,23 @@ struct CoolingConfig {
   double thermal_substep_s = 3.0;
 };
 
+/// How RapsEngine advances simulated time (see raps/engine.hpp).
+enum class EngineMode {
+  /// Jump directly between events (arrivals, completions, cooling-quantum
+  /// and trace-quantum boundaries) quantized to the tick grid. Default;
+  /// bit-identical to the tick loop and ~an order of magnitude faster.
+  kEventDriven,
+  /// Legacy fixed-step loop ticking every tick_s. Kept as the validation
+  /// reference the event-driven core is asserted against.
+  kTickLoop,
+};
+
 /// Simulation clocking (paper Algorithm 1).
 struct SimulationConfig {
-  double tick_s = 1.0;            ///< scheduler/power tick
+  double tick_s = 1.0;            ///< scheduler/power tick (event-time grid)
   double cooling_quantum_s = 15.0;  ///< FMU call cadence
   double trace_quantum_s = 15.0;    ///< CPU/GPU utilization trace resolution
+  EngineMode engine = EngineMode::kEventDriven;
 };
 
 /// Complete machine + plant descriptor.

@@ -4,12 +4,18 @@
 /// The ExaDigiT digital twin: RAPS co-simulated with the cooling FMU.
 ///
 /// This is the paper's integration layer (Fig. 1): the RAPS engine advances
-/// in 1 s ticks, and every 15 s cooling quantum it hands the per-CDU heat
-/// load, the ambient wet bulb, and P_system to the cooling FMU, steps it,
-/// and records the coupled series (PUE, HTWS temperature, cooling
-/// efficiency eta_cooling = H / P_system, per-CDU flows and temperatures).
-/// Cooling can be disabled for power-only sweeps — the paper's "three
-/// minutes instead of nine" replay path.
+/// event-to-event on a 1 s grid (see raps/engine.hpp), and every 15 s
+/// cooling quantum it hands the per-CDU heat load, the ambient wet bulb,
+/// and P_system to the cooling FMU, steps it, and records the coupled
+/// series (PUE, HTWS temperature, cooling efficiency eta_cooling =
+/// H / P_system, per-CDU flows and temperatures). Cooling can be disabled
+/// for power-only sweeps — the paper's "three minutes instead of nine"
+/// replay path.
+///
+/// Energy accounting: every run_until(t_end) closes the engine's energy and
+/// utilization integrals exactly at t_end (the final partial interval is
+/// flushed even off the quantum/tick grid), so report().total_energy_mwh
+/// always matches the rectangle integral of the recorded power series.
 
 #include <functional>
 #include <memory>

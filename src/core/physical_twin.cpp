@@ -88,6 +88,8 @@ TelemetryDataset SyntheticPhysicalTwin::record(const std::vector<JobRecord>& job
 
   // System power: the paper's telemetry is 1 s; the synthetic twin records
   // on the 15 s quantum (power is piecewise-constant between quanta anyway).
+  // The engine's end-of-run flush guarantees a final sample exactly at
+  // duration_s, so recorded channels always span the full window.
   TimeSeries power_w;
   const TimeSeries& p_mw = twin.engine().power_series_mw();
   for (std::size_t i = 0; i < p_mw.size(); ++i) {

@@ -1,6 +1,7 @@
 #include "core/replay.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -34,10 +35,16 @@ PowerReplayResult replay_power(const SystemConfig& config, const TelemetryDatase
   options.start_time_s = dataset.start_time_s;
   DigitalTwin twin(config, options);
   if (!dataset.wetbulb_c.empty()) twin.set_wetbulb_series(dataset.wetbulb_c);
+  const auto sim_begin = std::chrono::steady_clock::now();
   twin.submit_all(dataset.jobs);
   twin.run_until(dataset.start_time_s + dataset.duration_s);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                sim_begin)
+          .count();
 
   PowerReplayResult r;
+  r.wall_ms = wall_ms;
   r.predicted_power_mw = twin.engine().power_series_mw();
   TimeSeries measured_mw;
   for (std::size_t i = 0; i < dataset.measured_system_power_w.size(); ++i) {

@@ -43,6 +43,9 @@ struct PowerReplayResult {
   TimeSeries pue;              ///< empty when cooling disabled
   SeriesScore power_score;
   Report report;
+  /// Wall-clock time of the simulation itself (submit + run_until), for
+  /// perf trajectories; excludes dataset preparation and scoring.
+  double wall_ms = 0.0;
 };
 
 /// Replays a telemetry dataset's jobs through the twin and scores the

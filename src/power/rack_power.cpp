@@ -39,18 +39,49 @@ void RackPowerModel::add_switches(RackPowerResult& result) const {
   result.rectifier_loss_w += input - switch_w;
 }
 
-RackPowerResult RackPowerModel::from_group_outputs(
-    std::span<const double> group_outputs_w) const {
+RackPowerResult RackPowerModel::from_group_outputs(std::span<const double> group_outputs_w,
+                                                   ConversionMemo* memo) const {
   require(group_outputs_w.size() == static_cast<std::size_t>(groups_per_rack_),
           "group output count must match groups per rack");
   RackPowerResult result;
-  for (const double out_w : group_outputs_w) {
-    const ConversionResult c = chain_.convert(out_w);
-    result.node_output_w += c.output_w;
-    result.input_w += c.input_w;
-    result.rectifier_loss_w += c.rectifier_loss_w;
-    result.sivoc_loss_w += c.sivoc_loss_w;
-    result.any_overload = result.any_overload || c.overloaded;
+  if (memo == nullptr) {
+    // Exact reference path: one chain evaluation per group, accumulated in
+    // group order.
+    for (const double out_w : group_outputs_w) {
+      const ConversionResult c = chain_.convert(out_w);
+      result.node_output_w += c.output_w;
+      result.input_w += c.input_w;
+      result.rectifier_loss_w += c.rectifier_loss_w;
+      result.sivoc_loss_w += c.sivoc_loss_w;
+      result.any_overload = result.any_overload || c.overloaded;
+    }
+  } else {
+    // Fast path: adjacent groups almost always carry the same exact load
+    // (idle spans and contiguous job allocations), so runs of equal values
+    // resolve one conversion and accumulate by multiplication. Rounding can
+    // differ from the reference path in the last ulp, but is deterministic
+    // for a given group vector.
+    std::size_t i = 0;
+    const std::size_t n = group_outputs_w.size();
+    ConversionResult local;
+    while (i < n) {
+      const double v = group_outputs_w[i];
+      std::size_t j = i + 1;
+      while (j < n && group_outputs_w[j] == v) ++j;
+      const double len = static_cast<double>(j - i);
+      const ConversionResult* c = memo->find(v);
+      if (c == nullptr) {
+        local = chain_.convert(v);
+        memo->insert(v, local);
+        c = &local;
+      }
+      result.node_output_w += c->output_w * len;
+      result.input_w += c->input_w * len;
+      result.rectifier_loss_w += c->rectifier_loss_w * len;
+      result.sivoc_loss_w += c->sivoc_loss_w * len;
+      result.any_overload = result.any_overload || c->overloaded;
+      i = j;
+    }
   }
   add_switches(result);
   return result;

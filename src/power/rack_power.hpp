@@ -9,6 +9,10 @@
 /// SystemPowerModel adds CDU pump power and produces the paper's
 /// P_system together with a component breakdown (Fig. 4).
 
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -44,15 +48,78 @@ struct PowerBreakdown {
   }
 };
 
+/// Tiny value-keyed cache for power-evaluation results. Loads repeat
+/// heavily within one power evaluation — every idle group of a partition
+/// carries the same exact load, all fully-covered groups of a job carry
+/// another, and whole racks covered by one job share a uniform value — so a
+/// fleet walk touches only a handful of distinct operating points.
+/// Exact-match keying keeps cached evaluations bit-identical to uncached
+/// ones. Open-addressed, overwrite-on-collision: a collision only costs a
+/// re-evaluation, never correctness.
+template <class Value>
+class ValueMemo {
+ public:
+  /// Cached result for `key`, or nullptr on miss.
+  [[nodiscard]] const Value* find(double key) const {
+    for (int p = 0; p < kProbes; ++p) {
+      const Slot& s = slots_[slot_of(key, p)];
+      if (s.used && s.key == key) return &s.value;
+    }
+    return nullptr;
+  }
+
+  void insert(double key, const Value& value) {
+    // Prefer an empty probe slot; otherwise overwrite the first one.
+    for (int p = 0; p < kProbes; ++p) {
+      Slot& s = slots_[slot_of(key, p)];
+      if (!s.used) {
+        s = Slot{key, true, value};
+        return;
+      }
+    }
+    slots_[slot_of(key, 0)] = Slot{key, true, value};
+  }
+
+  void clear() {
+    for (Slot& s : slots_) s.used = false;
+  }
+
+ private:
+  static constexpr int kSlots = 128;  // power of two; ~#jobs distinct loads
+  static constexpr int kProbes = 4;
+  struct Slot {
+    double key = 0.0;
+    bool used = false;
+    Value value;
+  };
+  std::array<Slot, kSlots> slots_{};
+
+  [[nodiscard]] static std::size_t slot_of(double key, int probe) {
+    // Splitmix-style bit mix over the exact double representation.
+    std::uint64_t h = std::bit_cast<std::uint64_t>(key);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>((h + static_cast<std::uint64_t>(probe)) &
+                                    static_cast<std::uint64_t>(kSlots - 1));
+  }
+};
+
+using ConversionMemo = ValueMemo<ConversionResult>;
+
 /// Conversion-aware rack power model.
 class RackPowerModel {
  public:
   RackPowerModel(const RackConfig& rack, const PowerChainConfig& chain);
 
   /// Wall power for a rack whose rectifier groups deliver the node-side
-  /// loads in `group_outputs_w` (size must equal groups per rack).
-  [[nodiscard]] RackPowerResult from_group_outputs(
-      std::span<const double> group_outputs_w) const;
+  /// loads in `group_outputs_w` (size must equal groups per rack). Without
+  /// a memo this is the exact reference path (one chain evaluation per
+  /// group). With a memo, runs of equal group loads resolve one cached
+  /// conversion and accumulate by multiplication — deterministic, but the
+  /// rounding may differ from the reference path in the last ulp.
+  [[nodiscard]] RackPowerResult from_group_outputs(std::span<const double> group_outputs_w,
+                                                   ConversionMemo* memo = nullptr) const;
 
   /// Wall power for a rack with a uniform per-node 48 V load. Fast path for
   /// full-system sweeps (all groups identical).

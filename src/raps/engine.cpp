@@ -2,12 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/units.hpp"
 
 namespace exadigit {
+
+namespace {
+/// Arrival (or fixed-start) time that orders a job into the future queue.
+double arrival_time(const JobRecord& job) {
+  return job.is_replay() ? job.fixed_start_time_s : job.submit_time_s;
+}
+}  // namespace
 
 RapsEngine::RapsEngine(const SystemConfig& config) : RapsEngine(config, Options{}) {}
 
@@ -29,7 +37,7 @@ RapsEngine::RapsEngine(const SystemConfig& config, const Options& options)
 }
 
 void RapsEngine::submit(JobRecord job) {
-  const double when = job.is_replay() ? job.fixed_start_time_s : job.submit_time_s;
+  const double when = arrival_time(job);
   require(when >= now_s_, "job submitted in the past: " + job.name);
   require(job.node_count > 0 && job.node_count <= config_.total_nodes(),
           "job node count out of range: " + job.name);
@@ -51,15 +59,6 @@ double RapsEngine::utilization() const {
   return total > 0 ? static_cast<double>(total - allocator_.free_nodes()) / total : 0.0;
 }
 
-std::vector<RunningJobView> RapsEngine::running_views() const {
-  std::vector<RunningJobView> views;
-  views.reserve(running_.size());
-  for (const auto& r : running_) {
-    views.push_back(RunningJobView{&r.record, &r.nodes, r.start_time_s});
-  }
-  return views;
-}
-
 bool RapsEngine::try_start(const JobRecord& job) {
   auto nodes = allocator_.allocate(job.node_count, job.partition);
   if (!nodes.has_value()) return false;
@@ -68,25 +67,37 @@ bool RapsEngine::try_start(const JobRecord& job) {
   r.start_time_s = now_s_;
   r.end_time_s = now_s_ + job.wall_time_s;
   r.nodes = std::move(*nodes);
+  if (options_.power_eval == PowerEval::kIncremental) {
+    // Register with the incremental power model while the node list is
+    // still ours; the model copies what it needs.
+    r.power_handle = power_.on_job_start(r.record, r.nodes, now_s_);
+  }
   running_.push_back(std::move(r));
   job_start_log_.push_back(JobStartLogEntry{job, now_s_});
   return true;
 }
 
+void RapsEngine::ensure_future_sorted() {
+  if (future_sorted_) return;
+  // Descending time so arrivals pop from the back; ties broken by id so
+  // jobs sharing a submit/fixed-start time enqueue in a platform-
+  // independent order (an unstable sort without the tie-break reordered
+  // them depending on the libstdc++ introsort cutoffs).
+  std::stable_sort(future_jobs_.begin(), future_jobs_.end(),
+                   [](const JobRecord& a, const JobRecord& b) {
+                     const double ta = arrival_time(a);
+                     const double tb = arrival_time(b);
+                     if (ta != tb) return ta > tb;
+                     return a.id > b.id;
+                   });
+  future_sorted_ = true;
+}
+
 void RapsEngine::process_arrivals() {
-  if (!future_sorted_) {
-    std::sort(future_jobs_.begin(), future_jobs_.end(),
-              [](const JobRecord& a, const JobRecord& b) {
-                const double ta = a.is_replay() ? a.fixed_start_time_s : a.submit_time_s;
-                const double tb = b.is_replay() ? b.fixed_start_time_s : b.submit_time_s;
-                return ta > tb;  // descending; pop from the back
-              });
-    future_sorted_ = true;
-  }
+  ensure_future_sorted();
   while (!future_jobs_.empty()) {
     const JobRecord& next = future_jobs_.back();
-    const double when = next.is_replay() ? next.fixed_start_time_s : next.submit_time_s;
-    if (when > now_s_) break;
+    if (arrival_time(next) > now_s_) break;
     ++jobs_submitted_;
     if (next.is_replay()) {
       // Telemetry replay: start on the recorded schedule, bypassing the
@@ -106,6 +117,7 @@ void RapsEngine::process_arrivals() {
 void RapsEngine::process_completions() {
   for (std::size_t i = 0; i < running_.size();) {
     if (running_[i].end_time_s <= now_s_) {
+      if (running_[i].power_handle >= 0) power_.on_job_stop(running_[i].power_handle);
       allocator_.release(running_[i].nodes);
       ++jobs_completed_;
       completed_nodes_sum_ += static_cast<double>(running_[i].record.node_count);
@@ -122,28 +134,73 @@ void RapsEngine::schedule_pass() {
   std::vector<RunningJobInfo> infos;
   infos.reserve(running_.size());
   for (const auto& r : running_) {
-    infos.push_back(RunningJobInfo{r.end_time_s, r.record.node_count});
+    infos.push_back(RunningJobInfo{r.end_time_s, r.record.node_count, r.record.id});
   }
   scheduler_.schedule(now_s_, allocator_, infos,
                       [this](const JobRecord& job) { return try_start(job); });
 }
 
+std::vector<RunningJobView> RapsEngine::running_views() const {
+  std::vector<RunningJobView> views;
+  views.reserve(running_.size());
+  for (const auto& r : running_) {
+    views.push_back(RunningJobView{&r.record, &r.nodes, r.start_time_s});
+  }
+  return views;
+}
+
 void RapsEngine::sample_power_and_stats() {
-  const auto views = running_views();
-  const PowerSample& s = power_.recompute(now_s_, views);
+  const PowerSample& s = options_.power_eval == PowerEval::kIncremental
+                             ? power_.advance(now_s_)
+                             : power_.recompute(now_s_, running_views());
+  sampled_utilization_ = utilization();
   if (options_.collect_series) {
     power_series_.push_back(now_s_, units::mw_from_watts(s.system_power_w));
     loss_series_.push_back(now_s_, units::mw_from_watts(s.loss_w()));
-    utilization_series_.push_back(now_s_, utilization());
+    utilization_series_.push_back(now_s_, sampled_utilization_);
     eta_series_.push_back(now_s_, s.eta_system);
   }
 }
 
-void RapsEngine::tick() {
-  const double dt = config_.simulation.tick_s;
-  ++tick_count_;
-  now_s_ = run_begin_s_ + static_cast<double>(tick_count_) * dt;
+void RapsEngine::integrate_and_sample(bool fire_cooling) {
+  // Integrate the previous interval with the piecewise-constant power and
+  // the utilization held from the same sample (left-held, like power — the
+  // old code integrated the *post-event* utilization over the *pre-event*
+  // span, counting every job's final interval as idle).
+  const PowerSample& prev = power_.sample();
+  const double span = now_s_ - prev.time_s;
+  if (span > 0.0) {
+    energy_j_ += prev.system_power_w * span;
+    loss_j_ += prev.loss_w() * span;
+    output_energy_j_ += prev.node_output_w * span;
+    input_energy_j_ += (prev.system_power_w -
+                        config_.cooling.cdu.pump_avg_w * config_.cdu_count) *
+                       span;
+    utilization_integral_ += sampled_utilization_ * span;
+    stats_time_s_ += span;
+  }
+  sample_power_and_stats();
+  const double p = power_.sample().system_power_w;
+  min_power_w_ = std::min(min_power_w_, p);
+  max_power_w_ = std::max(max_power_w_, p);
+  if (fire_cooling && cooling_callback_) cooling_callback_(*this, now_s_);
+}
 
+bool RapsEngine::trace_boundary_crossed() const {
+  const double trace = config_.simulation.trace_quantum_s;
+  if (trace >= config_.simulation.cooling_quantum_s) return false;
+  const double prev_t = power_.sample().time_s;
+  for (const auto& r : running_) {
+    const double since_now = std::max(0.0, now_s_ - r.start_time_s);
+    const double since_prev = std::max(0.0, prev_t - r.start_time_s);
+    if (std::floor(since_now / trace + 1e-9) != std::floor(since_prev / trace + 1e-9)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RapsEngine::tick_body() {
   const std::size_t running_before = running_.size();
   const int completed_before = jobs_completed_;
   const std::size_t queue_before = scheduler_.queue_depth();
@@ -159,35 +216,137 @@ void RapsEngine::tick() {
       running_.size() != running_before || jobs_completed_ != completed_before;
 
   const double quantum = config_.simulation.cooling_quantum_s;
-  const bool on_quantum =
-      std::fmod(static_cast<double>(tick_count_) * dt, quantum) < dt * 0.5;
-  if (on_quantum || membership_changed) {
-    // Integrate the previous interval with the piecewise-constant power.
-    const PowerSample& prev = power_.sample();
-    const double span = now_s_ - prev.time_s;
-    if (span > 0.0) {
-      energy_j_ += prev.system_power_w * span;
-      loss_j_ += prev.loss_w() * span;
-      output_energy_j_ += prev.node_output_w * span;
-      input_energy_j_ += (prev.system_power_w -
-                          config_.cooling.cdu.pump_avg_w * config_.cdu_count) *
-                         span;
-      utilization_integral_ += utilization() * span;
-      stats_time_s_ += span;
-    }
-    sample_power_and_stats();
-    const double p = power_.sample().system_power_w;
-    min_power_w_ = std::min(min_power_w_, p);
-    max_power_w_ = std::max(max_power_w_, p);
-    if (on_quantum && cooling_callback_) cooling_callback_(*this, now_s_);
+  const double rel = static_cast<double>(tick_count_) * config_.simulation.tick_s;
+  // A boundary m*quantum fires on the first tick at or past it. Integer
+  // boundary bookkeeping stays exact when the quantum is not a float
+  // multiple of tick_s — the old `fmod(t, quantum) < dt/2` test drifted
+  // and skipped boundaries in that case (e.g. dt=1, quantum=2.5).
+  const bool on_quantum = rel >= static_cast<double>(next_quantum_) * quantum - 1e-9;
+  if (on_quantum) {
+    next_quantum_ = static_cast<long long>(std::floor(rel / quantum + 1e-9)) + 1;
   }
+  if (on_quantum || membership_changed || trace_boundary_crossed()) {
+    integrate_and_sample(/*fire_cooling=*/on_quantum);
+  }
+}
+
+void RapsEngine::advance_to_tick(long long k) {
+  tick_count_ = k;
+  now_s_ = run_begin_s_ + static_cast<double>(k) * config_.simulation.tick_s;
+  tick_body();
+}
+
+void RapsEngine::tick() { advance_to_tick(tick_count_ + 1); }
+
+long long RapsEngine::last_tick_for(double t_end_s) const {
+  const double dt = config_.simulation.tick_s;
+  long long k = tick_count_;
+  const double est = std::floor((t_end_s + 1e-9 - run_begin_s_) / dt);
+  if (est > static_cast<double>(k) && est < 9.0e18) k = static_cast<long long>(est);
+  // Settle float rounding against the exact legacy loop predicate:
+  // tick k+1 runs iff run_begin + (k+1)*dt <= t_end + 1e-9.
+  while (k > tick_count_ &&
+         run_begin_s_ + static_cast<double>(k) * dt > t_end_s + 1e-9) {
+    --k;
+  }
+  while (run_begin_s_ + static_cast<double>(k + 1) * dt <= t_end_s + 1e-9) ++k;
+  return k;
+}
+
+long long RapsEngine::next_event_tick(long long k_end) {
+  const double dt = config_.simulation.tick_s;
+  long long best = k_end + 1;
+
+  // Clamp a float estimate to a valid candidate tick, then settle it with
+  // the exact firing predicate `pred(k)` (monotone in k).
+  const auto settle = [&](double estimate, auto&& pred) {
+    long long k = tick_count_ + 1;
+    if (estimate > static_cast<double>(k) && estimate < 9.0e18) {
+      k = static_cast<long long>(estimate);
+    }
+    while (k > tick_count_ + 1 && pred(k - 1)) --k;
+    while (k <= k_end && !pred(k)) ++k;
+    if (k < best) best = k;
+  };
+
+  // Next cooling-quantum boundary (relative to run_begin_s_, like the tick
+  // counter itself).
+  const double quantum = config_.simulation.cooling_quantum_s;
+  const double boundary_rel = static_cast<double>(next_quantum_) * quantum;
+  settle(std::ceil((boundary_rel - 1e-9) / dt), [&](long long k) {
+    return static_cast<double>(k) * dt >= boundary_rel - 1e-9;
+  });
+
+  // Earliest completion / arrival / trace boundary are absolute times with
+  // the processing predicate `t <= now`.
+  const auto settle_abs = [&](double t) {
+    settle(std::ceil((t - run_begin_s_) / dt), [&](long long k) {
+      return t <= run_begin_s_ + static_cast<double>(k) * dt;
+    });
+  };
+
+  double t_completion = std::numeric_limits<double>::infinity();
+  for (const auto& r : running_) t_completion = std::min(t_completion, r.end_time_s);
+  if (std::isfinite(t_completion)) settle_abs(t_completion);
+
+  ensure_future_sorted();
+  if (!future_jobs_.empty()) settle_abs(arrival_time(future_jobs_.back()));
+
+  const double trace = config_.simulation.trace_quantum_s;
+  if (trace < quantum) {
+    double t_trace = std::numeric_limits<double>::infinity();
+    for (const auto& r : running_) {
+      const double since = std::max(0.0, now_s_ - r.start_time_s);
+      const double next_boundary =
+          r.start_time_s + (std::floor(since / trace + 1e-9) + 1.0) * trace;
+      t_trace = std::min(t_trace, next_boundary);
+    }
+    if (std::isfinite(t_trace)) settle_abs(t_trace);
+  }
+
+  return best;
+}
+
+void RapsEngine::flush_tail(double t_end_s) {
+  if (t_end_s > now_s_) {
+    // The tail lies inside the final (partial) tick: advance the clock off
+    // the grid, honoring any completions/arrivals due by t_end.
+    now_s_ = t_end_s;
+    const std::size_t running_before = running_.size();
+    const int completed_before = jobs_completed_;
+    const std::size_t queue_before = scheduler_.queue_depth();
+    process_completions();
+    process_arrivals();
+    if (jobs_completed_ != completed_before ||
+        scheduler_.queue_depth() != queue_before ||
+        running_.size() != running_before) {
+      schedule_pass();
+    }
+  }
+  // Close the integrals exactly at t_end. Without this, the span since the
+  // last sample was silently dropped whenever t_end was not a quantum or
+  // membership boundary — under-counting energy and utilization.
+  if (power_.sample().time_s < now_s_) integrate_and_sample(/*fire_cooling=*/false);
 }
 
 void RapsEngine::run_until(double t_end_s) {
   require(t_end_s >= now_s_, "run_until target is in the past");
-  while (now_s_ + config_.simulation.tick_s <= t_end_s + 1e-9) {
-    tick();
+  const long long k_end = last_tick_for(t_end_s);
+  if (config_.simulation.engine == EngineMode::kTickLoop) {
+    while (tick_count_ < k_end) tick();
+  } else {
+    while (tick_count_ < k_end) {
+      const long long k = next_event_tick(k_end);
+      if (k > k_end) {
+        // Nothing can happen before the horizon: land on the final tick.
+        tick_count_ = k_end;
+        now_s_ = run_begin_s_ + static_cast<double>(k_end) * config_.simulation.tick_s;
+        break;
+      }
+      advance_to_tick(k);
+    }
   }
+  flush_tail(t_end_s);
 }
 
 Report RapsEngine::report() const {

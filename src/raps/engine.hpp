@@ -3,19 +3,29 @@
 /// @file engine.hpp
 /// The RAPS simulation engine (paper Algorithm 1).
 ///
-/// Time advances in 1 s ticks. Each tick: newly arrived jobs join the
-/// pending queue, completed jobs release their nodes, and a scheduling pass
-/// places queued work. Power is recomputed on the 15 s trace quantum (job
-/// utilization is piecewise-constant between quanta, so nothing changes in
-/// between except at start/stop events, which also trigger recomputes), and
-/// the cooling model callback fires on the same quantum — exactly the
-/// paper's RAPS <-> FMU coupling.
+/// Time lives on a tick_s grid, but the engine is *event-driven*: run_until
+/// jumps straight to the next tick where something can happen — the
+/// earliest job arrival, the earliest completion, the next cooling-quantum
+/// boundary, or the next utilization trace-quantum boundary of a running
+/// job (when traces are finer than the cooling quantum). At such a tick:
+/// newly arrived jobs join the pending queue, completed jobs release their
+/// nodes, a scheduling pass places queued work, and power is re-sampled
+/// incrementally (see power_model.hpp). The cooling model callback fires on
+/// every cooling-quantum boundary — exactly the paper's RAPS <-> FMU
+/// coupling. The legacy fixed-step loop is retained behind
+/// SimulationConfig::engine = EngineMode::kTickLoop as the validation
+/// reference; both modes produce bit-identical reports and series.
+///
+/// Energy accounting semantics: power is piecewise-constant between
+/// samples, and every run_until(t_end) closes the integrals exactly at
+/// t_end — the final partial interval is flushed (and sampled) even when
+/// t_end falls off the quantum or tick grid, so report().total_energy_mwh
+/// always equals the rectangle integral of power_series_mw().
 ///
 /// Telemetry-replay jobs (fixed_start_time_s >= 0) bypass the queue and
 /// start on their recorded schedule.
 
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/time_series.hpp"
@@ -33,6 +43,7 @@ struct RunningJob {
   double start_time_s = 0.0;
   double end_time_s = 0.0;
   std::vector<int> nodes;
+  int power_handle = -1;  ///< RapsPowerModel registration (incremental API)
 };
 
 /// Log entry for every job start (used to build replay datasets).
@@ -44,18 +55,31 @@ struct JobStartLogEntry {
 /// The resource-allocator-and-power-simulator engine.
 class RapsEngine {
  public:
+  /// How each power sample is evaluated.
+  enum class PowerEval {
+    /// Delta-maintained group outputs, dirty-rack re-evaluation (default).
+    kIncremental,
+    /// Rebuild the full fleet state from idle on every sample — the
+    /// original (pre-event-core) hot path, kept for benchmarking the
+    /// speedup and for cross-validating the incremental evaluator.
+    kFullRecompute,
+  };
+
   struct Options {
     double start_time_s = 0.0;
     /// Record power/loss/utilization series at every quantum (off for
     /// long parameter sweeps that only need the final report).
     bool collect_series = true;
+    PowerEval power_eval = PowerEval::kIncremental;
   };
 
   explicit RapsEngine(const SystemConfig& config);
   RapsEngine(const SystemConfig& config, const Options& options);
 
   /// Submits a job; its submit time (or fixed start) must not be in the
-  /// past. Jobs may be submitted before or during a run.
+  /// past. Jobs may be submitted before or during a run. Jobs sharing a
+  /// submit (or fixed-start) time enqueue in ascending id order regardless
+  /// of submission order.
   void submit(JobRecord job);
   void submit_all(std::vector<JobRecord> jobs);
 
@@ -63,7 +87,8 @@ class RapsEngine {
   /// engine state updated for the current time.
   void set_cooling_callback(std::function<void(RapsEngine&, double now_s)> callback);
 
-  /// Advances the simulation to `t_end_s` (Algorithm 1 RUNSIMULATION).
+  /// Advances the simulation to `t_end_s` (Algorithm 1 RUNSIMULATION) and
+  /// flushes the energy/utilization integrals exactly at `t_end_s`.
   void run_until(double t_end_s);
 
   // --- observers ---------------------------------------------------------
@@ -103,8 +128,14 @@ class RapsEngine {
 
   double now_s_;
   long long tick_count_ = 0;
+  /// Index of the next cooling-quantum boundary (boundaries sit at
+  /// next_quantum_ * cooling_quantum_s relative to run_begin_s_). Integer
+  /// bookkeeping makes the quantum trigger exact even when the quantum is
+  /// not a float multiple of tick_s (the old fmod test drifted there).
+  long long next_quantum_ = 1;
 
-  /// Future arrivals sorted descending by time (pop from the back).
+  /// Future arrivals sorted descending by time, ties broken by descending
+  /// id (pop from the back => ascending time, then ascending id).
   std::vector<JobRecord> future_jobs_;
   bool future_sorted_ = true;
   std::vector<RunningJob> running_;
@@ -120,6 +151,10 @@ class RapsEngine {
   double output_energy_j_ = 0.0;
   double input_energy_j_ = 0.0;
   double utilization_integral_ = 0.0;
+  /// Utilization at the last power sample: integrated left-held over each
+  /// interval, matching the piecewise-constant power convention (a job's
+  /// final interval counts as busy, its pre-start interval as idle).
+  double sampled_utilization_ = 0.0;
   double stats_time_s_ = 0.0;
   double min_power_w_ = 0.0;
   double max_power_w_ = 0.0;
@@ -132,7 +167,25 @@ class RapsEngine {
   TimeSeries utilization_series_;
   TimeSeries eta_series_;
 
-  void tick();  ///< Algorithm 1 TICK, advanced by simulation.tick_s
+  void tick();  ///< Algorithm 1 TICK: advance one tick_s step (legacy loop)
+  /// Jumps the clock to tick `k` and runs the tick body there.
+  void advance_to_tick(long long k);
+  /// Arrivals, completions, scheduling, quantum/trace-triggered sampling at
+  /// the current (already-advanced) clock.
+  void tick_body();
+  /// Last tick index the run loop executes for a run_until(t_end_s).
+  [[nodiscard]] long long last_tick_for(double t_end_s) const;
+  /// Earliest upcoming event tick (arrival, completion, cooling-quantum or
+  /// trace-quantum boundary), or k_end + 1 when none falls in the horizon.
+  long long next_event_tick(long long k_end);
+  /// Closes the integrals at t_end_s, simulating the final partial tick.
+  void flush_tail(double t_end_s);
+  /// Integrates the interval since the last sample and re-samples power.
+  void integrate_and_sample(bool fire_cooling);
+  /// True when a running job crossed a utilization trace boundary since the
+  /// last sample (only relevant when traces are finer than the quantum).
+  [[nodiscard]] bool trace_boundary_crossed() const;
+  void ensure_future_sorted();
   void process_arrivals();
   void process_completions();
   bool try_start(const JobRecord& job);

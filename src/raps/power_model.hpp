@@ -11,6 +11,16 @@
 /// switch power is added through the rectifier stage, and the constant CDU
 /// pump cost closes Eq. (4) into P_system. Per-CDU wall power times the
 /// cooling efficiency (0.945) becomes the heat fed to the cooling model.
+///
+/// The model is *incremental*: per-node idle power and per-job node
+/// configurations are resolved once (at construction / job start), group
+/// outputs are maintained by deltas on job start/stop and utilization
+/// changes, and only racks whose groups changed are re-evaluated — with a
+/// value-keyed memo collapsing the repeated group operating points a fleet
+/// walk touches. RapsEngine drives the incremental interface
+/// (on_job_start / on_job_stop / advance); the stateless recompute()
+/// rebuilds everything from the given running set and remains available
+/// for one-shot evaluations.
 
 #include <span>
 #include <vector>
@@ -46,7 +56,21 @@ class RapsPowerModel {
  public:
   explicit RapsPowerModel(const SystemConfig& config);
 
-  /// Recomputes all power state for the running set at time `now`.
+  // --- incremental interface (the engine's hot path) ----------------------
+  /// Registers a job that started holding `nodes` at `start_time_s`; the
+  /// job's node configuration is resolved here, once. Returns a handle for
+  /// on_job_stop. The sample is stale until the next advance().
+  int on_job_start(const JobRecord& job, const std::vector<int>& nodes,
+                   double start_time_s);
+  /// Unregisters a stopped job; its nodes fall back to idle power.
+  void on_job_stop(int handle);
+  /// Re-evaluates registered jobs' utilization at `now`, re-walks only the
+  /// racks whose group loads changed, and refreshes the sample.
+  const PowerSample& advance(double now);
+
+  /// Rebuilds all power state from scratch for the running set at `now`.
+  /// Clears any incrementally registered jobs — do not mix with the
+  /// incremental interface on the same instance mid-run.
   const PowerSample& recompute(double now, std::span<const RunningJobView> running);
 
   [[nodiscard]] const PowerSample& sample() const { return sample_; }
@@ -62,22 +86,78 @@ class RapsPowerModel {
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
  private:
+  /// A job's footprint on one rectifier group: `count` of its nodes whose
+  /// idle powers sum to `idle_sum_w`. Resolved once at job start so delta
+  /// application is one multiply-add per touched group, not one divide-and-
+  /// add per node.
+  struct GroupSpan {
+    int group = 0;
+    int count = 0;
+    double idle_sum_w = 0.0;
+  };
+
+  /// A registered running job (incremental interface). Record and group
+  /// footprint are copied so the engine's running vector may reallocate
+  /// freely.
+  struct ActiveJob {
+    JobRecord job;
+    std::vector<GroupSpan> spans;
+    double start_time_s = 0.0;
+    /// Uniform per-node 48 V power currently folded into group outputs.
+    double applied_node_w = 0.0;
+    const NodeConfig* node_cfg = nullptr;  ///< resolved once at start
+    bool live = false;
+  };
+
   SystemConfig config_;
   RackPowerModel rack_model_;
   int groups_per_rack_;
   int nodes_per_group_;
+  std::vector<double> idle_node_w_;          ///< per-node idle power (precomputed)
   std::vector<double> idle_group_output_w_;  ///< baseline with all nodes idle
   std::vector<double> group_output_w_;
   std::vector<double> rack_wall_w_;
   std::vector<double> cdu_wall_w_;
-  std::vector<double> node_power_by_partition_idle_;
   PowerSample sample_;
 
+  // Incremental state.
+  std::vector<ActiveJob> active_;
+  std::vector<int> free_slots_;
+  std::vector<RackPowerResult> rack_results_;
+  std::vector<char> rack_dirty_;
+  std::vector<int> dirty_racks_;
+  ConversionMemo memo_;
+  /// Rack results keyed on a *uniform* group load: racks fully covered by
+  /// one job (or idle) all share one value, so a fleet-wide load change
+  /// costs one rack evaluation plus cache hits.
+  ValueMemo<RackPowerResult> rack_memo_;
+  double total_input_w_ = 0.0;
+  double total_output_w_ = 0.0;
+  double switch_output_w_ = 0.0;
+  double rect_loss_w_ = 0.0;
+  double sivoc_loss_w_ = 0.0;
+  int active_nodes_ = 0;
+
   /// Node-side power of one node of `job` at time `now` (Eq. (3)).
-  [[nodiscard]] double job_node_power_w(const JobRecord& job, double now,
-                                        double start_time_s) const;
-  [[nodiscard]] double idle_node_power_w(int node_index) const;
+  [[nodiscard]] double job_node_power_w(const JobRecord& job, const NodeConfig& cfg,
+                                        double now, double start_time_s) const;
+  /// Node config for the job's partition; throws on an unknown partition.
   [[nodiscard]] const NodeConfig& node_config_for(const JobRecord& job) const;
+  /// Reference per-node idle power (the original O(partitions) scan). The
+  /// incremental path uses the precomputed idle_node_w_ array instead; this
+  /// stays as the seed-faithful arithmetic (and cost profile) recompute()
+  /// is benchmarked against. Values are bit-identical to idle_node_w_.
+  [[nodiscard]] double idle_node_power_w(int node_index) const;
+  /// Adds `delta_w` per node to every group in `spans`, marking their racks.
+  void apply_span_delta(const std::vector<GroupSpan>& spans, double delta_w);
+  void mark_rack_of_group(int group);
+  /// Re-evaluates every dirty rack and folds the differences into totals.
+  void refresh_dirty_racks();
+  /// Recomputes every rack and all totals from group_output_w_. With
+  /// `use_memo` the fast run-length path is taken; without it the exact
+  /// reference accumulation (the recompute() contract) is used.
+  void rebuild_all_racks(bool use_memo);
+  void fill_sample(double now);
 };
 
 }  // namespace exadigit

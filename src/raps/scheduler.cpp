@@ -76,7 +76,8 @@ void Scheduler::schedule_backfill(double now, const NodeAllocator& alloc,
   std::vector<RunningJobInfo> by_end = running;
   std::sort(by_end.begin(), by_end.end(),
             [](const RunningJobInfo& a, const RunningJobInfo& b) {
-              return a.end_time_s < b.end_time_s;
+              if (a.end_time_s != b.end_time_s) return a.end_time_s < b.end_time_s;
+              return a.id < b.id;  // ties: platform-independent shadow scan
             });
   double shadow_time = now;
   int avail = free_now;

@@ -10,6 +10,7 @@
 /// (Section III-B: jobs "may be replayed using the physical twin's
 /// scheduling policy").
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <vector>
@@ -24,6 +25,9 @@ namespace exadigit {
 struct RunningJobInfo {
   double end_time_s = 0.0;
   int node_count = 0;
+  /// Job id, used as a deterministic tie-break when end times collide (the
+  /// shadow-time scan must not depend on the engine's running-set order).
+  std::int64_t id = 0;
 };
 
 /// Queue + policy. The engine owns allocation; the scheduler decides order.

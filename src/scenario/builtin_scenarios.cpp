@@ -74,8 +74,15 @@ void add_report_metrics(ScenarioResult& r, const Report& report) {
 // --- workflow adapters -----------------------------------------------------
 
 ScenarioResult run_simulate_scenario(const ScenarioSpec& spec) {
-  check_params(spec, {"cooling"});
-  const SystemConfig config = spec.resolve_config();
+  check_params(spec, {"cooling", "engine"});
+  SystemConfig config = spec.resolve_config();
+  // "engine": "event" (default) or "tick" — the legacy fixed-step loop,
+  // kept for A/B validation batches (results are bit-identical; see
+  // raps/engine.hpp). Equivalent to a config delta on simulation.engine.
+  if (spec.params.is_object() && spec.params.contains("engine")) {
+    config.simulation.engine =
+        engine_mode_from_name(spec.params.at("engine").as_string());
+  }
   const std::uint64_t seed = spec.seed_or(42);
   const bool cooling = param_bool(spec, "cooling", true);
   const double duration = spec.horizon_s();

@@ -49,6 +49,21 @@ TEST(ConfigJsonTest, FrontierRoundTripIsLossless) {
   }
 }
 
+TEST(ConfigJsonTest, EngineModeRoundTripAndValidation) {
+  SystemConfig original = frontier_system_config();
+  original.simulation.engine = EngineMode::kTickLoop;
+  const SystemConfig back = system_config_from_json(system_config_to_json(original));
+  EXPECT_EQ(back.simulation.engine, EngineMode::kTickLoop);
+
+  const Json event = Json::parse(R"({"simulation": {"engine": "event"}})");
+  EXPECT_EQ(system_config_from_json(event).simulation.engine, EngineMode::kEventDriven);
+  // Absent field keeps the event-driven default.
+  const Json empty = Json::parse(R"({})");
+  EXPECT_EQ(system_config_from_json(empty).simulation.engine, EngineMode::kEventDriven);
+  const Json bad = Json::parse(R"({"simulation": {"engine": "warp"}})");
+  EXPECT_THROW(system_config_from_json(bad), ConfigError);
+}
+
 TEST(ConfigJsonTest, MultiPartitionRoundTrip) {
   const SystemConfig original = setonix_like_config();
   const SystemConfig back = system_config_from_json(system_config_to_json(original));

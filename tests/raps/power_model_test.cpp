@@ -114,6 +114,67 @@ TEST_F(PowerModelTest, UnknownPartitionThrows) {
   EXPECT_THROW(model_.recompute(0.0, std::span(&view, 1)), ConfigError);
 }
 
+/// The incremental interface (on_job_start / advance / on_job_stop) must
+/// track the stateless full rebuild to accumulation-order rounding.
+TEST_F(PowerModelTest, IncrementalAdvanceMatchesRecompute) {
+  JobRecord a = make_constant_job(0.0, 1000.0, 500, 0.0, 0.0);
+  a.gpu_util_trace = {0.2, 0.9, 0.4};
+  JobRecord b = make_constant_job(0.0, 1000.0, 300, 0.6, 0.3);
+  const auto nodes_a = node_range(0, 500);
+  const auto nodes_b = node_range(1000, 300);
+
+  RapsPowerModel incremental(config_);
+  const int ha = incremental.on_job_start(a, nodes_a, 0.0);
+  (void)incremental.on_job_start(b, nodes_b, 0.0);
+
+  RapsPowerModel reference(config_);
+  std::vector<RunningJobView> views{{&a, &nodes_a, 0.0}, {&b, &nodes_b, 0.0}};
+
+  for (const double t : {0.0, 20.0, 40.0}) {
+    const PowerSample& si = incremental.advance(t);
+    const double p_inc = si.system_power_w;
+    const int active = si.active_nodes;
+    const PowerSample& sr = reference.recompute(t, views);
+    EXPECT_NEAR(p_inc, sr.system_power_w, sr.system_power_w * 1e-9) << "t=" << t;
+    EXPECT_EQ(active, sr.active_nodes);
+  }
+
+  // Stop one job: its nodes fall back to idle.
+  incremental.on_job_stop(ha);
+  const double p_stop = incremental.advance(60.0).system_power_w;
+  std::vector<RunningJobView> only_b{{&b, &nodes_b, 0.0}};
+  const PowerSample& sr = reference.recompute(60.0, only_b);
+  EXPECT_NEAR(p_stop, sr.system_power_w, sr.system_power_w * 1e-9);
+}
+
+TEST_F(PowerModelTest, IncrementalStopRestoresIdleBaseline) {
+  const double idle_w = model_.recompute(0.0, {}).system_power_w;
+  JobRecord j = make_constant_job(0.0, 1000.0, 4000, 0.9, 0.9);
+  const auto nodes = node_range(100, 4000);
+  const int h = model_.on_job_start(j, nodes, 0.0);
+  EXPECT_GT(model_.advance(15.0).system_power_w, idle_w * 1.5);
+  model_.on_job_stop(h);
+  const PowerSample& s = model_.advance(30.0);
+  EXPECT_NEAR(s.system_power_w, idle_w, idle_w * 1e-9);
+  EXPECT_EQ(s.active_nodes, 0);
+}
+
+TEST_F(PowerModelTest, IncrementalUnknownPartitionThrowsAtStart) {
+  JobRecord j = make_constant_job(0.0, 100.0, 4, 0.5, 0.5);
+  j.partition = "nope";
+  const auto nodes = node_range(0, 4);
+  EXPECT_THROW((void)model_.on_job_start(j, nodes, 0.0), ConfigError);
+}
+
+TEST_F(PowerModelTest, IncrementalInvalidStopHandleThrows) {
+  EXPECT_THROW(model_.on_job_stop(0), ConfigError);
+  JobRecord j = make_constant_job(0.0, 100.0, 16, 0.5, 0.5);
+  const auto nodes = node_range(0, 16);
+  const int h = model_.on_job_start(j, nodes, 0.0);
+  model_.on_job_stop(h);
+  EXPECT_THROW(model_.on_job_stop(h), ConfigError);  // double stop
+}
+
 /// Property: system power is monotone in the number of active nodes.
 class PowerMonotoneProperty : public ::testing::TestWithParam<double> {};
 

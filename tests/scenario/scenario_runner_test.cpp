@@ -276,5 +276,30 @@ TEST(ScenarioRunnerTest, RunsBatchWithItsOwnSettings) {
   EXPECT_GE(results[1].metric("extended_htws_c"), results[0].metric("extended_htws_c"));
 }
 
+/// The "engine" param selects the legacy tick loop for A/B validation
+/// batches; both engines must produce bit-identical simulate results.
+TEST(ScenarioRunnerTest, SimulateEngineParamTickMatchesEvent) {
+  auto make_spec = [](const char* engine) {
+    ScenarioSpec spec;
+    spec.name = std::string("sim-") + engine;
+    spec.type = "simulate";
+    spec.horizon_hours = 0.25;
+    spec.seed = 11;
+    Json params;
+    params["cooling"] = false;
+    params["engine"] = Json(std::string(engine));
+    spec.params = std::move(params);
+    return spec;
+  };
+  const ScenarioResult event = ScenarioRegistry::instance().run(make_spec("event"));
+  const ScenarioResult tick = ScenarioRegistry::instance().run(make_spec("tick"));
+  ASSERT_EQ(event.summary.size(), tick.summary.size());
+  for (std::size_t i = 0; i < event.summary.size(); ++i) {
+    EXPECT_EQ(event.summary[i].value, tick.summary[i].value)
+        << "metric " << event.summary[i].name;
+  }
+  EXPECT_THROW(ScenarioRegistry::instance().run(make_spec("warp")), ConfigError);
+}
+
 }  // namespace
 }  // namespace exadigit
