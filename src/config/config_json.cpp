@@ -192,6 +192,7 @@ Json cooling_to_json(const CoolingConfig& c) {
   j["staging_delay_s"] = Json(c.staging_delay_s);
   j["step_s"] = Json(c.step_s);
   j["thermal_substep_s"] = Json(c.thermal_substep_s);
+  j["hydraulics"] = Json(std::string(hydraulics_eval_name(c.hydraulics)));
   return j;
 }
 
@@ -257,6 +258,9 @@ CoolingConfig cooling_from_json(const Json& j, const CoolingConfig& d) {
   c.staging_delay_s = j.number_or("staging_delay_s", c.staging_delay_s);
   c.step_s = j.number_or("step_s", c.step_s);
   c.thermal_substep_s = j.number_or("thermal_substep_s", c.thermal_substep_s);
+  if (j.contains("hydraulics")) {
+    c.hydraulics = hydraulics_eval_from_name(j.at("hydraulics").as_string());
+  }
   return c;
 }
 
@@ -286,6 +290,17 @@ EngineMode engine_mode_from_name(const std::string& name) {
   if (name == "event") return EngineMode::kEventDriven;
   if (name == "tick") return EngineMode::kTickLoop;
   throw ConfigError("engine mode must be \"event\" or \"tick\", got \"" + name + "\"");
+}
+
+const char* hydraulics_eval_name(HydraulicsEval eval) {
+  return eval == HydraulicsEval::kAlwaysSolve ? "always_solve" : "dedup";
+}
+
+HydraulicsEval hydraulics_eval_from_name(const std::string& name) {
+  if (name == "dedup") return HydraulicsEval::kDedup;
+  if (name == "always_solve") return HydraulicsEval::kAlwaysSolve;
+  throw ConfigError("hydraulics eval must be \"dedup\" or \"always_solve\", got \"" + name +
+                    "\"");
 }
 
 Json system_config_to_json(const SystemConfig& c) {

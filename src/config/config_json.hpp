@@ -27,4 +27,10 @@ namespace exadigit {
 /// Parses an engine-mode name; throws ConfigError on anything else.
 [[nodiscard]] EngineMode engine_mode_from_name(const std::string& name);
 
+/// Hydraulics-eval exchange names ("dedup" / "always_solve"), shared by
+/// the cooling.hydraulics config field and scenario params.
+[[nodiscard]] const char* hydraulics_eval_name(HydraulicsEval eval);
+/// Parses a hydraulics-eval name; throws ConfigError on anything else.
+[[nodiscard]] HydraulicsEval hydraulics_eval_from_name(const std::string& name);
+
 }  // namespace exadigit

@@ -198,6 +198,20 @@ struct CtLoopConfig {
   double ct_stage_min_interval_s = 600.0;
 };
 
+/// How CoolingPlantModel::step evaluates the per-step hydraulic solves
+/// (see cooling/plant.hpp for the dedup semantics).
+enum class HydraulicsEval {
+  /// Skip a network's re-solve when its exact parameter key is unchanged
+  /// since the last solve, and share one solution among identical-topology
+  /// CDU loops at the same operating point. Default; bit-identical to
+  /// kAlwaysSolve because reuse is keyed on exact (parameter, warm-start)
+  /// equality, never on tolerances.
+  kDedup,
+  /// Reference path: every network re-solved every step. Kept selectable
+  /// for cross-validation and for benchmarking the dedup speedup.
+  kAlwaysSolve,
+};
+
 /// Whole cooling plant (paper Fig. 5) + coupling constants.
 struct CoolingConfig {
   CduLoopConfig cdu;
@@ -213,6 +227,8 @@ struct CoolingConfig {
   double step_s = 15.0;
   /// Internal thermal substep for the finite-volume integrator.
   double thermal_substep_s = 3.0;
+  /// Hydraulic-solve evaluation strategy (dedup fast path vs. reference).
+  HydraulicsEval hydraulics = HydraulicsEval::kDedup;
 };
 
 /// How RapsEngine advances simulated time (see raps/engine.hpp).

@@ -85,9 +85,16 @@ void FlowNetwork::branch_flow(const Branch& b, double dp, double& q, double& dq_
       const double avail = s2h0 + dp;  // a (Q/n)^2
       const double n = static_cast<double>(b.parallel_units);
       if (avail <= 0.0) {
-        // Check valve holds the pump bank closed against reverse head.
+        // Check valve holds the pump bank closed against reverse head. The
+        // reported slope matches the linearized branch at avail == 0 and
+        // decays algebraically into deep closure, staying strictly positive
+        // so the Jacobian cannot go singular on a closed pump. (The old
+        // constant 1e-3/sqrt(a*kReg) slope was a ~1000*n discontinuity in
+        // dq/ddp at the boundary that could stall Newton on pumps held
+        // near closed/reverse head.)
+        const double slope0 = n / std::sqrt(b.curve_coeff * kRegularizePa);
         q = 0.0;
-        dq_ddp = 1.0 / std::sqrt(b.curve_coeff * kRegularizePa) * 1e-3;
+        dq_ddp = slope0 / (1.0 - avail / kRegularizePa);
         return;
       }
       if (avail <= kRegularizePa) {
@@ -109,35 +116,81 @@ void FlowNetwork::branch_flow(const Branch& b, double dp, double& q, double& dq_
 }
 
 NetworkSolution FlowNetwork::solve(double flow_scale_m3s) const {
+  // Fresh workspace per call: this is the original per-solve allocation
+  // pattern, preserved so the always-solve reference path benchmarks the
+  // cost the workspace-reusing fast path removed.
+  SolveWorkspace ws;
+  NetworkSolution sol;
+  solve_with(ws, flow_scale_m3s, sol);
+  return sol;
+}
+
+void FlowNetwork::solve_into(NetworkSolution& out, double flow_scale_m3s) const {
+  solve_with(ws_, flow_scale_m3s, out);
+}
+
+void FlowNetwork::solve_with(SolveWorkspace& ws, double flow_scale_m3s,
+                             NetworkSolution& out) const {
   // A warm start from the previous operating point almost always converges
   // in a few iterations; after a large parameter change (staging events)
   // it can start Newton in a bad basin, so fall back to a cold start.
   if (warm_pressures_.size() == node_count()) {
     try {
-      return solve_impl(flow_scale_m3s, /*use_warm_start=*/true);
+      solve_impl(ws, flow_scale_m3s, /*use_warm_start=*/true, out);
+      return;
     } catch (const SolverError&) {
       EXADIGIT_DEBUG << "network '" << label_ << "': warm start failed, retrying cold";
     }
   }
-  return solve_impl(flow_scale_m3s, /*use_warm_start=*/false);
+  solve_impl(ws, flow_scale_m3s, /*use_warm_start=*/false, out);
 }
 
-NetworkSolution FlowNetwork::solve_impl(double flow_scale_m3s, bool use_warm_start) const {
+void FlowNetwork::append_parameter_key(std::vector<double>& key) const {
+  key.push_back(static_cast<double>(node_count()));
+  key.push_back(static_cast<double>(branches_.size()));
+  for (const Branch& b : branches_) {
+    key.push_back(static_cast<double>(b.kind));
+    key.push_back(static_cast<double>(b.from));
+    key.push_back(static_cast<double>(b.to));
+    key.push_back(b.k);
+    key.push_back(b.position);
+    key.push_back(b.min_position);
+    key.push_back(b.shutoff_head_pa);
+    key.push_back(b.curve_coeff);
+    key.push_back(b.speed);
+    key.push_back(static_cast<double>(b.parallel_units));
+  }
+}
+
+void FlowNetwork::adopt_solution(const NetworkSolution& sol) {
+  require(sol.node_pressure_pa.size() == node_count() &&
+          sol.branch_flow_m3s.size() == branch_count(),
+          "adopted solution does not match the network shape");
+  warm_pressures_.assign(sol.node_pressure_pa.begin(), sol.node_pressure_pa.end());
+}
+
+void FlowNetwork::solve_impl(SolveWorkspace& ws, double flow_scale_m3s,
+                             bool use_warm_start, NetworkSolution& out) const {
   const std::size_t n_nodes = node_count();
   require(n_nodes >= 2, "network requires at least two nodes");
   require(!branches_.empty(), "network requires at least one branch");
   const std::size_t n_unknown = n_nodes - 1;  // node 0 is the reference
 
-  std::vector<double> pressure(n_nodes, 0.0);
+  std::vector<double>& pressure = ws.pressure;
   if (use_warm_start && warm_pressures_.size() == n_nodes) {
-    pressure = warm_pressures_;
+    pressure.assign(warm_pressures_.begin(), warm_pressures_.end());
+  } else {
+    pressure.assign(n_nodes, 0.0);
   }
   pressure[0] = 0.0;
 
   const double tol = std::max(flow_scale_m3s, 1e-3) * 1e-6;
-  std::vector<double> residual(n_unknown);
-  std::vector<double> jac(n_unknown * n_unknown);
-  std::vector<double> flows(branches_.size());
+  std::vector<double>& residual = ws.residual;
+  std::vector<double>& jac = ws.jac;
+  std::vector<double>& flows = ws.flows;
+  residual.resize(n_unknown);
+  jac.resize(n_unknown * n_unknown);
+  flows.resize(branches_.size());
 
   auto evaluate = [&](const std::vector<double>& p, std::vector<double>& r,
                       std::vector<double>* jacobian) {
@@ -178,20 +231,23 @@ NetworkSolution FlowNetwork::solve_impl(double flow_scale_m3s, bool use_warm_sta
     return m;
   };
 
-  NetworkSolution sol;
   constexpr int kMaxIter = 200;
   int iter = 0;
   evaluate(pressure, residual, nullptr);
   double res_norm = max_abs(residual);
-  std::vector<double> delta(n_unknown);
-  std::vector<double> trial(n_nodes);
+  std::vector<double>& delta = ws.delta;
+  std::vector<double>& trial = ws.trial;
+  delta.resize(n_unknown);
+  trial.resize(n_nodes);
 
   while (res_norm > tol && iter < kMaxIter) {
     ++iter;
     evaluate(pressure, residual, &jac);
 
-    // Dense Gaussian elimination with partial pivoting: jac * delta = -residual.
-    std::vector<double> a = jac;
+    // Dense Gaussian elimination with partial pivoting: jac * delta =
+    // -residual. The factorization destroys `jac` in place; it is fully
+    // rebuilt by the evaluate() at the top of the next iteration.
+    std::vector<double>& a = jac;
     for (std::size_t i = 0; i < n_unknown; ++i) delta[i] = -residual[i];
     for (std::size_t col = 0; col < n_unknown; ++col) {
       std::size_t pivot = col;
@@ -258,13 +314,14 @@ NetworkSolution FlowNetwork::solve_impl(double flow_scale_m3s, bool use_warm_sta
                       std::to_string(iter) + " iterations");
   }
 
-  evaluate(pressure, residual, nullptr);
-  sol.node_pressure_pa = pressure;
-  sol.branch_flow_m3s = flows;
-  sol.iterations = iter;
-  sol.residual_m3s = res_norm;
-  warm_pressures_ = pressure;
-  return sol;
+  // `flows` is already consistent with `pressure`: every exit path above
+  // re-evaluated at the accepted iterate, so the old post-convergence
+  // evaluate() was pure recomputation and is dropped.
+  out.node_pressure_pa.assign(pressure.begin(), pressure.end());
+  out.branch_flow_m3s.assign(flows.begin(), flows.end());
+  out.iterations = iter;
+  out.residual_m3s = res_norm;
+  warm_pressures_.assign(pressure.begin(), pressure.end());
 }
 
 double FlowNetwork::pressure_rise(const NetworkSolution& sol, BranchId id) const {

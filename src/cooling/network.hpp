@@ -14,6 +14,15 @@
 /// Branch characteristics are regularized near zero pressure drop so the
 /// Jacobian stays finite, and pumps carry integral check valves (no
 /// backflow), matching the physical plant.
+///
+/// The solver keeps a persistent per-network workspace (pressures,
+/// residual, Jacobian, line-search buffers, branch flows): after the first
+/// solve on a network, re-solves perform no heap allocation when driven
+/// through `solve_into`. Networks also expose their exact operating point
+/// as a parameter key (`append_parameter_key`) so callers can skip a
+/// re-solve when nothing changed, or share one solution among
+/// identical-topology networks at the same operating point — see
+/// CoolingPlantModel::solve_hydraulics.
 
 #include <cstddef>
 #include <string>
@@ -88,7 +97,38 @@ class FlowNetwork {
 
   /// Solves mass conservation; throws SolverError when Newton fails.
   /// `flow_scale_m3s` sets the convergence tolerance (1e-6 of it).
+  /// Allocates a fresh solution and solver workspace on every call — the
+  /// original cost structure, which the HydraulicsEval::kAlwaysSolve
+  /// reference path deliberately keeps for benchmarking; hot paths use
+  /// solve_into instead. Results are bit-identical between the two.
   [[nodiscard]] NetworkSolution solve(double flow_scale_m3s = 0.1) const;
+
+  /// Allocation-free variant of solve(): writes the converged state into
+  /// `out`, reusing its vectors and the network's persistent solver
+  /// workspace. Identical arithmetic to solve(); after the first call with
+  /// a given `out` the steady-state inner loop performs no heap allocation.
+  void solve_into(NetworkSolution& out, double flow_scale_m3s = 0.1) const;
+
+  /// Appends this network's exact operating point to `key`: the topology
+  /// (node/branch counts, endpoints, kinds) plus every mutable branch
+  /// parameter. Two networks with equal keys and equal warm-start states
+  /// produce bit-identical solutions, which is what lets the cooling plant
+  /// deduplicate identical CDU-loop solves and skip unchanged re-solves
+  /// (exact comparison, never tolerance-based, to keep runs deterministic).
+  void append_parameter_key(std::vector<double>& key) const;
+
+  /// Warm-start state: the previously converged nodal pressures (empty
+  /// before the first successful solve).
+  [[nodiscard]] const std::vector<double>& warm_start_pressures() const {
+    return warm_pressures_;
+  }
+
+  /// Installs `sol` as this network's converged state without solving, as
+  /// if solve() had just returned it (the next solve warm-starts from it).
+  /// The caller guarantees `sol` solves this network's current parameters —
+  /// used when an identical-topology network at the same operating point
+  /// was already solved this step.
+  void adopt_solution(const NetworkSolution& sol);
 
   /// Flow through a branch under a solution.
   [[nodiscard]] double flow(const NetworkSolution& sol, BranchId id) const {
@@ -99,12 +139,26 @@ class FlowNetwork {
   [[nodiscard]] double pressure_rise(const NetworkSolution& sol, BranchId id) const;
 
  private:
+  /// Persistent solver buffers, sized on first use and reused thereafter so
+  /// steady-state re-solves are allocation-free.
+  struct SolveWorkspace {
+    std::vector<double> pressure;  ///< current Newton iterate (all nodes)
+    std::vector<double> residual;  ///< nodal mass imbalance (non-reference)
+    std::vector<double> jac;       ///< dense Jacobian, destroyed in place by GE
+    std::vector<double> delta;     ///< Newton step
+    std::vector<double> trial;     ///< line-search candidate pressures
+    std::vector<double> flows;     ///< per-branch flows at the last evaluate
+  };
+
   std::string label_;
   std::vector<std::string> node_names_;
   std::vector<Branch> branches_;
   mutable std::vector<double> warm_pressures_;
+  mutable SolveWorkspace ws_;
 
-  [[nodiscard]] NetworkSolution solve_impl(double flow_scale_m3s, bool use_warm_start) const;
+  void solve_with(SolveWorkspace& ws, double flow_scale_m3s, NetworkSolution& out) const;
+  void solve_impl(SolveWorkspace& ws, double flow_scale_m3s, bool use_warm_start,
+                  NetworkSolution& out) const;
 
   /// Flow and dQ/d(dp) for a branch at pressure drop `dp = P_from - P_to`.
   void branch_flow(const Branch& b, double dp, double& q, double& dq_ddp) const;

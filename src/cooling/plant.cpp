@@ -97,6 +97,7 @@ CoolingPlantModel::CoolingPlantModel(const SystemConfig& config)
           /*initial_units=*/8),
       ehx_stage_lag_(config.cooling.staging_delay_s, 2.0) {
   config_.validate();
+  hydraulics_eval_ = config_.cooling.hydraulics;
   ct_supply_setpoint_c_ = config_.cooling.primary.htws_setpoint_c - 4.0;
   build_networks();
   reset();
@@ -118,6 +119,8 @@ void CoolingPlantModel::build_networks() {
     const NodeId ret = net.add_node("return_header");
     CduLoopState loop(std::move(net), cdu_pump_pid_config(cool.cdu, cool.cdu.pump),
                       cdu_valve_pid_config());
+    loop.supply_node = supply;
+    loop.return_node = ret;
     loop.pump = loop.net.add_pump(suction, supply, cool.cdu.pump.shutoff_head_pa,
                                   cdu_pump_model_.curve_coeff(), 1, "cdu_pump");
     const int racks = config_.racks_for_cdu(i);
@@ -181,8 +184,16 @@ void CoolingPlantModel::reset(double ambient_c) {
     loop.pump_pid.reset(loop.pump_speed);
     loop.valve_pid.reset(loop.valve_position);
     loop.last_solution = NetworkSolution{};
+    loop.last_key.clear();
+    loop.has_solution = false;
     for (BranchId b : loop.rack_branches) loop.net.branch(b).position = 1.0;
   }
+  pri_last_key_.clear();
+  pri_has_solution_ = false;
+  ct_last_key_.clear();
+  ct_has_solution_ = false;
+  hydraulics_stats_ = HydraulicsStats{};
+  step_count_ = 0;
   t_pri_supply_c_ = start;
   t_pri_return_c_ = start + 3.0;
   t_ct_supply_c_ = ambient_c + 2.0;
@@ -231,7 +242,9 @@ void CoolingPlantModel::update_controls(const CoolingInputs& inputs, double dt) 
   const CoolingConfig& cool = config_.cooling;
 
   for (auto& loop : cdu_loops_) {
-    const double dp = loop.last_solution.branch_flow_m3s.empty()
+    // Guard on the field pressure_rise actually reads (the old guard
+    // checked branch_flow_m3s and then read node pressures).
+    const double dp = loop.last_solution.node_pressure_pa.empty()
                           ? cool.cdu.loop_dp_setpoint_pa
                           : loop.net.pressure_rise(loop.last_solution, loop.pump);
     if (loop.forced_speed >= 0.0) {
@@ -313,11 +326,94 @@ void CoolingPlantModel::update_controls(const CoolingInputs& inputs, double dt) 
 }
 
 void CoolingPlantModel::solve_hydraulics() {
-  for (auto& loop : cdu_loops_) {
-    loop.last_solution = loop.net.solve(config_.cooling.cdu.secondary_design_flow_m3s);
+  const bool dedup = hydraulics_eval_ == HydraulicsEval::kDedup;
+  const double sec_scale = config_.cooling.cdu.secondary_design_flow_m3s;
+
+  // Snapshot every loop's warm-start state before any of this step's
+  // solves: copying loop j's result to loop i is only exact when both
+  // would have started Newton from the same point, and j's warm state
+  // advances as soon as j is solved.
+  if (dedup) {
+    for (auto& loop : cdu_loops_) {
+      const std::vector<double>& warm = loop.net.warm_start_pressures();
+      loop.warm_before.assign(warm.begin(), warm.end());
+    }
   }
-  pri_solution_ = pri_net_.solve(config_.cooling.primary.design_flow_m3s);
-  ct_solution_ = ct_net_.solve(config_.cooling.ct.design_flow_m3s);
+
+  for (std::size_t i = 0; i < cdu_loops_.size(); ++i) {
+    auto& loop = cdu_loops_[i];
+    loop.key.clear();
+    loop.net.append_parameter_key(loop.key);
+    if (dedup && loop.has_solution && loop.key == loop.last_key) {
+      // Unchanged operating point: a re-solve would warm-start at the
+      // converged pressures and exit after zero iterations with exactly
+      // the stored state, so skip it outright.
+      ++hydraulics_stats_.reused_unchanged;
+      continue;
+    }
+    const CduLoopState* donor = nullptr;
+    if (dedup) {
+      // A loop already handled this step with the same exact key and the
+      // same pre-step warm start would converge to the bit-identical
+      // solution: Newton here is a deterministic function of (parameters,
+      // warm start).
+      for (std::size_t j = 0; j < i; ++j) {
+        const CduLoopState& other = cdu_loops_[j];
+        if (other.has_solution && other.key == loop.key &&
+            other.warm_before == loop.warm_before) {
+          donor = &other;
+          break;
+        }
+      }
+    }
+    if (donor != nullptr) {
+      loop.last_solution = donor->last_solution;
+      loop.net.adopt_solution(loop.last_solution);
+      ++hydraulics_stats_.reused_shared;
+    } else if (dedup) {
+      loop.net.solve_into(loop.last_solution, sec_scale);
+      ++hydraulics_stats_.solves_performed;
+    } else {
+      // Reference path: the original allocate-per-solve call, preserved so
+      // benchmarks can measure the cost the fast path removed.
+      loop.last_solution = loop.net.solve(sec_scale);
+      ++hydraulics_stats_.solves_performed;
+    }
+    loop.last_key = loop.key;  // copy-assign: reuses capacity
+    loop.has_solution = true;
+  }
+
+  // Primary and CT loops have unique topologies, so only the unchanged-key
+  // skip applies to them.
+  pri_key_.clear();
+  pri_net_.append_parameter_key(pri_key_);
+  if (dedup && pri_has_solution_ && pri_key_ == pri_last_key_) {
+    ++hydraulics_stats_.reused_unchanged;
+  } else {
+    if (dedup) {
+      pri_net_.solve_into(pri_solution_, config_.cooling.primary.design_flow_m3s);
+    } else {
+      pri_solution_ = pri_net_.solve(config_.cooling.primary.design_flow_m3s);
+    }
+    ++hydraulics_stats_.solves_performed;
+    pri_last_key_ = pri_key_;
+    pri_has_solution_ = true;
+  }
+
+  ct_key_.clear();
+  ct_net_.append_parameter_key(ct_key_);
+  if (dedup && ct_has_solution_ && ct_key_ == ct_last_key_) {
+    ++hydraulics_stats_.reused_unchanged;
+  } else {
+    if (dedup) {
+      ct_net_.solve_into(ct_solution_, config_.cooling.ct.design_flow_m3s);
+    } else {
+      ct_solution_ = ct_net_.solve(config_.cooling.ct.design_flow_m3s);
+    }
+    ++hydraulics_stats_.solves_performed;
+    ct_last_key_ = ct_key_;
+    ct_has_solution_ = true;
+  }
   last_ct_header_pa_ = ct_solution_.node_pressure_pa.at(ct_header_node_);
 }
 
@@ -332,6 +428,11 @@ void CoolingPlantModel::integrate_thermal(const CoolingInputs& inputs, double dt
 
   for (int s = 0; s < substeps; ++s) {
     // --- CDU loops + primary branch mixing --------------------------------
+    // The primary supply temperature is loop-invariant within a substep, so
+    // its property evaluation is hoisted; capacity_rate(t, q) is exactly
+    // coolant_rho_cp(t) * q, so these common-subexpression hoists leave the
+    // arithmetic (and results) bit-identical.
+    const double rho_cp_pri_supply = coolant_rho_cp(Coolant::kWater, t_pri_supply_c_);
     double mix_accum = 0.0;
     double mix_flow = 0.0;
     for (std::size_t i = 0; i < cdu_loops_.size(); ++i) {
@@ -339,13 +440,13 @@ void CoolingPlantModel::integrate_thermal(const CoolingInputs& inputs, double dt
       const double q_sec = loop.net.flow(loop.last_solution, loop.pump);
       const double q_branch =
           pri_net_.flow(pri_solution_, pri_cdu_branches_[i]);
-      const double c_sec = capacity_rate(Coolant::kWater, loop.t_return_c, q_sec);
-      const double c_pri = capacity_rate(Coolant::kWater, t_pri_supply_c_, q_branch);
+      const double rho_cp = coolant_rho_cp(Coolant::kWater, loop.t_return_c);
+      const double c_sec = rho_cp * q_sec;
+      const double c_pri = rho_cp_pri_supply * q_branch;
       const HxResult hx = evaluate_counterflow_hx(cool.cdu.hex.ua_w_per_k, loop.t_return_c,
                                                   c_sec, t_pri_supply_c_, c_pri);
       const double heat = inputs.cdu_heat_w.at(i);
       const double half_vol = 0.5 * cool.cdu.secondary_volume_m3;
-      const double rho_cp = coolant_rho_cp(Coolant::kWater, loop.t_return_c);
       // Supply volume: fed by the HEX hot-side outlet.
       const double d_supply = q_sec / half_vol * (hx.hot_out_c - loop.t_supply_c);
       // Return volume: fed by the supply volume plus the rack heat load.
@@ -406,8 +507,8 @@ void CoolingPlantModel::collect_outputs(const CoolingInputs& inputs) {
     out.pri_flow_m3s = pri_net_.flow(pri_solution_, pri_cdu_branches_[i]);
     out.sec_supply_t_c = loop.t_supply_c;
     out.sec_return_t_c = loop.t_return_c;
-    out.sec_supply_p_pa = loop.last_solution.node_pressure_pa.at(1);
-    out.sec_return_p_pa = loop.last_solution.node_pressure_pa.at(2);
+    out.sec_supply_p_pa = loop.last_solution.node_pressure_pa.at(loop.supply_node);
+    out.sec_return_p_pa = loop.last_solution.node_pressure_pa.at(loop.return_node);
     out.valve_position = loop.valve_position;
     out.loop_dp_pa = rise;
   }
@@ -452,6 +553,7 @@ const PlantOutputs& CoolingPlantModel::step(const CoolingInputs& inputs, double 
   integrate_thermal(inputs, dt);
   collect_outputs(inputs);
   time_s_ += dt;
+  ++step_count_;
   return outputs_;
 }
 

@@ -17,6 +17,23 @@
 /// — including the delay transfer function coupling CT staging to EHX
 /// staging. The model produces 317 outputs per step, mirroring the paper's
 /// FMU: 12 per CDU plus 17 plant-level values.
+///
+/// Hydraulic-solve deduplication (HydraulicsEval::kDedup, the default):
+/// every network's exact operating point is captured as a parameter key
+/// (FlowNetwork::append_parameter_key) before each step's solves.
+///   - A network whose key is unchanged since its last solve skips the
+///     re-solve: Newton would warm-start at the converged pressures and
+///     exit after zero iterations with the same state.
+///   - CDU loops share one solve: a loop whose (key, warm-start) pair
+///     exactly matches an already-processed loop this step copies that
+///     loop's solution, because Newton is a deterministic function of the
+///     branch parameters and the warm start. In an unperturbed Frontier
+///     plant all same-rack-count CDU loops track each other bit-for-bit,
+///     collapsing 25 secondary solves to 2 per step.
+/// Both reuses compare keys exactly (never within a tolerance), so kDedup
+/// is bit-identical to the HydraulicsEval::kAlwaysSolve reference path —
+/// tests/cooling/plant_dedup_test.cpp asserts this across staging,
+/// blockage, and forced-pump churn.
 
 #include <vector>
 
@@ -83,6 +100,16 @@ struct PlantOutputs {
 /// The transient cooling plant model.
 class CoolingPlantModel {
  public:
+  /// Hydraulic-solve accounting since the last reset().
+  struct HydraulicsStats {
+    long long solves_performed = 0;  ///< Newton solves actually run
+    long long reused_unchanged = 0;  ///< skipped: parameter key unchanged
+    long long reused_shared = 0;     ///< copied from an identical CDU loop
+    [[nodiscard]] long long solves_reused() const {
+      return reused_unchanged + reused_shared;
+    }
+  };
+
   explicit CoolingPlantModel(const SystemConfig& config);
 
   /// Re-initializes all states to a quiescent plant at the given ambient.
@@ -112,11 +139,25 @@ class CoolingPlantModel {
   void set_basin_setpoint_offset(double offset_k);
   [[nodiscard]] double basin_setpoint_c() const { return ct_supply_setpoint_c_; }
 
+  /// Hydraulic evaluation strategy; seeded from CoolingConfig::hydraulics
+  /// (see the dedup semantics in the file header). Switching modes mid-run
+  /// is allowed and stays exact — reuse keys survive the switch.
+  void set_hydraulics_eval(HydraulicsEval eval) { hydraulics_eval_ = eval; }
+  [[nodiscard]] HydraulicsEval hydraulics_eval() const { return hydraulics_eval_; }
+  /// Solve/reuse counters since the last reset().
+  [[nodiscard]] const HydraulicsStats& hydraulics_stats() const {
+    return hydraulics_stats_;
+  }
+  /// Number of step() calls since the last reset().
+  [[nodiscard]] long long step_count() const { return step_count_; }
+
  private:
   struct CduLoopState {
     FlowNetwork net;
     BranchId pump = 0;
     BranchId hex_leg = 0;
+    NodeId supply_node = 0;  ///< secondary supply header (station 15 pressure)
+    NodeId return_node = 0;  ///< secondary return header (station 13 pressure)
     std::vector<BranchId> rack_branches;
     Pid pump_pid;
     Pid valve_pid;
@@ -126,6 +167,13 @@ class CoolingPlantModel {
     double pump_speed = 0.8;
     double forced_speed = -1.0;
     NetworkSolution last_solution;
+    // Dedup bookkeeping (solve_hydraulics): the parameter key of the
+    // current step, the key the stored solution was solved under, and the
+    // warm-start snapshot taken before any of this step's solves.
+    std::vector<double> key;
+    std::vector<double> last_key;
+    std::vector<double> warm_before;
+    bool has_solution = false;
     CduLoopState(FlowNetwork n, const PidConfig& pump_cfg, const PidConfig& valve_cfg)
         : net(std::move(n)), pump_pid(pump_cfg), valve_pid(valve_cfg) {}
   };
@@ -167,8 +215,20 @@ class CoolingPlantModel {
   double t_ct_return_c_ = 27.0;
   double ct_supply_setpoint_c_ = 28.5;
 
+  // Hydraulics evaluation mode + per-network reuse state (primary and CT
+  // loops only skip-unchanged; sharing applies to the CDU loop family).
+  HydraulicsEval hydraulics_eval_ = HydraulicsEval::kDedup;
+  HydraulicsStats hydraulics_stats_;
+  std::vector<double> pri_key_;
+  std::vector<double> pri_last_key_;
+  bool pri_has_solution_ = false;
+  std::vector<double> ct_key_;
+  std::vector<double> ct_last_key_;
+  bool ct_has_solution_ = false;
+
   PlantOutputs outputs_;
   double time_s_ = 0.0;
+  long long step_count_ = 0;
 
   void build_networks();
   void update_controls(const CoolingInputs& inputs, double dt);

@@ -10,12 +10,13 @@ DigitalTwin::DigitalTwin(const SystemConfig& config)
 
 DigitalTwin::DigitalTwin(const SystemConfig& config, const DigitalTwinOptions& options)
     : config_(config),
-      engine_(config,
-              RapsEngine::Options{options.start_time_s, options.collect_series}),
+      engine_(config, RapsEngine::Options{options.start_time_s, options.collect_series,
+                                          options.power_eval}),
       collect_series_(options.collect_series) {
   if (options.enable_cooling) {
     fmu_ = std::make_unique<CoolingFmu>(config);
     fmu_->plant().reset(options.ambient_c);
+    cooling_synced_s_ = options.start_time_s;
     cdu_series_.resize(static_cast<std::size_t>(config_.cdu_count));
     cdu_power_series_.resize(static_cast<std::size_t>(config_.cdu_count));
     engine_.set_cooling_callback(
@@ -51,15 +52,29 @@ const CoolingFmu& DigitalTwin::cooling() const {
 }
 
 void DigitalTwin::on_cooling_quantum(double now_s) {
-  const std::vector<double> heat = engine_.cdu_heat_w();
+  // Step the plant by the simulated time it has not yet covered — exactly
+  // one cooling quantum on the grid, the partial tail on a flush. The old
+  // fixed-quantum step left the plant clock short of sim time (dropping the
+  // tail heat) whenever t_end fell off the cooling grid.
+  const double dt = now_s - cooling_synced_s_;
+  if (dt <= 1e-9) return;
+  // Per-CDU heat = wall power * cooling efficiency (the same product
+  // RapsPowerModel::cdu_heat_w returns), computed into a reused scratch so
+  // the per-quantum callback does not allocate.
   const std::vector<double>& cdu_wall = engine_.power_model().cdu_wall_power_w();
+  heat_scratch_.resize(cdu_wall.size());
+  for (std::size_t i = 0; i < cdu_wall.size(); ++i) {
+    heat_scratch_[i] = cdu_wall[i] * config_.cooling.cooling_efficiency;
+  }
+  const std::vector<double>& heat = heat_scratch_;
   const double p_system = engine_.power().system_power_w;
   for (std::size_t i = 0; i < heat.size(); ++i) {
     fmu_->set_real(static_cast<ValueRef>(i), heat[i]);
   }
   fmu_->set_by_name("wetbulb_c", wetbulb_at(now_s));
   fmu_->set_by_name("system_power_w", p_system);
-  fmu_->do_step(now_s, config_.simulation.cooling_quantum_s);
+  fmu_->do_step(now_s, dt);
+  cooling_synced_s_ = now_s;
 
   if (!collect_series_) return;
   const PlantOutputs& out = fmu_->outputs();
@@ -82,6 +97,12 @@ void DigitalTwin::on_cooling_quantum(double now_s) {
   }
 }
 
-void DigitalTwin::run_until(double t_end_s) { engine_.run_until(t_end_s); }
+void DigitalTwin::run_until(double t_end_s) {
+  engine_.run_until(t_end_s);
+  // Flush a final partial plant step when t_end is off the cooling grid
+  // (the last quantum callback fired before t_end); on-grid ends are
+  // already synced and this is a no-op.
+  if (fmu_ != nullptr) on_cooling_quantum(engine_.now_s());
+}
 
 }  // namespace exadigit

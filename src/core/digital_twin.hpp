@@ -16,6 +16,14 @@
 /// utilization integrals exactly at t_end (the final partial interval is
 /// flushed even off the quantum/tick grid), so report().total_energy_mwh
 /// always matches the rectangle integral of the recorded power series.
+///
+/// Cooling-clock alignment: each quantum callback steps the plant by the
+/// simulated time elapsed since the previous plant step (normally exactly
+/// one cooling quantum), and run_until(t_end) flushes a final partial plant
+/// step when t_end falls off the cooling grid. The plant clock therefore
+/// always equals the simulation clock at the end of every run_until — the
+/// tail heat between the last quantum boundary and t_end is no longer
+/// dropped (the cooling-side twin of the power-model tail-flush fix).
 
 #include <functional>
 #include <memory>
@@ -33,6 +41,10 @@ struct DigitalTwinOptions {
   bool enable_cooling = true;
   bool collect_series = true;
   double start_time_s = 0.0;
+  /// Power-sample evaluation strategy, passed through to RapsEngine —
+  /// kFullRecompute re-creates the pre-event-core hot path for legacy
+  /// benchmarking of the coupled twin.
+  RapsEngine::PowerEval power_eval = RapsEngine::PowerEval::kIncremental;
   /// Initial plant temperature seed AND the default constant wet bulb.
   /// Precedence for the ambient boundary condition, highest first:
   ///   1. set_wetbulb_series()  — a telemetry/synthetic series;
@@ -96,6 +108,12 @@ class DigitalTwin {
   SystemConfig config_;
   RapsEngine engine_;
   std::unique_ptr<CoolingFmu> fmu_;
+  /// Simulated time the plant has been stepped to; callbacks and the
+  /// run_until tail flush step the plant by (now - this), keeping the plant
+  /// clock equal to the simulation clock even off the cooling grid.
+  double cooling_synced_s_ = 0.0;
+  /// Reused per-quantum buffer for the per-CDU heat handed to the FMU.
+  std::vector<double> heat_scratch_;
   std::optional<TimeSeries> wetbulb_series_;
   /// Seeded from DigitalTwinOptions::ambient_c at construction (see the
   /// precedence note on that field); never read before then.

@@ -32,8 +32,10 @@ class CoolingFmu final : public CoSimulationSlave {
   void do_step(double current_time_s, double step_s) override;
   void reset() override;
 
-  /// Underlying plant for white-box tests and fault injection.
+  /// Underlying plant for white-box tests, fault injection, and the
+  /// hydraulic solve/reuse counters (CoolingPlantModel::hydraulics_stats).
   [[nodiscard]] CoolingPlantModel& plant() { return plant_; }
+  [[nodiscard]] const CoolingPlantModel& plant() const { return plant_; }
   [[nodiscard]] const PlantOutputs& outputs() const { return plant_.outputs(); }
 
   /// Total number of output variables (317 for the 25-CDU Frontier plant).

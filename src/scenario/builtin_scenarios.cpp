@@ -74,7 +74,7 @@ void add_report_metrics(ScenarioResult& r, const Report& report) {
 // --- workflow adapters -----------------------------------------------------
 
 ScenarioResult run_simulate_scenario(const ScenarioSpec& spec) {
-  check_params(spec, {"cooling", "engine"});
+  check_params(spec, {"cooling", "engine", "hydraulics"});
   SystemConfig config = spec.resolve_config();
   // "engine": "event" (default) or "tick" — the legacy fixed-step loop,
   // kept for A/B validation batches (results are bit-identical; see
@@ -82,6 +82,12 @@ ScenarioResult run_simulate_scenario(const ScenarioSpec& spec) {
   if (spec.params.is_object() && spec.params.contains("engine")) {
     config.simulation.engine =
         engine_mode_from_name(spec.params.at("engine").as_string());
+  }
+  // "hydraulics": "dedup" (default) or "always_solve" — the reference
+  // cooling hydraulic path, same A/B role as "engine" (see cooling/plant.hpp).
+  if (spec.params.is_object() && spec.params.contains("hydraulics")) {
+    config.cooling.hydraulics =
+        hydraulics_eval_from_name(spec.params.at("hydraulics").as_string());
   }
   const std::uint64_t seed = spec.seed_or(42);
   const bool cooling = param_bool(spec, "cooling", true);

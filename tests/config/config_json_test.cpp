@@ -64,6 +64,21 @@ TEST(ConfigJsonTest, EngineModeRoundTripAndValidation) {
   EXPECT_THROW(system_config_from_json(bad), ConfigError);
 }
 
+TEST(ConfigJsonTest, HydraulicsEvalRoundTripAndValidation) {
+  SystemConfig original = frontier_system_config();
+  original.cooling.hydraulics = HydraulicsEval::kAlwaysSolve;
+  const SystemConfig back = system_config_from_json(system_config_to_json(original));
+  EXPECT_EQ(back.cooling.hydraulics, HydraulicsEval::kAlwaysSolve);
+
+  const Json dedup = Json::parse(R"({"cooling": {"hydraulics": "dedup"}})");
+  EXPECT_EQ(system_config_from_json(dedup).cooling.hydraulics, HydraulicsEval::kDedup);
+  // Absent field keeps the dedup default.
+  const Json empty = Json::parse(R"({})");
+  EXPECT_EQ(system_config_from_json(empty).cooling.hydraulics, HydraulicsEval::kDedup);
+  const Json bad = Json::parse(R"({"cooling": {"hydraulics": "sometimes"}})");
+  EXPECT_THROW(system_config_from_json(bad), ConfigError);
+}
+
 TEST(ConfigJsonTest, MultiPartitionRoundTrip) {
   const SystemConfig original = setonix_like_config();
   const SystemConfig back = system_config_from_json(system_config_to_json(original));

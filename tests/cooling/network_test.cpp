@@ -124,6 +124,145 @@ TEST(NetworkTest, ZeroSpeedPumpAloneGivesZeroFlow) {
   EXPECT_NEAR(net.flow(sol, pump), 0.0, 1e-9);
 }
 
+/// Regression for the check-valve characteristic: the closed branch used
+/// to report a dq/ddp ~1000*n smaller than the adjacent linearized branch
+/// (a jump at avail == 0 that could stall Newton). A pump held against
+/// reverse head by a stronger bank must converge with zero flow.
+TEST(NetworkTest, PumpHeldAgainstReverseHeadConverges) {
+  FlowNetwork net;
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  // Strong 4-unit bank builds a discharge head far above the weak pump's
+  // shutoff, holding the weak pump's check valve closed.
+  const BranchId strong = net.add_pump(a, b, 500e3, 5e6, 4);
+  const BranchId weak = net.add_pump(a, b, 400e3, 1e7);
+  net.add_resistance(b, a, 5e5);
+  net.branch(weak).speed = 0.3;  // s^2 H0 = 36 kPa vs ~300 kPa discharge head
+  const NetworkSolution sol = net.solve(0.1);
+  EXPECT_LT(sol.residual_m3s, 1e-6);
+  EXPECT_DOUBLE_EQ(net.flow(sol, weak), 0.0);
+  EXPECT_GT(net.flow(sol, strong), 0.0);
+
+  // Sweeping the weak pump's speed across the check-valve opening boundary
+  // (~0.88 for these curves) must stay convergent and monotone, with no
+  // backflow anywhere — cold-started every time so each solve crosses the
+  // closed/regularized/quadratic regions on its own.
+  double prev_q = 0.0;
+  bool opened = false;
+  for (double speed = 0.0; speed <= 1.001; speed += 0.05) {
+    FlowNetwork fresh;
+    const NodeId fa = fresh.add_node();
+    const NodeId fb = fresh.add_node();
+    fresh.add_pump(fa, fb, 500e3, 5e6, 4);
+    const BranchId fweak = fresh.add_pump(fa, fb, 400e3, 1e7);
+    fresh.add_resistance(fb, fa, 5e5);
+    fresh.branch(fweak).speed = speed;
+    const NetworkSolution s = fresh.solve(0.1);
+    const double q = fresh.flow(s, fweak);
+    EXPECT_GE(q, 0.0) << "backflow at speed " << speed;
+    EXPECT_GE(q, prev_q - 1e-9) << "non-monotone opening at speed " << speed;
+    if (q > 0.0) opened = true;
+    prev_q = q;
+  }
+  EXPECT_TRUE(opened);  // the sweep really crosses the boundary
+}
+
+TEST(NetworkTest, SolveIntoMatchesSolveBitIdentical) {
+  auto build = [] {
+    FlowNetwork net;
+    const NodeId a = net.add_node();
+    const NodeId b = net.add_node();
+    const NodeId c = net.add_node();
+    net.add_pump(a, b, 300e3, 1e7, 2);
+    net.add_valve(b, c, 1e7);
+    net.add_resistance(c, a, 2e7);
+    return net;
+  };
+  FlowNetwork by_value = build();
+  FlowNetwork in_place = build();
+  const NetworkSolution sol = by_value.solve(0.1);
+  NetworkSolution out;
+  in_place.solve_into(out, 0.1);
+  ASSERT_EQ(out.node_pressure_pa.size(), sol.node_pressure_pa.size());
+  for (std::size_t i = 0; i < sol.node_pressure_pa.size(); ++i) {
+    EXPECT_EQ(out.node_pressure_pa[i], sol.node_pressure_pa[i]);
+  }
+  ASSERT_EQ(out.branch_flow_m3s.size(), sol.branch_flow_m3s.size());
+  for (std::size_t i = 0; i < sol.branch_flow_m3s.size(); ++i) {
+    EXPECT_EQ(out.branch_flow_m3s[i], sol.branch_flow_m3s[i]);
+  }
+  EXPECT_EQ(out.iterations, sol.iterations);
+
+  // Re-solving in place at the same operating point reuses the workspace
+  // and converges immediately from the warm start.
+  in_place.solve_into(out, 0.1);
+  EXPECT_EQ(out.iterations, 0);
+  for (std::size_t i = 0; i < sol.node_pressure_pa.size(); ++i) {
+    EXPECT_EQ(out.node_pressure_pa[i], sol.node_pressure_pa[i]);
+  }
+}
+
+TEST(NetworkTest, ParameterKeyTracksOperatingPoint) {
+  FlowNetwork net;
+  const NodeId a = net.add_node();
+  const NodeId b = net.add_node();
+  const BranchId pump = net.add_pump(a, b, 300e3, 1e7);
+  const BranchId valve = net.add_valve(b, a, 2e7);
+
+  std::vector<double> key0;
+  net.append_parameter_key(key0);
+  std::vector<double> key1;
+  net.append_parameter_key(key1);
+  EXPECT_EQ(key0, key1);  // stable when nothing changed
+
+  net.branch(pump).speed = 0.9;
+  std::vector<double> key2;
+  net.append_parameter_key(key2);
+  EXPECT_NE(key0, key2);
+
+  net.branch(pump).speed = 1.0;
+  net.branch(valve).position = 0.5;
+  std::vector<double> key3;
+  net.append_parameter_key(key3);
+  EXPECT_NE(key0, key3);
+
+  net.branch(valve).position = 1.0;
+  std::vector<double> key4;
+  net.append_parameter_key(key4);
+  EXPECT_EQ(key0, key4);  // exact restore -> exact key match
+}
+
+TEST(NetworkTest, AdoptSolutionSeedsWarmStart) {
+  auto build = [] {
+    FlowNetwork net;
+    const NodeId a = net.add_node();
+    const NodeId b = net.add_node();
+    net.add_pump(a, b, 300e3, 1e7);
+    net.add_resistance(b, a, 2e7);
+    return net;
+  };
+  FlowNetwork solved = build();
+  const NetworkSolution sol = solved.solve(0.1);
+  ASSERT_GT(sol.iterations, 0);
+
+  FlowNetwork adopter = build();
+  adopter.adopt_solution(sol);
+  EXPECT_EQ(adopter.warm_start_pressures(), sol.node_pressure_pa);
+  // The adopted state is already converged for identical parameters.
+  const NetworkSolution re = adopter.solve(0.1);
+  EXPECT_EQ(re.iterations, 0);
+  for (std::size_t i = 0; i < sol.node_pressure_pa.size(); ++i) {
+    EXPECT_EQ(re.node_pressure_pa[i], sol.node_pressure_pa[i]);
+  }
+
+  // Shape mismatch is rejected.
+  FlowNetwork other;
+  other.add_node();
+  other.add_node();
+  other.add_resistance(0, 1, 1e6);
+  EXPECT_THROW(other.adopt_solution(sol), ConfigError);
+}
+
 TEST(NetworkTest, WarmStartConvergesFasterOnReSolve) {
   FlowNetwork net;
   const NodeId a = net.add_node();

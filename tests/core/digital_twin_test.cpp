@@ -96,5 +96,58 @@ TEST(DigitalTwinTest, ReportMatchesEngine) {
   EXPECT_DOUBLE_EQ(twin.report().avg_power_mw, twin.engine().report().avg_power_mw);
 }
 
+/// Regression for the cooling tail flush: a run whose t_end is off the
+/// 15 s cooling grid used to leave the plant clock short of sim time,
+/// silently dropping the tail heat (the cooling twin of the power-side
+/// tail-flush bug). The plant clock must now equal sim time at the end of
+/// every run_until, including resumed runs.
+TEST(DigitalTwinTest, CoolingClockMatchesSimEndOffGrid) {
+  DigitalTwin twin(frontier_system_config());
+  twin.set_wetbulb_constant(16.0);
+  twin.submit(make_hpl_job(5.0, 400.0));
+
+  twin.run_until(100.0);  // 100 = 6*15 + 10: off the cooling grid
+  EXPECT_NEAR(twin.cooling().plant().time_s(), 100.0, 1e-9);
+  // The flush records the partial-step outputs at t_end.
+  EXPECT_DOUBLE_EQ(twin.pue_series().times().back(), 100.0);
+
+  // Resume across the next boundary: the first callback covers only the
+  // remaining 5 s to the 105 s boundary, never double-stepping.
+  twin.run_until(130.0);
+  EXPECT_NEAR(twin.cooling().plant().time_s(), 130.0, 1e-9);
+  EXPECT_DOUBLE_EQ(twin.pue_series().times().back(), 130.0);
+
+  // On-grid end: the quantum callback already synced the plant and the
+  // flush is a no-op (no duplicate series sample).
+  twin.run_until(150.0);
+  EXPECT_NEAR(twin.cooling().plant().time_s(), 150.0, 1e-9);
+  const TimeSeries& pue = twin.pue_series();
+  EXPECT_DOUBLE_EQ(pue.times().back(), 150.0);
+  ASSERT_GE(pue.size(), 2u);
+  EXPECT_LT(pue.times()[pue.size() - 2], 150.0);
+}
+
+/// An off-grid tail must contribute its heat: two runs differing only in a
+/// 10 s tail beyond the last boundary see different plant states.
+TEST(DigitalTwinTest, OffGridTailHeatNotDropped) {
+  SystemConfig config = frontier_system_config();
+  auto make_loaded_twin = [&config] {
+    DigitalTwin twin(config);
+    twin.set_wetbulb_constant(16.0);
+    twin.submit(make_hpl_job(5.0, 2000.0));
+    return twin;
+  };
+  DigitalTwin on_grid = make_loaded_twin();
+  on_grid.run_until(900.0);
+  DigitalTwin with_tail = make_loaded_twin();
+  with_tail.run_until(910.0);
+  EXPECT_NEAR(on_grid.cooling().plant().time_s(), 900.0, 1e-9);
+  EXPECT_NEAR(with_tail.cooling().plant().time_s(), 910.0, 1e-9);
+  // Mid-HPL the loops are heating: 10 extra seconds of heat moves the
+  // secondary return temperature.
+  EXPECT_NE(with_tail.cooling().outputs().cdus[0].sec_return_t_c,
+            on_grid.cooling().outputs().cdus[0].sec_return_t_c);
+}
+
 }  // namespace
 }  // namespace exadigit

@@ -301,5 +301,36 @@ TEST(ScenarioRunnerTest, SimulateEngineParamTickMatchesEvent) {
   EXPECT_THROW(ScenarioRegistry::instance().run(make_spec("warp")), ConfigError);
 }
 
+/// The "hydraulics" param selects the always-solve reference for cooling
+/// A/B batches; both strategies must produce bit-identical simulate
+/// results (the dedup reuse is keyed on exact operating-point equality).
+TEST(ScenarioRunnerTest, SimulateHydraulicsParamAlwaysSolveMatchesDedup) {
+  auto make_spec = [](const char* hydraulics) {
+    ScenarioSpec spec;
+    spec.name = std::string("sim-") + hydraulics;
+    spec.type = "simulate";
+    spec.horizon_hours = 0.25;
+    spec.seed = 11;
+    Json params;
+    params["hydraulics"] = Json(std::string(hydraulics));
+    spec.params = std::move(params);
+    return spec;
+  };
+  const ScenarioResult dedup = ScenarioRegistry::instance().run(make_spec("dedup"));
+  const ScenarioResult ref = ScenarioRegistry::instance().run(make_spec("always_solve"));
+  ASSERT_EQ(dedup.summary.size(), ref.summary.size());
+  for (std::size_t i = 0; i < dedup.summary.size(); ++i) {
+    EXPECT_EQ(dedup.summary[i].value, ref.summary[i].value)
+        << "metric " << dedup.summary[i].name;
+  }
+  const TimeSeries& pue_a = dedup.channels.at("pue");
+  const TimeSeries& pue_b = ref.channels.at("pue");
+  ASSERT_EQ(pue_a.size(), pue_b.size());
+  for (std::size_t i = 0; i < pue_a.size(); ++i) {
+    EXPECT_EQ(pue_a.values()[i], pue_b.values()[i]) << "pue sample " << i;
+  }
+  EXPECT_THROW(ScenarioRegistry::instance().run(make_spec("sometimes")), ConfigError);
+}
+
 }  // namespace
 }  // namespace exadigit
