@@ -7,17 +7,97 @@
 /// Set EXADIGIT_BENCH_DAYS to shrink the sweep for quick runs. `--json
 /// <path>` records the perf trajectory (BENCH_replay183.json): wall-clock,
 /// replay rate, and the headline energy statistics.
+///
+/// The bench also exercises the dataset-scale ingest path: it writes a
+/// synthetic multi-day Table II dataset (EXADIGIT_BENCH_DATASET_DAYS,
+/// default 7) in both native formats, times the single-pass columnar CSV
+/// load against the exadigit-bin load, verifies the two loads are
+/// value-identical, and replays the loaded frame through the twin. The
+/// `--json` record gains dataset_load_ms / dataset_load_bin_ms plus the
+/// ingest rates.
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/experiment.hpp"
+#include "core/replay.hpp"
 #include "perf_json.hpp"
+#include "raps/workload.hpp"
+#include "telemetry/store.hpp"
 
 using namespace exadigit;
+
+namespace {
+
+double now_ms_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// A dense synthetic Table II dataset: waveform channels at their native
+/// rates (15 s CDU/system sensors, 60 s wet bulb, 2 min facility) plus a
+/// generated job mix. Physical fidelity is irrelevant here — data volume
+/// and schema shape are what the ingest path pays for.
+TelemetryDataset make_synthetic_dataset(const SystemConfig& config, double days) {
+  TelemetryDataset d;
+  d.system_name = "bench-synthetic";
+  d.duration_s = days * units::kSecondsPerDay;
+  d.trace_quantum_s = 15.0;
+  int phase = 0;
+  auto fill = [&phase, &d](TimeSeries& s, double dt, double base, double amplitude) {
+    ++phase;
+    const auto n = static_cast<std::size_t>(d.duration_s / dt);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) * dt;
+      s.push_back(t, base + amplitude * std::sin(1e-4 * t + 0.7 * phase));
+    }
+  };
+  fill(d.measured_system_power_w, 15.0, 18e6, 4e6);
+  fill(d.wetbulb_c, 60.0, 16.0, 4.0);
+  d.cdus.resize(static_cast<std::size_t>(config.cdu_count));
+  for (auto& cdu : d.cdus) {
+    for (const CduChannelDef& def : cdu_channel_defs()) {
+      fill(cdu.*(def.member), 15.0, 100.0, 40.0);
+    }
+  }
+  for (const FacilityChannelDef& def : facility_channel_defs()) {
+    fill(d.facility.*(def.member), 120.0, 50.0, 10.0);
+  }
+  WorkloadGenerator gen(config.workload, config, Rng(183));
+  d.jobs = gen.generate(0.0, d.duration_s);
+  return d;
+}
+
+/// Exact equality across every channel of two datasets.
+bool datasets_identical(const TelemetryDataset& a, const TelemetryDataset& b) {
+  auto same = [](const TimeSeries& x, const TimeSeries& y) {
+    if (x.size() != y.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x.time(i) != y.time(i) || x.value(i) != y.value(i)) return false;
+    }
+    return true;
+  };
+  for (const SystemChannelDef& def : system_channel_defs()) {
+    if (!same(a.*(def.member), b.*(def.member))) return false;
+  }
+  if (a.cdus.size() != b.cdus.size()) return false;
+  for (std::size_t i = 0; i < a.cdus.size(); ++i) {
+    for (const CduChannelDef& def : cdu_channel_defs()) {
+      if (!same(a.cdus[i].*(def.member), b.cdus[i].*(def.member))) return false;
+    }
+  }
+  for (const FacilityChannelDef& def : facility_channel_defs()) {
+    if (!same(a.facility.*(def.member), b.facility.*(def.member))) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
@@ -64,6 +144,73 @@ int main(int argc, char** argv) {
   std::printf("replayed %d days in %.1f s (%.2f s/day)\n", sweep.days, wall,
               wall / sweep.days);
 
+  // ---- dataset-scale ingest: columnar CSV vs binary, then a frame replay.
+  const char* dataset_env = std::getenv("EXADIGIT_BENCH_DATASET_DAYS");
+  const double dataset_days = dataset_env != nullptr ? std::atof(dataset_env) : 7.0;
+  double dataset_load_ms = 0.0;
+  double dataset_load_bin_ms = 0.0;
+  double dataset_save_ms = 0.0;
+  double dataset_save_bin_ms = 0.0;
+  double dataset_replay_ms = 0.0;
+  std::size_t dataset_samples = 0;
+  bool formats_identical = true;
+  if (dataset_days > 0.0) {
+    std::printf("\n=== Dataset ingest: %.1f-day synthetic telemetry, %d CDUs ===\n",
+                dataset_days, config.cdu_count);
+    namespace fs = std::filesystem;
+    const std::string base =
+        (fs::temp_directory_path() / "exadigit_bench_replay183_dataset").string();
+    fs::remove_all(base);
+    const TelemetryDataset source = make_synthetic_dataset(config, dataset_days);
+    std::size_t dataset_channels = 0;
+    {
+      const TelemetryFrame counted = TelemetryFrame::from_dataset(source);
+      dataset_samples = counted.sample_count();
+      dataset_channels = counted.channel_count();
+    }
+
+    auto t = std::chrono::steady_clock::now();
+    save_dataset(source, base + "/csv");
+    dataset_save_ms = now_ms_since(t);
+    t = std::chrono::steady_clock::now();
+    save_dataset_binary(source, base + "/bin");
+    dataset_save_bin_ms = now_ms_since(t);
+
+    t = std::chrono::steady_clock::now();
+    const TelemetryDataset from_csv = load_dataset(base + "/csv");
+    dataset_load_ms = now_ms_since(t);
+    t = std::chrono::steady_clock::now();
+    const TelemetryDataset from_bin = load_dataset(base + "/bin");
+    dataset_load_bin_ms = now_ms_since(t);
+
+    formats_identical = datasets_identical(from_csv, from_bin) &&
+                        datasets_identical(from_bin, source);
+    std::printf("%zu samples across %zu channels + %zu jobs\n", dataset_samples,
+                dataset_channels, source.jobs.size());
+    std::printf("csv: save %.0f ms, single-pass load %.0f ms (%.1f Msamples/s)\n",
+                dataset_save_ms, dataset_load_ms,
+                dataset_samples / (1e3 * dataset_load_ms));
+    std::printf("bin: save %.0f ms, load %.0f ms (%.1f Msamples/s, %.1fx vs csv)\n",
+                dataset_save_bin_ms, dataset_load_bin_ms,
+                dataset_samples / (1e3 * dataset_load_bin_ms),
+                dataset_load_ms / dataset_load_bin_ms);
+    std::printf("csv/bin loads value-identical to source: %s\n",
+                formats_identical ? "yes" : "NO");
+
+    // Frame-consuming replay of the loaded dataset (power-side path).
+    t = std::chrono::steady_clock::now();
+    const PowerReplayResult rr =
+        replay_power(config, load_dataset_frame(base + "/bin"), /*with_cooling=*/false);
+    dataset_replay_ms = now_ms_since(t);
+    std::printf("frame replay (load+sim): %.0f ms, %d jobs completed, mape %.2f %%\n",
+                dataset_replay_ms, rr.report.jobs_completed, rr.power_score.mape_pct);
+    fs::remove_all(base);
+    if (!formats_identical) {
+      std::fprintf(stderr, "FAIL: csv and bin loads are not value-identical\n");
+      return 1;
+    }
+  }
+
   if (!json_path.empty()) {
     const double sim_seconds = sweep.days * units::kSecondsPerDay;
     double energy_mwh = 0.0;
@@ -79,6 +226,18 @@ int main(int argc, char** argv) {
     out["avg_eta_system"] = Json(eta);
     out["energy_mwh"] = Json(energy_mwh);
     out["engine"] = Json(std::string("event"));
+    if (dataset_days > 0.0) {
+      out["dataset_days"] = Json(dataset_days);
+      out["dataset_samples"] = Json(dataset_samples);
+      out["dataset_save_ms"] = Json(dataset_save_ms);
+      out["dataset_save_bin_ms"] = Json(dataset_save_bin_ms);
+      out["dataset_load_ms"] = Json(dataset_load_ms);
+      out["dataset_load_bin_ms"] = Json(dataset_load_bin_ms);
+      out["dataset_bin_speedup"] =
+          Json(dataset_load_bin_ms > 0.0 ? dataset_load_ms / dataset_load_bin_ms : 0.0);
+      out["dataset_replay_ms"] = Json(dataset_replay_ms);
+      out["dataset_formats_identical"] = Json(formats_identical);
+    }
     if (!bench::write_perf_json(json_path, out)) return 1;
     std::printf("perf JSON -> %s\n", json_path.c_str());
   }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 
 namespace exadigit {
 
@@ -72,9 +73,16 @@ std::vector<std::string> ArgParser::parse(int argc, char** argv, int first) cons
     try {
       std::size_t consumed = 0;
       switch (match->kind) {
-        case Kind::kDouble:
-          *static_cast<double*>(match->target) = std::stod(value, &consumed);
+        case Kind::kDouble: {
+          // Locale-independent: std::stod would honour LC_NUMERIC.
+          double parsed = 0.0;
+          if (!try_parse_double(value, &parsed)) {
+            throw ConfigError("bad value for " + arg + ": " + value);
+          }
+          *static_cast<double*>(match->target) = parsed;
+          consumed = value.size();
           break;
+        }
         case Kind::kInt:
           *static_cast<int*>(match->target) = std::stoi(value, &consumed);
           break;

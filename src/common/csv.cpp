@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 
 namespace exadigit {
 
@@ -28,15 +29,9 @@ std::vector<double> CsvDocument::numeric_column(const std::string& name) const {
   std::vector<double> out;
   out.reserve(rows_.size());
   for (const auto& row : rows_) {
-    std::size_t consumed = 0;
     double v = 0.0;
-    try {
-      v = std::stod(row[c], &consumed);
-    } catch (const std::exception&) {
+    if (!try_parse_double(row[c], &v)) {
       throw TelemetryError("csv non-numeric cell in column " + name + ": '" + row[c] + "'");
-    }
-    if (consumed != row[c].size()) {
-      throw TelemetryError("csv trailing junk in column " + name + ": '" + row[c] + "'");
     }
     out.push_back(v);
   }
@@ -70,49 +65,50 @@ void write_row(std::ostream& os, const std::vector<std::string>& row) {
   os << '\n';
 }
 
-/// Parses one logical CSV record (may span lines inside quotes). Returns
-/// false at end of stream with no data.
-bool parse_record(std::istream& is, std::vector<std::string>& out) {
-  out.clear();
-  std::string cell;
+}  // namespace
+
+bool CsvRecordReader::next(std::vector<std::string>& out) {
+  std::size_t n = 0;
+  auto next_cell = [&]() -> std::string& {
+    if (n == out.size()) out.emplace_back();
+    out[n].clear();
+    return out[n++];
+  };
+  std::string* cell = nullptr;
   bool in_quotes = false;
-  bool saw_any = false;
   int ch = 0;
-  while ((ch = is.get()) != std::char_traits<char>::eof()) {
-    saw_any = true;
+  while ((ch = is_->get()) != std::char_traits<char>::eof()) {
     const char c = static_cast<char>(ch);
+    if (cell == nullptr) cell = &next_cell();
     if (in_quotes) {
       if (c == '"') {
-        if (is.peek() == '"') {
-          cell += '"';
-          is.get();
+        if (is_->peek() == '"') {
+          *cell += '"';
+          is_->get();
         } else {
           in_quotes = false;
         }
       } else {
-        cell += c;
+        *cell += c;
       }
       continue;
     }
     if (c == '"') {
       in_quotes = true;
     } else if (c == ',') {
-      out.push_back(std::move(cell));
-      cell.clear();
+      cell = &next_cell();
     } else if (c == '\n') {
       break;
     } else if (c == '\r') {
       // Swallow; a following '\n' ends the record on the next iteration.
     } else {
-      cell += c;
+      *cell += c;
     }
   }
-  if (!saw_any) return false;
-  out.push_back(std::move(cell));
+  if (cell == nullptr) return false;
+  out.resize(n);
   return true;
 }
-
-}  // namespace
 
 void CsvDocument::write(std::ostream& os) const {
   write_row(os, header_);
@@ -126,10 +122,11 @@ void CsvDocument::save(const std::string& path) const {
 }
 
 CsvDocument CsvDocument::parse(std::istream& is) {
+  CsvRecordReader reader(is);
   std::vector<std::string> record;
-  require(parse_record(is, record), "csv stream is empty");
+  require(reader.next(record), "csv stream is empty");
   CsvDocument doc(record);
-  while (parse_record(is, record)) {
+  while (reader.next(record)) {
     if (record.size() == 1 && record.front().empty()) continue;  // blank line
     doc.add_row(record);
   }

@@ -13,6 +13,23 @@
 
 namespace exadigit {
 
+/// Streams logical CSV records (RFC-4180-style quoting, embedded commas and
+/// newlines) one at a time without materializing the document. `next` reuses
+/// the caller's record storage across calls, so a full-file scan performs a
+/// bounded number of allocations regardless of row count — this is the
+/// single-pass telemetry loader's inner loop.
+class CsvRecordReader {
+ public:
+  explicit CsvRecordReader(std::istream& is) : is_(&is) {}
+
+  /// Reads the next record into `out` (resized to the cell count, existing
+  /// string capacity reused). Returns false at end of stream.
+  bool next(std::vector<std::string>& out);
+
+ private:
+  std::istream* is_;
+};
+
 /// An in-memory CSV document: a header row plus string cells.
 class CsvDocument {
  public:

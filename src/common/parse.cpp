@@ -1,0 +1,44 @@
+#include "common/parse.hpp"
+
+#include <charconv>
+#include <system_error>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+bool try_parse_double(std::string_view text, double* out) noexcept {
+  // std::from_chars rejects the leading whitespace and '+' that hand-edited
+  // CSVs occasionally carry; std::stod accepted both, so keep doing so.
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t' ||
+                           text.front() == '\n' || text.front() == '\r' ||
+                           text.front() == '\v' || text.front() == '\f')) {
+    text.remove_prefix(1);
+  }
+  if (!text.empty() && text.front() == '+') text.remove_prefix(1);
+  double value = 0.0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || first == last) return false;
+  *out = value;
+  return true;
+}
+
+double parse_double(std::string_view text, const char* what) {
+  double value = 0.0;
+  if (!try_parse_double(text, &value)) {
+    throw TelemetryError("invalid number for " + std::string(what) + ": '" +
+                         std::string(text) + "'");
+  }
+  return value;
+}
+
+std::string format_double(double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;  // 32 bytes always fit the shortest round-trip form
+  return std::string(buf, ptr);
+}
+
+}  // namespace exadigit

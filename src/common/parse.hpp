@@ -1,0 +1,32 @@
+#pragma once
+
+/// @file parse.hpp
+/// Locale-independent numeric parsing and formatting.
+///
+/// Telemetry ingestion must behave identically regardless of the process
+/// locale: `std::stod` honours LC_NUMERIC, so in a comma-decimal locale
+/// (de_DE and friends) every "1.5" in a dataset either throws or silently
+/// truncates to 1. These helpers wrap `std::from_chars`/`std::to_chars`,
+/// which always use the C locale's '.' decimal point, and double as the
+/// single-pass dataset loader's fast path (no istream, no exceptions on
+/// the happy path, no temporary strings).
+
+#include <string>
+#include <string_view>
+
+namespace exadigit {
+
+/// Parses `text` as a double, requiring the whole of `text` to be consumed.
+/// Returns false (leaving `*out` untouched) on empty input, trailing junk,
+/// or out-of-range values.
+[[nodiscard]] bool try_parse_double(std::string_view text, double* out) noexcept;
+
+/// Parses `text` as a double; throws TelemetryError naming `what` when the
+/// text is not a complete numeric token.
+[[nodiscard]] double parse_double(std::string_view text, const char* what);
+
+/// Shortest decimal form of `value` that parses back bit-identically
+/// (std::to_chars round-trip guarantee). "15" rather than "15.000".
+[[nodiscard]] std::string format_double(double value);
+
+}  // namespace exadigit

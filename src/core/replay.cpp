@@ -16,7 +16,15 @@ SeriesScore score_series(const TimeSeries& predicted, const TimeSeries& measured
   const double t0 = std::max(predicted.start_time(), measured.start_time());
   const double t1 = std::min(predicted.end_time(), measured.end_time());
   require(t1 > t0, "series do not overlap in time");
-  const std::size_t n = static_cast<std::size_t>((t1 - t0) / dt_s) + 1;
+  // Sample count on the [t0, t1] grid. Plain truncation drops the final
+  // sample whenever FP noise lands (t1-t0)/dt a few ulp below an integer
+  // (e.g. 0.3/0.1 = 2.9999999999999996), so snap to the nearest integer
+  // when within a relative tolerance and truncate otherwise.
+  const double span = (t1 - t0) / dt_s;
+  const double nearest = std::nearbyint(span);
+  const double tol = 1e-9 * std::max(1.0, std::abs(span));
+  const double whole = std::abs(span - nearest) <= tol ? nearest : std::floor(span);
+  const std::size_t n = static_cast<std::size_t>(whole) + 1;
   const TimeSeries p = predicted.resample(t0, dt_s, n);
   const TimeSeries m = measured.resample(t0, dt_s, n);
   SeriesScore s;
@@ -62,6 +70,14 @@ PowerReplayResult replay_power(const SystemConfig& config, const TelemetryDatase
                                config.simulation.cooling_quantum_s);
   r.report = twin.report();
   return r;
+}
+
+PowerReplayResult replay_power(const SystemConfig& config, DatasetFrame&& data,
+                               bool with_cooling) {
+  // Materializing the schema view from a columnar frame is all moves, so
+  // this is the frame path: no channel array is ever copied.
+  const TelemetryDataset dataset = std::move(data).to_dataset();
+  return replay_power(config, dataset, with_cooling);
 }
 
 CoolingValidationResult validate_cooling(const SystemConfig& config,

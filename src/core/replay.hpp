@@ -18,6 +18,7 @@
 
 #include "core/digital_twin.hpp"
 #include "telemetry/schema.hpp"
+#include "telemetry/store.hpp"
 
 namespace exadigit {
 
@@ -53,6 +54,13 @@ struct PowerReplayResult {
 /// paper's 9-minute path) or skips it (3-minute path).
 [[nodiscard]] PowerReplayResult replay_power(const SystemConfig& config,
                                              const TelemetryDataset& dataset,
+                                             bool with_cooling);
+
+/// Frame-consuming overload: replays a columnar DatasetFrame (as produced
+/// by load_dataset_frame) without copying channel arrays — the channels the
+/// replay needs are moved out of the frame, so a 183-day load feeds the
+/// twin with zero per-sample copies.
+[[nodiscard]] PowerReplayResult replay_power(const SystemConfig& config, DatasetFrame&& data,
                                              bool with_cooling);
 
 /// Result of the cooling-model validation (Fig. 7(a-d)).

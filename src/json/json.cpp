@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string_view>
+
+#include "common/parse.hpp"
 
 namespace exadigit {
 
@@ -437,12 +440,14 @@ class Parser {
       if (!eof() && (peek() == '+' || peek() == '-')) advance();
       if (!digits()) fail("digits required in exponent");
     }
-    const std::string token = text_.substr(start, pos_ - start);
-    try {
-      return Json(std::stod(token));
-    } catch (const std::exception&) {
-      fail("number out of range: " + token);
+    // Locale-independent conversion: std::stod honours LC_NUMERIC and
+    // mis-parses "1.5" under a comma-decimal locale.
+    const std::string_view token = std::string_view(text_).substr(start, pos_ - start);
+    double value = 0.0;
+    if (!try_parse_double(token, &value)) {
+      fail("number out of range: " + std::string(token));
     }
+    return Json(value);
   }
 };
 

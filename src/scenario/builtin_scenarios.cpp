@@ -17,6 +17,7 @@
 #include "core/whatif.hpp"
 #include "raps/workload.hpp"
 #include "scenario/scenario_registry.hpp"
+#include "telemetry/store.hpp"
 
 namespace exadigit {
 namespace {
@@ -118,9 +119,15 @@ ScenarioResult run_simulate_scenario(const ScenarioSpec& spec) {
 ScenarioResult run_replay_scenario(const ScenarioSpec& spec) {
   check_params(spec, {"cooling"});
   const SystemConfig config = spec.resolve_config();
-  const TelemetryDataset dataset = spec.resolve_dataset(config);
   const bool cooling = param_bool(spec, "cooling", true);
-  const PowerReplayResult pr = replay_power(config, dataset, cooling);
+  // Native saved datasets feed the replay columnar (single-pass load, no
+  // channel copies); synthetic recordings and bespoke registry formats go
+  // through the materialized-dataset path.
+  const bool columnar =
+      spec.source.kind == ScenarioSource::Kind::kDataset && spec.source.format.empty();
+  const PowerReplayResult pr =
+      columnar ? replay_power(config, load_dataset_frame(spec.source.path), cooling)
+               : replay_power(config, spec.resolve_dataset(config), cooling);
 
   ScenarioResult r;
   r.add_metric("power_rmse_mw", pr.power_score.rmse);

@@ -41,9 +41,10 @@ TimeSeries synthetic_wetbulb_series(double duration_s, std::uint64_t seed) {
 
 ScenarioSource ScenarioSource::from_json(const Json& j) {
   if (!j.is_object()) throw ConfigError("scenario source must be an object");
-  check_keys(j, {"kind", "path", "hours", "seed"}, "scenario source");
+  check_keys(j, {"kind", "path", "format", "hours", "seed"}, "scenario source");
   ScenarioSource s;
   s.path = j.string_or("path", "");
+  s.format = j.string_or("format", "");
   // A bare "path" implies a dataset source, so forgetting "kind" can never
   // silently replace the user's data with a synthetic recording.
   const std::string kind = j.string_or("kind", s.path.empty() ? "synthetic" : "dataset");
@@ -62,6 +63,8 @@ ScenarioSource ScenarioSource::from_json(const Json& j) {
           "dataset scenario source requires a path");
   require(s.kind != Kind::kSynthetic || s.path.empty(),
           "synthetic scenario source does not take a path");
+  require(s.kind != Kind::kSynthetic || s.format.empty(),
+          "synthetic scenario source does not take a format");
   return s;
 }
 
@@ -69,6 +72,7 @@ Json ScenarioSource::to_json() const {
   Json j;
   j["kind"] = kind == Kind::kSynthetic ? "synthetic" : "dataset";
   if (!path.empty()) j["path"] = path;
+  if (!format.empty()) j["format"] = format;
   j["hours"] = hours;
   j["seed"] = static_cast<std::int64_t>(seed);
   return j;
@@ -83,7 +87,15 @@ SystemConfig ScenarioSpec::resolve_config() const {
 }
 
 TelemetryDataset ScenarioSpec::resolve_dataset(const SystemConfig& config) const {
-  if (source.kind == ScenarioSource::Kind::kDataset) return load_dataset(source.path);
+  if (source.kind == ScenarioSource::Kind::kDataset) {
+    // Explicit formats go through the reader registry (so bespoke adapters
+    // like "swf" work); otherwise the single-pass columnar loader
+    // auto-detects the native format from the manifest.
+    if (!source.format.empty()) {
+      return TelemetryReaderRegistry::instance().load(source.format, source.path);
+    }
+    return load_dataset(source.path);
+  }
   // Same recording path as `exadigit_cli record`: a perturbed physical twin
   // runs the workload and samples every Table II channel.
   const double duration = source.hours * units::kSecondsPerHour;

@@ -28,10 +28,14 @@ namespace exadigit {
 struct ScenarioSource {
   enum class Kind {
     kSynthetic,  ///< record a synthetic physical-twin dataset on the fly
-    kDataset,    ///< load a saved exadigit-csv dataset from `path`
+    kDataset,    ///< load a saved dataset from `path`
   };
   Kind kind = Kind::kSynthetic;
   std::string path;           ///< dataset directory (kDataset)
+  /// TelemetryReaderRegistry format for kDataset sources ("exadigit-csv",
+  /// "exadigit-bin", "swf", ...). Empty = auto-detect the native format
+  /// from the dataset's manifest.json.
+  std::string format;
   double hours = 1.0;         ///< recorded window length (kSynthetic)
   std::uint64_t seed = 2024;  ///< workload/recording seed (kSynthetic)
 

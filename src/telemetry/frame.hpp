@@ -1,0 +1,96 @@
+#pragma once
+
+/// @file frame.hpp
+/// Columnar in-memory telemetry: the single-pass loader's target.
+///
+/// The 183-day validation replay (paper Table IV) ingests months of
+/// long-format channel telemetry. Loading that by rescanning the document
+/// once per channel is O(channels x rows); a TelemetryFrame instead holds
+/// one contiguous (times, values) column pair per (tag, channel) key, so a
+/// loader can bucket rows into channels in a single streaming pass and the
+/// replay path can adopt the arrays as TimeSeries without copying.
+///
+/// Keys are open-ended: "system"/"facility" tags carry the Table II system
+/// and CEP channels, "cdu<i>" tags the per-CDU sensors, and readers for
+/// bespoke formats may introduce their own. Channel order is insertion
+/// order, which makes frame iteration deterministic for a given source.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/time_series.hpp"
+
+namespace exadigit {
+
+struct TelemetryDataset;
+
+/// One telemetry channel: its (tag, channel) key plus parallel sample
+/// arrays. Timestamps are expected to be strictly increasing, as enforced
+/// when the column is adopted into a TimeSeries.
+struct TelemetryChannel {
+  std::string tag;
+  std::string channel;
+  std::vector<double> times;
+  std::vector<double> values;
+
+  [[nodiscard]] std::size_t size() const { return times.size(); }
+};
+
+/// A columnar set of telemetry channels keyed by (tag, channel).
+class TelemetryFrame {
+ public:
+  TelemetryFrame() = default;
+
+  /// Appends one sample, creating the channel on first use. Consecutive
+  /// appends to the same key skip the index lookup (long-format files are
+  /// runs of one channel), so streaming ingest is O(rows) with near-zero
+  /// per-row overhead.
+  void append(std::string_view tag, std::string_view channel, double time, double value);
+
+  /// Moves whole sample arrays in as one channel; the key must be new.
+  void adopt_channel(std::string tag, std::string channel, std::vector<double> times,
+                     std::vector<double> values);
+
+  [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
+  /// Total samples across all channels.
+  [[nodiscard]] std::size_t sample_count() const;
+  [[nodiscard]] const std::vector<TelemetryChannel>& channels() const { return channels_; }
+
+  /// The channel at `key`, or nullptr when absent.
+  [[nodiscard]] const TelemetryChannel* find(std::string_view tag,
+                                             std::string_view channel) const;
+
+  /// Copies one channel out as a TimeSeries (empty series when absent).
+  [[nodiscard]] TimeSeries series(std::string_view tag, std::string_view channel) const;
+
+  /// Moves one channel's arrays out as a TimeSeries (empty series when
+  /// absent); the channel stays registered but becomes empty.
+  [[nodiscard]] TimeSeries take_series(std::string_view tag, std::string_view channel);
+
+  /// Columnar copy of every (non-empty) channel of a dataset, under the
+  /// native tag/channel names used by the exadigit-csv layout.
+  [[nodiscard]] static TelemetryFrame from_dataset(const TelemetryDataset& dataset);
+
+ private:
+  TelemetryChannel* find_mutable(std::string_view tag, std::string_view channel);
+  TelemetryChannel& channel_for(std::string_view tag, std::string_view channel);
+
+  struct KeyLess {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const {
+      if (a.first != b.first) return std::string_view(a.first) < std::string_view(b.first);
+      return std::string_view(a.second) < std::string_view(b.second);
+    }
+  };
+
+  std::vector<TelemetryChannel> channels_;
+  std::map<std::pair<std::string, std::string>, std::size_t, KeyLess> index_;
+  std::size_t cursor_ = 0;  ///< last-touched channel (streaming fast path)
+};
+
+}  // namespace exadigit

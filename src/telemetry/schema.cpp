@@ -25,6 +25,47 @@ double JobRecord::gpu_util_at(double t_since_start, double quantum_s) const {
   return trace_at(gpu_util_trace, mean_gpu_util, t_since_start, quantum_s);
 }
 
+namespace {
+
+constexpr SystemChannelDef kSystemChannels[] = {
+    {"measured_power_w", &TelemetryDataset::measured_system_power_w},
+    {"wetbulb_c", &TelemetryDataset::wetbulb_c},
+};
+
+constexpr CduChannelDef kCduChannels[] = {
+    {"rack_power_w", &CduTelemetry::rack_power_w},
+    {"htw_flow_gpm", &CduTelemetry::htw_flow_gpm},
+    {"ctw_flow_gpm", &CduTelemetry::ctw_flow_gpm},
+    {"supply_temp_c", &CduTelemetry::supply_temp_c},
+    {"return_temp_c", &CduTelemetry::return_temp_c},
+    {"pump_speed", &CduTelemetry::pump_speed},
+    {"pump_power_w", &CduTelemetry::pump_power_w},
+};
+
+constexpr FacilityChannelDef kFacilityChannels[] = {
+    {"htw_supply_temp_c", &FacilityTelemetry::htw_supply_temp_c},
+    {"htw_return_temp_c", &FacilityTelemetry::htw_return_temp_c},
+    {"htw_supply_pressure_pa", &FacilityTelemetry::htw_supply_pressure_pa},
+    {"htw_flow_gpm", &FacilityTelemetry::htw_flow_gpm},
+    {"ctw_flow_gpm", &FacilityTelemetry::ctw_flow_gpm},
+    {"htwp_power_w", &FacilityTelemetry::htwp_power_w},
+    {"ctwp_power_w", &FacilityTelemetry::ctwp_power_w},
+    {"fan_power_w", &FacilityTelemetry::fan_power_w},
+    {"num_htwp_staged", &FacilityTelemetry::num_htwp_staged},
+    {"num_ctwp_staged", &FacilityTelemetry::num_ctwp_staged},
+    {"num_ehx_staged", &FacilityTelemetry::num_ehx_staged},
+    {"num_ct_cells_staged", &FacilityTelemetry::num_ct_cells_staged},
+    {"pue", &FacilityTelemetry::pue},
+};
+
+}  // namespace
+
+std::span<const SystemChannelDef> system_channel_defs() { return kSystemChannels; }
+std::span<const CduChannelDef> cdu_channel_defs() { return kCduChannels; }
+std::span<const FacilityChannelDef> facility_channel_defs() { return kFacilityChannels; }
+
+std::string cdu_tag(std::size_t index) { return "cdu" + std::to_string(index); }
+
 void TelemetryDataset::validate() const {
   if (duration_s <= 0.0) throw TelemetryError("dataset duration must be positive");
   if (trace_quantum_s <= 0.0) throw TelemetryError("trace quantum must be positive");

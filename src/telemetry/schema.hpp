@@ -12,6 +12,7 @@
 /// through the exact same schema.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -91,5 +92,31 @@ struct TelemetryDataset {
   /// Basic cross-field consistency; throws TelemetryError on violation.
   void validate() const;
 };
+
+/// Named member tables for the Table II channel structs. Every serializer
+/// (long-format CSV, exadigit-bin, the columnar frame materializer) walks
+/// these same tables, so the (tag, channel) naming cannot drift between
+/// formats.
+struct SystemChannelDef {
+  const char* name;
+  TimeSeries TelemetryDataset::* member;
+};
+struct CduChannelDef {
+  const char* name;
+  TimeSeries CduTelemetry::* member;
+};
+struct FacilityChannelDef {
+  const char* name;
+  TimeSeries FacilityTelemetry::* member;
+};
+
+[[nodiscard]] std::span<const SystemChannelDef> system_channel_defs();
+[[nodiscard]] std::span<const CduChannelDef> cdu_channel_defs();
+[[nodiscard]] std::span<const FacilityChannelDef> facility_channel_defs();
+
+/// Tags used by the native layouts: "system", "facility", and "cdu<i>".
+inline constexpr const char* kSystemTag = "system";
+inline constexpr const char* kFacilityTag = "facility";
+[[nodiscard]] std::string cdu_tag(std::size_t index);
 
 }  // namespace exadigit

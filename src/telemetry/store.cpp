@@ -1,15 +1,28 @@
 #include "telemetry/store.hpp"
 
+#include <atomic>
+#include <bit>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
-#include "common/table.hpp"
+#include "common/parse.hpp"
 #include "json/json.hpp"
 
 namespace exadigit {
 
 namespace {
+
+// ------------------------------------------------------------- I/O stats
+
+std::atomic<std::uint64_t> g_csv_file_parses{0};
+std::atomic<std::uint64_t> g_csv_rows{0};
+std::atomic<std::uint64_t> g_binary_file_reads{0};
+std::atomic<std::uint64_t> g_binary_samples{0};
+
+// ------------------------------------------------------------- jobs JSON
 
 Json job_to_json(const JobRecord& j) {
   Json o;
@@ -59,16 +72,56 @@ JobRecord job_from_json(const Json& o) {
   return j;
 }
 
-/// Long-format channel writer: appends (tag, channel, t, v) rows.
+// ------------------------------------------- shared manifest/jobs plumbing
+
+void save_manifest_and_jobs(const TelemetryDataset& dataset, const std::string& directory,
+                            const char* format) {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+
+  Json manifest;
+  manifest["format"] = Json(std::string(format));
+  manifest["system_name"] = Json(dataset.system_name);
+  manifest["start_time_s"] = Json(dataset.start_time_s);
+  manifest["duration_s"] = Json(dataset.duration_s);
+  manifest["trace_quantum_s"] = Json(dataset.trace_quantum_s);
+  manifest["cdu_count"] = Json(dataset.cdus.size());
+  manifest.save_file(directory + "/manifest.json");
+
+  // Explicitly an array: a job-less dataset must not serialize as null.
+  Json jobs{Json::Array{}};
+  for (const auto& j : dataset.jobs) jobs.push_back(job_to_json(j));
+  jobs.save_file(directory + "/jobs.json");
+}
+
+/// Reads manifest.json + jobs.json into a channel-less DatasetFrame and
+/// returns the manifest's format name.
+std::string load_header(const std::string& directory, DatasetFrame& out) {
+  const Json manifest = Json::load_file(directory + "/manifest.json");
+  out.system_name = manifest.string_or("system_name", "");
+  out.start_time_s = manifest.number_or("start_time_s", 0.0);
+  out.duration_s = manifest.number_or("duration_s", 0.0);
+  out.trace_quantum_s = manifest.number_or("trace_quantum_s", 15.0);
+  out.cdu_count = static_cast<std::size_t>(manifest.int_or("cdu_count", 0));
+  const Json jobs = Json::load_file(directory + "/jobs.json");
+  for (const auto& j : jobs.as_array()) out.jobs.push_back(job_from_json(j));
+  return manifest.string_or("format", "");
+}
+
+// --------------------------------------------------- long-format CSV path
+
+/// Long-format channel writer: appends (tag, channel, t, v) rows in
+/// shortest round-trip form so a reload reproduces the doubles exactly.
 void append_series(CsvDocument& doc, const std::string& tag, const std::string& channel,
                    const TimeSeries& series) {
   for (std::size_t i = 0; i < series.size(); ++i) {
-    doc.add_row({tag, channel, AsciiTable::num(series.time(i), 3),
-                 AsciiTable::num(series.value(i), 6)});
+    doc.add_row({tag, channel, format_double(series.time(i)),
+                 format_double(series.value(i))});
   }
 }
 
-/// Extracts one channel from a long-format document.
+/// Extracts one channel from a long-format document (reference path: one
+/// full document scan per call).
 TimeSeries extract_series(const CsvDocument& doc, const std::string& tag,
                           const std::string& channel) {
   const std::size_t tag_col = doc.column("tag");
@@ -79,62 +132,200 @@ TimeSeries extract_series(const CsvDocument& doc, const std::string& tag,
   for (std::size_t r = 0; r < doc.row_count(); ++r) {
     const auto& row = doc.row(r);
     if (row[tag_col] != tag || row[ch_col] != channel) continue;
-    out.push_back(std::stod(row[t_col]), std::stod(row[v_col]));
+    out.push_back(parse_double(row[t_col], "time_s"), parse_double(row[v_col], "value"));
   }
   return out;
 }
 
-struct FacilityChannel {
-  const char* name;
-  TimeSeries FacilityTelemetry::* member;
-};
+/// Streams one long-format channel CSV into `frame`: a single pass over
+/// the file, bucketing each row into its (tag, channel) column, with no
+/// whole-document row materialization.
+void stream_channel_csv(const std::string& path, TelemetryFrame& frame) {
+  std::ifstream f(path);
+  require(f.good(), "cannot open csv for reading: " + path);
+  CsvRecordReader reader(f);
+  std::vector<std::string> record;
+  if (!reader.next(record)) throw TelemetryError("csv stream is empty: " + path);
+  const std::size_t width = record.size();
+  auto column = [&](const char* name) {
+    for (std::size_t i = 0; i < record.size(); ++i) {
+      if (record[i] == name) return i;
+    }
+    throw TelemetryError("csv column not found: " + std::string(name) + " in " + path);
+  };
+  const std::size_t tag_col = column("tag");
+  const std::size_t ch_col = column("channel");
+  const std::size_t t_col = column("time_s");
+  const std::size_t v_col = column("value");
+  std::uint64_t rows = 0;
+  while (reader.next(record)) {
+    if (record.size() == 1 && record.front().empty()) continue;  // blank line
+    if (record.size() != width) throw TelemetryError("csv row width mismatch in " + path);
+    frame.append(record[tag_col], record[ch_col], parse_double(record[t_col], "time_s"),
+                 parse_double(record[v_col], "value"));
+    ++rows;
+  }
+  g_csv_file_parses.fetch_add(1, std::memory_order_relaxed);
+  g_csv_rows.fetch_add(rows, std::memory_order_relaxed);
+}
 
-constexpr FacilityChannel kFacilityChannels[] = {
-    {"htw_supply_temp_c", &FacilityTelemetry::htw_supply_temp_c},
-    {"htw_return_temp_c", &FacilityTelemetry::htw_return_temp_c},
-    {"htw_supply_pressure_pa", &FacilityTelemetry::htw_supply_pressure_pa},
-    {"htw_flow_gpm", &FacilityTelemetry::htw_flow_gpm},
-    {"ctw_flow_gpm", &FacilityTelemetry::ctw_flow_gpm},
-    {"htwp_power_w", &FacilityTelemetry::htwp_power_w},
-    {"ctwp_power_w", &FacilityTelemetry::ctwp_power_w},
-    {"fan_power_w", &FacilityTelemetry::fan_power_w},
-    {"num_htwp_staged", &FacilityTelemetry::num_htwp_staged},
-    {"num_ctwp_staged", &FacilityTelemetry::num_ctwp_staged},
-    {"num_ehx_staged", &FacilityTelemetry::num_ehx_staged},
-    {"num_ct_cells_staged", &FacilityTelemetry::num_ct_cells_staged},
-    {"pue", &FacilityTelemetry::pue},
-};
+// --------------------------------------------------------- binary format
 
-struct CduChannel {
-  const char* name;
-  TimeSeries CduTelemetry::* member;
-};
+/// channels.bin layout (all integers and doubles little-endian):
+///   magic "EXDGBIN\x01" | u64 channel_count | channel blocks
+/// each channel block:
+///   u32 tag_len | tag bytes | u32 channel_len | channel bytes |
+///   u64 sample_count | double times[n] | double values[n]
+constexpr char kBinMagic[8] = {'E', 'X', 'D', 'G', 'B', 'I', 'N', '\x01'};
 
-constexpr CduChannel kCduChannels[] = {
-    {"rack_power_w", &CduTelemetry::rack_power_w},
-    {"htw_flow_gpm", &CduTelemetry::htw_flow_gpm},
-    {"ctw_flow_gpm", &CduTelemetry::ctw_flow_gpm},
-    {"supply_temp_c", &CduTelemetry::supply_temp_c},
-    {"return_temp_c", &CduTelemetry::return_temp_c},
-    {"pump_speed", &CduTelemetry::pump_speed},
-    {"pump_power_w", &CduTelemetry::pump_power_w},
-};
+void require_little_endian() {
+  // The on-disk format is little-endian; rather than silently writing a
+  // byte-swapped file on exotic hosts, refuse.
+  if constexpr (std::endian::native != std::endian::little) {
+    throw TelemetryError("exadigit-bin requires a little-endian host");
+  }
+}
 
-/// Built-in reader for the native layout.
+template <typename T>
+void write_pod(std::ostream& os, T value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& is, const char* what) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!is.good()) throw TelemetryError("truncated channels.bin reading " + std::string(what));
+  return value;
+}
+
+void write_channel_block(std::ostream& os, const std::string& tag, const std::string& channel,
+                         const TimeSeries& series) {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(tag.size()));
+  os.write(tag.data(), static_cast<std::streamsize>(tag.size()));
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(channel.size()));
+  os.write(channel.data(), static_cast<std::streamsize>(channel.size()));
+  write_pod<std::uint64_t>(os, series.size());
+  const auto bytes = static_cast<std::streamsize>(series.size() * sizeof(double));
+  os.write(reinterpret_cast<const char*>(series.times().data()), bytes);
+  os.write(reinterpret_cast<const char*>(series.values().data()), bytes);
+}
+
+std::string read_bin_string(std::istream& is, const char* what) {
+  const auto len = read_pod<std::uint32_t>(is, what);
+  // A name longer than this is certainly a corrupt or foreign file; fail
+  // before attempting a multi-gigabyte allocation.
+  if (len > 4096) throw TelemetryError("implausible name length in channels.bin");
+  std::string s(len, '\0');
+  is.read(s.data(), len);
+  if (!is.good()) throw TelemetryError("truncated channels.bin reading " + std::string(what));
+  return s;
+}
+
+void read_channels_bin(const std::string& path, TelemetryFrame& frame) {
+  require_little_endian();
+  std::error_code size_ec;
+  const auto file_size = std::filesystem::file_size(path, size_ec);
+  std::ifstream f(path, std::ios::binary);
+  require(f.good(), "cannot open channels.bin for reading: " + path);
+  char magic[sizeof kBinMagic] = {};
+  f.read(magic, sizeof magic);
+  if (!f.good() || std::memcmp(magic, kBinMagic, sizeof kBinMagic) != 0) {
+    throw TelemetryError("bad channels.bin magic in " + path);
+  }
+  const auto channel_count = read_pod<std::uint64_t>(f, "channel count");
+  std::uint64_t samples = 0;
+  for (std::uint64_t c = 0; c < channel_count; ++c) {
+    std::string tag = read_bin_string(f, "tag");
+    std::string channel = read_bin_string(f, "channel name");
+    const auto n = read_pod<std::uint64_t>(f, "sample count");
+    // A corrupt count field must fail cleanly, not attempt an allocation
+    // far beyond the file: the block's arrays need 16 bytes per sample.
+    if (!size_ec && n > file_size / (2 * sizeof(double))) {
+      throw TelemetryError("implausible sample count in channels.bin: " +
+                           std::to_string(n));
+    }
+    std::vector<double> times(n);
+    std::vector<double> values(n);
+    const auto bytes = static_cast<std::streamsize>(n * sizeof(double));
+    f.read(reinterpret_cast<char*>(times.data()), bytes);
+    f.read(reinterpret_cast<char*>(values.data()), bytes);
+    if (!f.good()) throw TelemetryError("truncated channels.bin samples in " + path);
+    samples += n;
+    frame.adopt_channel(std::move(tag), std::move(channel), std::move(times),
+                        std::move(values));
+  }
+  g_binary_file_reads.fetch_add(1, std::memory_order_relaxed);
+  g_binary_samples.fetch_add(samples, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------- registry built-ins
+
+/// Built-in reader for the native CSV layout.
 class ExadigitCsvReader final : public TelemetryReader {
  public:
-  [[nodiscard]] std::string format() const override { return "exadigit-csv"; }
+  [[nodiscard]] std::string format() const override { return kExadigitCsvFormat; }
   [[nodiscard]] TelemetryDataset load(const std::string& source) const override {
-    return load_dataset(source);
+    return load_dataset_frame(source, kExadigitCsvFormat).to_dataset();
+  }
+};
+
+/// Built-in reader for the native binary layout.
+class ExadigitBinReader final : public TelemetryReader {
+ public:
+  [[nodiscard]] std::string format() const override { return kExadigitBinFormat; }
+  [[nodiscard]] TelemetryDataset load(const std::string& source) const override {
+    return load_dataset_frame(source, kExadigitBinFormat).to_dataset();
   }
 };
 
 }  // namespace
 
+DatasetIoStats dataset_io_stats() {
+  DatasetIoStats s;
+  s.csv_file_parses = g_csv_file_parses.load(std::memory_order_relaxed);
+  s.csv_rows = g_csv_rows.load(std::memory_order_relaxed);
+  s.binary_file_reads = g_binary_file_reads.load(std::memory_order_relaxed);
+  s.binary_samples = g_binary_samples.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_dataset_io_stats() {
+  g_csv_file_parses.store(0, std::memory_order_relaxed);
+  g_csv_rows.store(0, std::memory_order_relaxed);
+  g_binary_file_reads.store(0, std::memory_order_relaxed);
+  g_binary_samples.store(0, std::memory_order_relaxed);
+}
+
+TelemetryDataset DatasetFrame::to_dataset() && {
+  TelemetryDataset d;
+  d.system_name = std::move(system_name);
+  d.start_time_s = start_time_s;
+  d.duration_s = duration_s;
+  d.trace_quantum_s = trace_quantum_s;
+  d.jobs = std::move(jobs);
+  for (const SystemChannelDef& def : system_channel_defs()) {
+    d.*(def.member) = frame.take_series(kSystemTag, def.name);
+  }
+  d.cdus.resize(cdu_count);
+  for (std::size_t i = 0; i < cdu_count; ++i) {
+    const std::string tag = cdu_tag(i);
+    for (const CduChannelDef& def : cdu_channel_defs()) {
+      d.cdus[i].*(def.member) = frame.take_series(tag, def.name);
+    }
+  }
+  for (const FacilityChannelDef& def : facility_channel_defs()) {
+    d.facility.*(def.member) = frame.take_series(kFacilityTag, def.name);
+  }
+  d.validate();
+  return d;
+}
+
 TelemetryReaderRegistry& TelemetryReaderRegistry::instance() {
   static TelemetryReaderRegistry registry = [] {
     TelemetryReaderRegistry r;
     r.register_reader(std::make_shared<ExadigitCsvReader>());
+    r.register_reader(std::make_shared<ExadigitBinReader>());
     return r;
   }();
   return registry;
@@ -166,46 +357,92 @@ std::vector<std::string> TelemetryReaderRegistry::formats() const {
 
 void save_dataset(const TelemetryDataset& dataset, const std::string& directory) {
   dataset.validate();
-  namespace fs = std::filesystem;
-  fs::create_directories(directory);
-
-  Json manifest;
-  manifest["format"] = Json("exadigit-csv");
-  manifest["system_name"] = Json(dataset.system_name);
-  manifest["start_time_s"] = Json(dataset.start_time_s);
-  manifest["duration_s"] = Json(dataset.duration_s);
-  manifest["trace_quantum_s"] = Json(dataset.trace_quantum_s);
-  manifest["cdu_count"] = Json(dataset.cdus.size());
-  manifest.save_file(directory + "/manifest.json");
-
-  Json jobs;
-  for (const auto& j : dataset.jobs) jobs.push_back(job_to_json(j));
-  jobs.save_file(directory + "/jobs.json");
+  save_manifest_and_jobs(dataset, directory, kExadigitCsvFormat);
 
   CsvDocument system({"tag", "channel", "time_s", "value"});
-  append_series(system, "system", "measured_power_w", dataset.measured_system_power_w);
-  append_series(system, "system", "wetbulb_c", dataset.wetbulb_c);
+  for (const SystemChannelDef& def : system_channel_defs()) {
+    append_series(system, kSystemTag, def.name, dataset.*(def.member));
+  }
   system.save(directory + "/system.csv");
 
   CsvDocument cdu({"tag", "channel", "time_s", "value"});
   for (std::size_t i = 0; i < dataset.cdus.size(); ++i) {
-    const std::string tag = "cdu" + std::to_string(i);
-    for (const auto& ch : kCduChannels) {
-      append_series(cdu, tag, ch.name, dataset.cdus[i].*(ch.member));
+    const std::string tag = cdu_tag(i);
+    for (const CduChannelDef& def : cdu_channel_defs()) {
+      append_series(cdu, tag, def.name, dataset.cdus[i].*(def.member));
     }
   }
   cdu.save(directory + "/cdu.csv");
 
   CsvDocument facility({"tag", "channel", "time_s", "value"});
-  for (const auto& ch : kFacilityChannels) {
-    append_series(facility, "facility", ch.name, dataset.facility.*(ch.member));
+  for (const FacilityChannelDef& def : facility_channel_defs()) {
+    append_series(facility, kFacilityTag, def.name, dataset.facility.*(def.member));
   }
   facility.save(directory + "/facility.csv");
 }
 
+void save_dataset_binary(const TelemetryDataset& dataset, const std::string& directory) {
+  dataset.validate();
+  require_little_endian();
+  save_manifest_and_jobs(dataset, directory, kExadigitBinFormat);
+
+  const std::string path = directory + "/channels.bin";
+  std::ofstream f(path, std::ios::binary);
+  require(f.good(), "cannot open channels.bin for writing: " + path);
+  f.write(kBinMagic, sizeof kBinMagic);
+
+  std::uint64_t channel_count = 0;
+  auto for_each_channel = [&dataset](auto&& visit) {
+    for (const SystemChannelDef& def : system_channel_defs()) {
+      visit(std::string(kSystemTag), def.name, dataset.*(def.member));
+    }
+    for (std::size_t i = 0; i < dataset.cdus.size(); ++i) {
+      const std::string tag = cdu_tag(i);
+      for (const CduChannelDef& def : cdu_channel_defs()) {
+        visit(tag, def.name, dataset.cdus[i].*(def.member));
+      }
+    }
+    for (const FacilityChannelDef& def : facility_channel_defs()) {
+      visit(std::string(kFacilityTag), def.name, dataset.facility.*(def.member));
+    }
+  };
+  for_each_channel([&channel_count](const std::string&, const char*, const TimeSeries& s) {
+    if (!s.empty()) ++channel_count;
+  });
+  write_pod<std::uint64_t>(f, channel_count);
+  for_each_channel([&f](const std::string& tag, const char* name, const TimeSeries& s) {
+    if (!s.empty()) write_channel_block(f, tag, name, s);
+  });
+  require(f.good(), "failed writing channels.bin: " + path);
+}
+
+DatasetFrame load_dataset_frame(const std::string& directory,
+                                const std::string& expected_format) {
+  DatasetFrame out;
+  const std::string format = load_header(directory, out);
+  if (!expected_format.empty() && format != expected_format) {
+    throw TelemetryError("dataset manifest format is '" + format + "', expected '" +
+                         expected_format + "'");
+  }
+  if (format == kExadigitCsvFormat) {
+    stream_channel_csv(directory + "/system.csv", out.frame);
+    stream_channel_csv(directory + "/cdu.csv", out.frame);
+    stream_channel_csv(directory + "/facility.csv", out.frame);
+  } else if (format == kExadigitBinFormat) {
+    read_channels_bin(directory + "/channels.bin", out.frame);
+  } else {
+    throw TelemetryError("unexpected dataset format in manifest: '" + format + "'");
+  }
+  return out;
+}
+
 TelemetryDataset load_dataset(const std::string& directory) {
+  return load_dataset_frame(directory).to_dataset();
+}
+
+TelemetryDataset load_dataset_reference(const std::string& directory) {
   const Json manifest = Json::load_file(directory + "/manifest.json");
-  require(manifest.string_or("format", "") == "exadigit-csv",
+  require(manifest.string_or("format", "") == kExadigitCsvFormat,
           "unexpected dataset format in manifest");
   TelemetryDataset d;
   d.system_name = manifest.string_or("system_name", "");
@@ -217,22 +454,23 @@ TelemetryDataset load_dataset(const std::string& directory) {
   for (const auto& j : jobs.as_array()) d.jobs.push_back(job_from_json(j));
 
   const CsvDocument system = CsvDocument::load(directory + "/system.csv");
-  d.measured_system_power_w = extract_series(system, "system", "measured_power_w");
-  d.wetbulb_c = extract_series(system, "system", "wetbulb_c");
+  for (const SystemChannelDef& def : system_channel_defs()) {
+    d.*(def.member) = extract_series(system, kSystemTag, def.name);
+  }
 
   const CsvDocument cdu = CsvDocument::load(directory + "/cdu.csv");
   const std::size_t cdu_count = static_cast<std::size_t>(manifest.int_or("cdu_count", 0));
   d.cdus.resize(cdu_count);
   for (std::size_t i = 0; i < cdu_count; ++i) {
-    const std::string tag = "cdu" + std::to_string(i);
-    for (const auto& ch : kCduChannels) {
-      d.cdus[i].*(ch.member) = extract_series(cdu, tag, ch.name);
+    const std::string tag = cdu_tag(i);
+    for (const CduChannelDef& def : cdu_channel_defs()) {
+      d.cdus[i].*(def.member) = extract_series(cdu, tag, def.name);
     }
   }
 
   const CsvDocument facility = CsvDocument::load(directory + "/facility.csv");
-  for (const auto& ch : kFacilityChannels) {
-    d.facility.*(ch.member) = extract_series(facility, "facility", ch.name);
+  for (const FacilityChannelDef& def : facility_channel_defs()) {
+    d.facility.*(def.member) = extract_series(facility, kFacilityTag, def.name);
   }
   d.validate();
   return d;

@@ -33,11 +33,29 @@ bool parse_line(const std::string& line, SwfLine& out) {
   return true;
 }
 
+/// Renders "lines 3, 7, 12" (capped) for skipped-record diagnostics.
+std::string describe_lines(const std::vector<int>& lines) {
+  constexpr std::size_t kMaxListed = 8;
+  std::string out = lines.size() == 1 ? "line " : "lines ";
+  for (std::size_t i = 0; i < lines.size() && i < kMaxListed; ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(lines[i]);
+  }
+  if (lines.size() > kMaxListed) {
+    out += ", ... (" + std::to_string(lines.size()) + " total)";
+  }
+  return out;
+}
+
 }  // namespace
 
-std::vector<JobRecord> parse_swf(std::istream& is, const SwfImportOptions& options) {
+std::vector<JobRecord> parse_swf(std::istream& is, const SwfImportOptions& options,
+                                 SwfParseReport* report) {
   require(options.cores_per_node > 0, "swf cores_per_node must be positive");
   std::vector<JobRecord> jobs;
+  SwfParseReport local;
+  SwfParseReport& rep = report != nullptr ? *report : local;
+  rep = SwfParseReport{};
   std::string line;
   int line_no = 0;
   while (std::getline(is, line)) {
@@ -49,11 +67,17 @@ std::vector<JobRecord> parse_swf(std::istream& is, const SwfImportOptions& optio
 
     SwfLine rec;
     if (!parse_line(line, rec)) {
-      throw TelemetryError("swf parse error at line " + std::to_string(line_no));
+      // Record rather than throw immediately, so one pass reports every
+      // corrupt record instead of only the first.
+      rep.malformed_lines.push_back(line_no);
+      continue;
     }
     const bool invalid = rec.run_s <= 0.0 || rec.processors <= 0 || rec.submit_s < 0.0;
     if (invalid) {
-      if (options.drop_invalid) continue;
+      if (options.drop_invalid) {
+        ++rep.dropped_invalid;
+        continue;
+      }
       throw TelemetryError("swf invalid job at line " + std::to_string(line_no));
     }
     JobRecord j;
@@ -71,6 +95,11 @@ std::vector<JobRecord> parse_swf(std::istream& is, const SwfImportOptions& optio
     }
     jobs.push_back(std::move(j));
   }
+  rep.parsed = jobs.size();
+  if (!rep.malformed_lines.empty() && !options.skip_malformed) {
+    throw TelemetryError("swf parse error: unparseable record(s) at " +
+                         describe_lines(rep.malformed_lines));
+  }
   // SWF traces are submit-ordered by convention, but not all archives obey.
   std::stable_sort(jobs.begin(), jobs.end(), [](const JobRecord& a, const JobRecord& b) {
     return a.submit_time_s < b.submit_time_s;
@@ -79,10 +108,11 @@ std::vector<JobRecord> parse_swf(std::istream& is, const SwfImportOptions& optio
 }
 
 std::vector<JobRecord> parse_swf_file(const std::string& path,
-                                      const SwfImportOptions& options) {
+                                      const SwfImportOptions& options,
+                                      SwfParseReport* report) {
   std::ifstream f(path);
   require(f.good(), "cannot open swf trace: " + path);
-  return parse_swf(f, options);
+  return parse_swf(f, options, report);
 }
 
 SwfReader::SwfReader(SwfImportOptions options) : options_(options) {}

@@ -36,14 +36,30 @@ struct SwfImportOptions {
   /// Replay on the recorded start times (submit + wait) instead of
   /// re-scheduling from the submit times.
   bool use_recorded_schedule = false;
+  /// Skip records that cannot be parsed at all (fewer than five numeric
+  /// fields) instead of throwing. Skips are never silent: their line
+  /// numbers are recorded in the SwfParseReport either way.
+  bool skip_malformed = false;
 };
 
-/// Parses SWF text into job records. Throws TelemetryError on malformed
-/// lines (unless they are dropped as invalid).
+/// What an SWF parse did, so corrupt archives are diagnosable: a malformed
+/// record is otherwise indistinguishable from a comment line.
+struct SwfParseReport {
+  std::size_t parsed = 0;           ///< job records accepted
+  std::size_t dropped_invalid = 0;  ///< failed/cancelled entries dropped per drop_invalid
+  std::vector<int> malformed_lines; ///< 1-based line numbers of unparseable records
+};
+
+/// Parses SWF text into job records. Malformed lines throw a TelemetryError
+/// listing their line numbers unless options.skip_malformed is set, in
+/// which case they are skipped and reported via `report`. Invalid jobs
+/// (non-positive run time / size) throw when drop_invalid is unset.
 [[nodiscard]] std::vector<JobRecord> parse_swf(std::istream& is,
-                                               const SwfImportOptions& options);
+                                               const SwfImportOptions& options,
+                                               SwfParseReport* report = nullptr);
 [[nodiscard]] std::vector<JobRecord> parse_swf_file(const std::string& path,
-                                                    const SwfImportOptions& options);
+                                                    const SwfImportOptions& options,
+                                                    SwfParseReport* report = nullptr);
 
 /// TelemetryReader adapter ("swf" format): `source` is a path to a .swf
 /// file; the resulting dataset carries jobs only (no sensor channels).

@@ -45,6 +45,73 @@ TEST(CsvTest, ParsesCrLfLineEndings) {
   EXPECT_EQ(doc.row(0)[1], "2");
 }
 
+TEST(CsvTest, RecordReaderStreamsWithoutMaterializing) {
+  std::istringstream is(
+      "a,b,c\n"
+      "1,\"two,\nlines\",3\r\n"
+      "\n"
+      "4,,6\n");
+  CsvRecordReader reader(is);
+  std::vector<std::string> record;
+
+  ASSERT_TRUE(reader.next(record));
+  ASSERT_EQ(record.size(), 3u);
+  EXPECT_EQ(record[0], "a");
+
+  ASSERT_TRUE(reader.next(record));
+  ASSERT_EQ(record.size(), 3u);
+  EXPECT_EQ(record[1], "two,\nlines");
+  EXPECT_EQ(record[2], "3");
+
+  // Blank line: a single empty cell, matching CsvDocument::parse's view.
+  ASSERT_TRUE(reader.next(record));
+  ASSERT_EQ(record.size(), 1u);
+  EXPECT_TRUE(record[0].empty());
+
+  ASSERT_TRUE(reader.next(record));
+  ASSERT_EQ(record.size(), 3u);
+  EXPECT_EQ(record[0], "4");
+  EXPECT_TRUE(record[1].empty());
+  EXPECT_EQ(record[2], "6");
+
+  EXPECT_FALSE(reader.next(record));
+}
+
+TEST(CsvTest, RecordReaderShrinksReusedStorage) {
+  // The record vector is reused across calls; a wide record followed by a
+  // narrow one must not leak stale cells.
+  std::istringstream is("1,2,3,4,5\nx,y\n");
+  CsvRecordReader reader(is);
+  std::vector<std::string> record;
+  ASSERT_TRUE(reader.next(record));
+  EXPECT_EQ(record.size(), 5u);
+  ASSERT_TRUE(reader.next(record));
+  ASSERT_EQ(record.size(), 2u);
+  EXPECT_EQ(record[0], "x");
+  EXPECT_EQ(record[1], "y");
+}
+
+TEST(CsvTest, RecordReaderAgreesWithDocumentParser) {
+  const std::string text =
+      "h1,h2\n"
+      "\"quoted \"\"cell\"\",ok\",plain\n"
+      "a,\"multi\nline\"\r\n";
+  std::istringstream doc_is(text);
+  const CsvDocument doc = CsvDocument::parse(doc_is);
+  std::istringstream rec_is(text);
+  CsvRecordReader reader(rec_is);
+  std::vector<std::string> record;
+  ASSERT_TRUE(reader.next(record));  // header
+  for (std::size_t r = 0; r < doc.row_count(); ++r) {
+    ASSERT_TRUE(reader.next(record));
+    ASSERT_EQ(record.size(), doc.row(r).size()) << "row " << r;
+    for (std::size_t c = 0; c < record.size(); ++c) {
+      EXPECT_EQ(record[c], doc.row(r)[c]) << "row " << r << " col " << c;
+    }
+  }
+  EXPECT_FALSE(reader.next(record));
+}
+
 TEST(CsvTest, NumericColumnExtraction) {
   CsvDocument doc({"t", "v"});
   doc.add_row({"0", "1.5"});

@@ -1,0 +1,52 @@
+#include "common/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+namespace {
+
+TEST(ParseTest, ParsesPlainAndScientificNumbers) {
+  EXPECT_DOUBLE_EQ(parse_double("1.5", "x"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double("-2.25", "x"), -2.25);
+  EXPECT_DOUBLE_EQ(parse_double("2e6", "x"), 2e6);
+  EXPECT_DOUBLE_EQ(parse_double("1.7976931348623157e308", "x"), 1.7976931348623157e308);
+  EXPECT_DOUBLE_EQ(parse_double("0", "x"), 0.0);
+}
+
+TEST(ParseTest, AcceptsLeadingPlusAndWhitespaceLikeStod) {
+  // Hand-edited CSVs carry "+1.5" and ", 1.5"; std::stod tolerated both.
+  EXPECT_DOUBLE_EQ(parse_double("+3.5", "x"), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double(" 1.5", "x"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_double("\t +2.5", "x"), 2.5);
+}
+
+TEST(ParseTest, RejectsJunkEmptyAndPartialTokens) {
+  double v = 0.0;
+  EXPECT_FALSE(try_parse_double("", &v));
+  EXPECT_FALSE(try_parse_double("abc", &v));
+  EXPECT_FALSE(try_parse_double("1.5x", &v));
+  EXPECT_FALSE(try_parse_double("1.5 ", &v));  // trailing whitespace is junk
+  EXPECT_FALSE(try_parse_double("1e999", &v));  // out of range
+  EXPECT_FALSE(try_parse_double("+", &v));
+  EXPECT_FALSE(try_parse_double("  ", &v));
+  EXPECT_THROW((void)parse_double("nope", "field"), TelemetryError);
+}
+
+TEST(ParseTest, FormatIsShortestRoundTrip) {
+  EXPECT_EQ(format_double(15.0), "15");
+  EXPECT_EQ(format_double(0.1), "0.1");
+  EXPECT_EQ(format_double(-2.5), "-2.5");
+  // Values with no short decimal form must still round-trip exactly.
+  for (const double v : {1.0 / 3.0, std::acos(-1.0), 1e-300, 123456.789012345678,
+                         0.30000000000000004}) {
+    EXPECT_DOUBLE_EQ(parse_double(format_double(v), "rt"), v);
+    EXPECT_DOUBLE_EQ(parse_double(format_double(-v), "rt"), -v);
+  }
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -48,6 +48,51 @@ TEST_F(ReplayTest, ScoreSeriesMetrics) {
   EXPECT_NEAR(s.pearson, 1.0, 1e-9);
 }
 
+TEST_F(ReplayTest, ScoreSeriesKeepsFinalSampleDespiteFpNoise) {
+  // (t1 - t0) / dt = 0.3 / 0.1 = 2.9999999999999996 in doubles; truncation
+  // used to score only 3 of the 4 samples, silently ignoring any final-
+  // sample error. The series below agree everywhere except the last point.
+  const TimeSeries a({0.0, 0.1, 0.2, 0.3}, {1.0, 1.0, 1.0, 1.0});
+  const TimeSeries b({0.0, 0.1, 0.2, 0.3}, {1.0, 1.0, 1.0, 5.0});
+  ASSERT_LT((a.end_time() - a.start_time()) / 0.1, 3.0);  // the FP hazard is real
+  const SeriesScore s = score_series(a, b, 0.1);
+  EXPECT_GT(s.rmse, 1.0);  // 4 samples incl. the mismatch: sqrt(16/4) = 2
+  EXPECT_NEAR(s.rmse, 2.0, 1e-9);
+}
+
+TEST_F(ReplayTest, ScoreSeriesStillTruncatesGenuineFractionalSpans) {
+  // A half-step overhang is not FP noise: [0, 0.25] on dt=0.1 has samples
+  // at 0, 0.1, 0.2 only.
+  const TimeSeries a({0.0, 0.25}, {1.0, 1.0});
+  const TimeSeries b({0.0, 0.1, 0.2, 0.25}, {1.0, 1.0, 1.0, 9.0});
+  const SeriesScore s = score_series(a, b, 0.1);
+  // Resampled at 0/0.1/0.2: b's spike at 0.25 never enters the grid.
+  EXPECT_LT(s.rmse, 1.0);
+}
+
+TEST_F(ReplayTest, FrameOverloadMatchesDatasetReplay) {
+  // The columnar frame path must be bit-identical to the classic path.
+  const PowerReplayResult direct = replay_power(*spec_, *dataset_, /*with_cooling=*/false);
+
+  DatasetFrame frame;
+  frame.system_name = dataset_->system_name;
+  frame.start_time_s = dataset_->start_time_s;
+  frame.duration_s = dataset_->duration_s;
+  frame.trace_quantum_s = dataset_->trace_quantum_s;
+  frame.cdu_count = dataset_->cdus.size();
+  frame.jobs = dataset_->jobs;
+  frame.frame = TelemetryFrame::from_dataset(*dataset_);
+  const PowerReplayResult framed = replay_power(*spec_, std::move(frame), false);
+
+  ASSERT_EQ(framed.predicted_power_mw.size(), direct.predicted_power_mw.size());
+  for (std::size_t i = 0; i < framed.predicted_power_mw.size(); ++i) {
+    ASSERT_EQ(framed.predicted_power_mw.value(i), direct.predicted_power_mw.value(i));
+  }
+  EXPECT_EQ(framed.power_score.rmse, direct.power_score.rmse);
+  EXPECT_EQ(framed.report.jobs_completed, direct.report.jobs_completed);
+  EXPECT_EQ(framed.report.total_energy_mwh, direct.report.total_energy_mwh);
+}
+
 TEST_F(ReplayTest, ScoreSeriesRequiresOverlap) {
   const TimeSeries a = TimeSeries::uniform(0.0, 1.0, {1.0, 2.0});
   const TimeSeries b = TimeSeries::uniform(100.0, 1.0, {1.0, 2.0});

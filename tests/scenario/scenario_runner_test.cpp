@@ -11,6 +11,7 @@
 #include "core/replay.hpp"
 #include "core/whatif.hpp"
 #include "raps/workload.hpp"
+#include "telemetry/store.hpp"
 
 namespace exadigit {
 namespace {
@@ -330,6 +331,58 @@ TEST(ScenarioRunnerTest, SimulateHydraulicsParamAlwaysSolveMatchesDedup) {
     EXPECT_EQ(pue_a.values()[i], pue_b.values()[i]) << "pue sample " << i;
   }
   EXPECT_THROW(ScenarioRegistry::instance().run(make_spec("sometimes")), ConfigError);
+}
+
+TEST(ScenarioRunnerTest, DatasetReplayIdenticalAcrossFormatsAndLoaders) {
+  // A saved dataset replayed through the scenario surface must give the
+  // same answer whether it sits on disk as CSV (columnar single-pass,
+  // auto-detected), CSV via the explicit registry reader, or binary.
+  namespace fs = std::filesystem;
+  const std::string base = (fs::temp_directory_path() / "exadigit_scn_fmt").string();
+  fs::remove_all(base);
+  const SystemConfig config = frontier_system_config();
+  const double duration = 0.1 * units::kSecondsPerHour;
+  WorkloadGenerator gen(config.workload, config, Rng(5));
+  SyntheticPhysicalTwin physical(config, PhysicalTwinOptions{});
+  const TelemetryDataset dataset = physical.record(
+      gen.generate(0.0, duration), synthetic_wetbulb_series(duration, 6), duration);
+  save_dataset(dataset, base + "/csv");
+  save_dataset_binary(dataset, base + "/bin");
+
+  auto replay_spec = [](const std::string& name, const std::string& path,
+                        const std::string& format) {
+    ScenarioSpec s;
+    s.name = name;
+    s.type = "replay";
+    s.source.kind = ScenarioSource::Kind::kDataset;
+    s.source.path = path;
+    s.source.format = format;
+    Json params;
+    params["cooling"] = false;
+    s.params = std::move(params);
+    return s;
+  };
+  const ScenarioResult columnar =
+      ScenarioRegistry::instance().run(replay_spec("columnar", base + "/csv", ""));
+  const ScenarioResult via_reader = ScenarioRegistry::instance().run(
+      replay_spec("reader", base + "/csv", "exadigit-csv"));
+  const ScenarioResult binary =
+      ScenarioRegistry::instance().run(replay_spec("binary", base + "/bin", ""));
+
+  for (const ScenarioResult* other : {&via_reader, &binary}) {
+    ASSERT_EQ(columnar.summary.size(), other->summary.size());
+    for (std::size_t i = 0; i < columnar.summary.size(); ++i) {
+      EXPECT_EQ(columnar.summary[i].value, other->summary[i].value)
+          << other->name << " metric " << columnar.summary[i].name;
+    }
+    const TimeSeries& a = columnar.channels.at("predicted_power_mw");
+    const TimeSeries& b = other->channels.at("predicted_power_mw");
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.value(i), b.value(i)) << other->name << " sample " << i;
+    }
+  }
+  fs::remove_all(base);
 }
 
 }  // namespace

@@ -16,7 +16,7 @@ const char* kBatchText = R"({
     {
       "name": "replay-day",
       "type": "replay",
-      "source": {"kind": "dataset", "path": "/data/day1"},
+      "source": {"kind": "dataset", "path": "/data/day1", "format": "exadigit-bin"},
       "params": {"cooling": false}
     },
     {
@@ -45,6 +45,7 @@ TEST(ScenarioSpecTest, ParsesBatchFields) {
   EXPECT_EQ(replay.type, "replay");
   EXPECT_EQ(replay.source.kind, ScenarioSource::Kind::kDataset);
   EXPECT_EQ(replay.source.path, "/data/day1");
+  EXPECT_EQ(replay.source.format, "exadigit-bin");
   EXPECT_FALSE(replay.seed.has_value());
   EXPECT_FALSE(replay.params.bool_or("cooling", true));
 
@@ -72,6 +73,7 @@ TEST(ScenarioSpecTest, JsonRoundTripIsLossless) {
     EXPECT_TRUE(b.config_delta == a.config_delta);
     EXPECT_EQ(b.source.kind, a.source.kind);
     EXPECT_EQ(b.source.path, a.source.path);
+    EXPECT_EQ(b.source.format, a.source.format);
     EXPECT_DOUBLE_EQ(b.source.hours, a.source.hours);
     EXPECT_EQ(b.source.seed, a.source.seed);
     EXPECT_DOUBLE_EQ(b.horizon_hours, a.horizon_hours);
@@ -91,6 +93,12 @@ TEST(ScenarioSpecTest, SourceKindInferredFromPath) {
   EXPECT_THROW(ScenarioSource::from_json(
                    Json::parse(R"({"kind": "synthetic", "path": "/data/day1"})")),
                ConfigError);
+  // Nor a dead format.
+  EXPECT_THROW(ScenarioSource::from_json(
+                   Json::parse(R"({"kind": "synthetic", "format": "exadigit-bin"})")),
+               ConfigError);
+  // Format defaults to auto-detect for dataset sources.
+  EXPECT_TRUE(inferred.format.empty());
 }
 
 TEST(ScenarioSpecTest, BareArrayBatch) {

@@ -76,6 +76,50 @@ TEST(SwfTest, MalformedLineThrows) {
   EXPECT_THROW(parse_swf(invalid, strict), TelemetryError);
 }
 
+TEST(SwfTest, MalformedLineErrorNamesEveryCorruptLine) {
+  // Two corrupt records among good ones: the error must pinpoint both, so
+  // a skipped record is never indistinguishable from a comment.
+  std::istringstream is(
+      "; header\n"
+      "1 0 10 3600 128 -1 -1 128 3600 -1 1 1 1 1 -1 -1 -1 -1\n"
+      "corrupt record here\n"
+      "2 60 -1 1800 256 -1 -1 256 1800 -1 1 1 1 1 -1 -1 -1 -1\n"
+      "4 xx\n");
+  try {
+    (void)parse_swf(is, SwfImportOptions{});
+    FAIL() << "expected TelemetryError";
+  } catch (const TelemetryError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lines 3, 5"), std::string::npos) << what;
+  }
+}
+
+TEST(SwfTest, SkipMalformedReportsSkippedRecords) {
+  std::istringstream is(
+      "1 0 10 3600 128 -1 -1 128 3600 -1 1 1 1 1 -1 -1 -1 -1\n"
+      "corrupt record here\n"
+      "3 120 30 -1 64 -1 -1 64 -1 -1 0 1 1 1 -1 -1 -1 -1\n"  // invalid, dropped
+      "2 60 -1 1800 256 -1 -1 256 1800 -1 1 1 1 1 -1 -1 -1 -1\n");
+  SwfImportOptions options;
+  options.skip_malformed = true;
+  SwfParseReport report;
+  const auto jobs = parse_swf(is, options, &report);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(report.parsed, 2u);
+  EXPECT_EQ(report.dropped_invalid, 1u);
+  ASSERT_EQ(report.malformed_lines.size(), 1u);
+  EXPECT_EQ(report.malformed_lines[0], 2);
+}
+
+TEST(SwfTest, CleanTraceReportsNoSkips) {
+  std::istringstream is(kTrace);
+  SwfParseReport report;
+  const auto jobs = parse_swf(is, SwfImportOptions{}, &report);
+  EXPECT_EQ(report.parsed, jobs.size());
+  EXPECT_EQ(report.dropped_invalid, 1u);  // the failed job in kTrace
+  EXPECT_TRUE(report.malformed_lines.empty());
+}
+
 TEST(SwfTest, ImportedTraceDrivesTheEngine) {
   std::istringstream is(kTrace);
   const auto jobs = parse_swf(is, SwfImportOptions{});
