@@ -18,12 +18,22 @@
 /// studies and setpoint optimization at exascale); this bench records the
 /// trajectory of that hot path.
 ///
+/// The fast configuration is additionally timed with the worker pool
+/// enabled (SimulationConfig::threads = EXADIGIT_BENCH_THREADS, default 0 =
+/// one lane per hardware thread) and cross-checked *bit-identical* to the
+/// threads=1 run, so one artifact carries the serial and threaded numbers
+/// side by side.
+///
 /// `--json <path>` emits BENCH_coupled24h.json: wall_ms (fast path),
 /// wall_ms_always_solve, wall_ms_legacy, speedup_vs_always_solve,
 /// speedup_vs_legacy, sim_rate, plant_steps, solves_performed,
-/// solves_reused, energy_mwh, pue.
+/// solves_reused, energy_mwh, pue, plus the threaded columns (threads,
+/// wall_ms_threads, sim_rate_threads, solves_reused_threads,
+/// threads_identical).
 ///
-/// EXADIGIT_BENCH_HOURS shrinks the replayed window for smoke runs.
+/// EXADIGIT_BENCH_HOURS shrinks the replayed window for smoke runs;
+/// EXADIGIT_BENCH_REPS sets the repetitions per configuration (min wall
+/// time is reported — see perf_json.hpp).
 
 #include <chrono>
 #include <cmath>
@@ -31,6 +41,7 @@
 #include <cstdlib>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "config/config_json.hpp"
 #include "core/digital_twin.hpp"
@@ -52,12 +63,13 @@ struct CoupledRun {
 };
 
 /// Coupled replay (RAPS + cooling FMU) under one full configuration.
-CoupledRun time_coupled_replay(const SystemConfig& base, const TelemetryDataset& dataset,
-                               HydraulicsEval eval, EngineMode engine,
-                               RapsEngine::PowerEval power_eval) {
+CoupledRun time_coupled_replay_once(const SystemConfig& base, const TelemetryDataset& dataset,
+                                    HydraulicsEval eval, EngineMode engine,
+                                    RapsEngine::PowerEval power_eval, int threads) {
   SystemConfig config = base;
   config.cooling.hydraulics = eval;
   config.simulation.engine = engine;
+  config.simulation.threads = threads;
   DigitalTwinOptions options;
   options.enable_cooling = true;
   options.start_time_s = dataset.start_time_s;
@@ -75,6 +87,26 @@ CoupledRun time_coupled_replay(const SystemConfig& base, const TelemetryDataset&
   r.plant_steps = twin.cooling().plant().step_count();
   r.stats = twin.cooling().plant().hydraulics_stats();
   return r;
+}
+
+/// Runs a configuration `reps` times and reports the minimum wall time.
+/// Every rep must reproduce the first rep's physics exactly (same process,
+/// same inputs): a mismatch means nondeterminism and aborts the bench.
+CoupledRun time_coupled_replay(const SystemConfig& base, const TelemetryDataset& dataset,
+                               HydraulicsEval eval, EngineMode engine,
+                               RapsEngine::PowerEval power_eval, int threads, int reps) {
+  CoupledRun best = time_coupled_replay_once(base, dataset, eval, engine, power_eval, threads);
+  for (int rep = 1; rep < reps; ++rep) {
+    const CoupledRun r =
+        time_coupled_replay_once(base, dataset, eval, engine, power_eval, threads);
+    if (r.report.total_energy_mwh != best.report.total_energy_mwh ||
+        r.pue_mean != best.pue_mean || r.plant_steps != best.plant_steps) {
+      std::fprintf(stderr, "FAIL: repeat run diverged (rep %d, threads=%d)\n", rep, threads);
+      std::exit(1);
+    }
+    if (r.wall_ms < best.wall_ms) best.wall_ms = r.wall_ms;
+  }
+  return best;
 }
 
 double rel_diff(double a, double b) {
@@ -121,41 +153,77 @@ int main(int argc, char** argv) {
   std::printf("replaying %zu recorded jobs through the coupled twin\n\n",
               dataset.jobs.size());
 
+  const int reps = bench::bench_reps();
+  const char* threads_env = std::getenv("EXADIGIT_BENCH_THREADS");
+  const int bench_threads =
+      resolve_thread_count(threads_env != nullptr ? std::atoi(threads_env) : 0);
+
   const CoupledRun fast =
       time_coupled_replay(spec, dataset, HydraulicsEval::kDedup, EngineMode::kEventDriven,
-                          RapsEngine::PowerEval::kIncremental);
+                          RapsEngine::PowerEval::kIncremental, /*threads=*/1, reps);
+  const CoupledRun fastN =
+      time_coupled_replay(spec, dataset, HydraulicsEval::kDedup, EngineMode::kEventDriven,
+                          RapsEngine::PowerEval::kIncremental, bench_threads, reps);
   const CoupledRun ref =
       time_coupled_replay(spec, dataset, HydraulicsEval::kAlwaysSolve,
-                          EngineMode::kEventDriven, RapsEngine::PowerEval::kIncremental);
+                          EngineMode::kEventDriven, RapsEngine::PowerEval::kIncremental,
+                          /*threads=*/1, reps);
   const CoupledRun legacy =
       time_coupled_replay(spec, dataset, HydraulicsEval::kAlwaysSolve, EngineMode::kTickLoop,
-                          RapsEngine::PowerEval::kFullRecompute);
+                          RapsEngine::PowerEval::kFullRecompute, /*threads=*/1, reps);
 
   const double sim_rate = fast.wall_ms > 0.0 ? duration / (fast.wall_ms / 1000.0) : 0.0;
+  const double sim_rate_threads =
+      fastN.wall_ms > 0.0 ? duration / (fastN.wall_ms / 1000.0) : 0.0;
   const double speedup_ref = fast.wall_ms > 0.0 ? ref.wall_ms / fast.wall_ms : 0.0;
   const double speedup_legacy = fast.wall_ms > 0.0 ? legacy.wall_ms / fast.wall_ms : 0.0;
   const long long total = fast.stats.solves_performed + fast.stats.solves_reused();
 
-  AsciiTable t({"Coupled replay", "dedup (fast)", "always_solve (ref)", "legacy"});
-  t.add_row({"wall (ms)", AsciiTable::num(fast.wall_ms, 0), AsciiTable::num(ref.wall_ms, 0),
-             AsciiTable::num(legacy.wall_ms, 0)});
+  char threads_col[32];
+  std::snprintf(threads_col, sizeof threads_col, "threads=%d", bench_threads);
+  AsciiTable t({"Coupled replay", "dedup (fast)", threads_col, "always_solve (ref)",
+                "legacy"});
+  t.add_row({"wall (ms)", AsciiTable::num(fast.wall_ms, 0), AsciiTable::num(fastN.wall_ms, 0),
+             AsciiTable::num(ref.wall_ms, 0), AsciiTable::num(legacy.wall_ms, 0)});
   t.add_row({"plant steps", AsciiTable::num(static_cast<double>(fast.plant_steps), 0),
+             AsciiTable::num(static_cast<double>(fastN.plant_steps), 0),
              AsciiTable::num(static_cast<double>(ref.plant_steps), 0),
              AsciiTable::num(static_cast<double>(legacy.plant_steps), 0)});
   t.add_row({"solves performed",
              AsciiTable::num(static_cast<double>(fast.stats.solves_performed), 0),
+             AsciiTable::num(static_cast<double>(fastN.stats.solves_performed), 0),
              AsciiTable::num(static_cast<double>(ref.stats.solves_performed), 0),
              AsciiTable::num(static_cast<double>(legacy.stats.solves_performed), 0)});
   t.add_row({"solves reused",
              AsciiTable::num(static_cast<double>(fast.stats.solves_reused()), 0),
+             AsciiTable::num(static_cast<double>(fastN.stats.solves_reused()), 0),
              AsciiTable::num(static_cast<double>(ref.stats.solves_reused()), 0),
              AsciiTable::num(static_cast<double>(legacy.stats.solves_reused()), 0)});
   t.add_row({"energy (MWh)", AsciiTable::num(fast.report.total_energy_mwh, 3),
+             AsciiTable::num(fastN.report.total_energy_mwh, 3),
              AsciiTable::num(ref.report.total_energy_mwh, 3),
              AsciiTable::num(legacy.report.total_energy_mwh, 3)});
   t.add_row({"mean PUE", AsciiTable::num(fast.pue_mean, 5),
-             AsciiTable::num(ref.pue_mean, 5), AsciiTable::num(legacy.pue_mean, 5)});
+             AsciiTable::num(fastN.pue_mean, 5), AsciiTable::num(ref.pue_mean, 5),
+             AsciiTable::num(legacy.pue_mean, 5)});
   std::printf("%s\n", t.render().c_str());
+
+  // The threaded fast path must match the serial fast path *bit for bit* —
+  // not within a tolerance. Fixed shard->lane mapping + serial-order
+  // reduction is the whole determinism contract (common/thread_pool.hpp).
+  const bool threads_identical =
+      fastN.report.total_energy_mwh == fast.report.total_energy_mwh &&
+      fastN.pue_mean == fast.pue_mean && fastN.plant_steps == fast.plant_steps &&
+      fastN.stats.solves_performed == fast.stats.solves_performed &&
+      fastN.stats.solves_reused() == fast.stats.solves_reused();
+  std::printf("threads=%d vs threads=1: %s (wall %.0f ms vs %.0f ms, reps=%d, min)\n",
+              bench_threads, threads_identical ? "bit-identical" : "DIVERGED",
+              fastN.wall_ms, fast.wall_ms, reps);
+  if (!threads_identical) {
+    std::fprintf(stderr, "FAIL: threads=%d coupled replay diverged from threads=1\n",
+                 bench_threads);
+    return 1;
+  }
 
   const double energy_rel = rel_diff(fast.report.total_energy_mwh,
                                      ref.report.total_energy_mwh);
@@ -179,6 +247,7 @@ int main(int argc, char** argv) {
     Json out;
     out["bench"] = Json(std::string("coupled24h"));
     out["hours"] = Json(hours);
+    out["reps"] = Json(static_cast<std::int64_t>(reps));
     out["sim_seconds"] = Json(duration);
     out["jobs"] = Json(static_cast<std::int64_t>(dataset.jobs.size()));
     out["wall_ms"] = Json(fast.wall_ms);
@@ -193,6 +262,11 @@ int main(int argc, char** argv) {
     out["energy_mwh"] = Json(fast.report.total_energy_mwh);
     out["pue"] = Json(fast.pue_mean);
     out["hydraulics"] = Json(std::string(hydraulics_eval_name(HydraulicsEval::kDedup)));
+    out["threads"] = Json(static_cast<std::int64_t>(bench_threads));
+    out["wall_ms_threads"] = Json(fastN.wall_ms);
+    out["sim_rate_threads"] = Json(sim_rate_threads);
+    out["solves_reused_threads"] = Json(static_cast<std::int64_t>(fastN.stats.solves_reused()));
+    out["threads_identical"] = Json(threads_identical);
     if (!bench::write_perf_json(json_path, out)) return 1;
     std::printf("JSON -> %s\n", json_path.c_str());
   }

@@ -5,6 +5,7 @@
 /// silently produce nothing), and write a Json record with error checking.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
@@ -13,6 +14,16 @@
 #include "json/json.hpp"
 
 namespace exadigit::bench {
+
+/// Repetitions per timed configuration (EXADIGIT_BENCH_REPS, default 3).
+/// The benches report the minimum wall time across reps: on a shared or
+/// single-core CI box the minimum is the least noisy estimator of the
+/// code's cost, and the committed baselines in bench/baselines/ assume it.
+inline int bench_reps() {
+  const char* env = std::getenv("EXADIGIT_BENCH_REPS");
+  const int reps = env != nullptr ? std::atoi(env) : 3;
+  return reps >= 1 ? reps : 1;
+}
 
 /// Parses `--json <path>` (the only accepted option) from argv. Returns
 /// false (after printing usage to stderr) on an unknown option, a missing

@@ -49,27 +49,6 @@ PiecewiseLinearCurve::PiecewiseLinearCurve(std::vector<double> xs, std::vector<d
   sort_and_validate(xs_, ys_);
 }
 
-double PiecewiseLinearCurve::operator()(double x) const {
-  require(!xs_.empty(), "evaluating empty curve");
-  if (xs_.size() == 1) return ys_.front();
-  if (x <= xs_.front()) {
-    if (extrapolation_ == Extrapolation::kClamp) return ys_.front();
-    const double m = (ys_[1] - ys_[0]) / (xs_[1] - xs_[0]);
-    return ys_.front() + m * (x - xs_.front());
-  }
-  if (x >= xs_.back()) {
-    if (extrapolation_ == Extrapolation::kClamp) return ys_.back();
-    const std::size_t n = xs_.size();
-    const double m = (ys_[n - 1] - ys_[n - 2]) / (xs_[n - 1] - xs_[n - 2]);
-    return ys_.back() + m * (x - xs_.back());
-  }
-  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
-  const std::size_t hi = static_cast<std::size_t>(it - xs_.begin());
-  const std::size_t lo = hi - 1;
-  const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
-  return ys_[lo] + t * (ys_[hi] - ys_[lo]);
-}
-
 double PiecewiseLinearCurve::slope(double x) const {
   require(!xs_.empty(), "slope of empty curve");
   if (xs_.size() == 1) return 0.0;

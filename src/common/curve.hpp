@@ -9,9 +9,12 @@
 /// stores sorted (x, y) knots and evaluates with linear interpolation and
 /// configurable extrapolation.
 
+#include <cstddef>
 #include <initializer_list>
 #include <utility>
 #include <vector>
+
+#include "common/error.hpp"
 
 namespace exadigit {
 
@@ -33,8 +36,31 @@ class PiecewiseLinearCurve {
   PiecewiseLinearCurve(std::vector<double> xs, std::vector<double> ys,
                        Extrapolation extrapolation = Extrapolation::kClamp);
 
-  /// Evaluates the curve at `x`.
-  [[nodiscard]] double operator()(double x) const;
+  /// Evaluates the curve at `x`. Defined inline: spec curves are tiny
+  /// (a handful of knots) and this sits inside the conversion-chain and
+  /// tower inner loops, so the segment search is a forward linear scan —
+  /// it selects the same first-knot-greater-than-x index a binary search
+  /// would, so the interpolation arithmetic (and its bits) is unchanged.
+  [[nodiscard]] double operator()(double x) const {
+    require_nonempty();
+    if (xs_.size() == 1) return ys_.front();
+    if (x <= xs_.front()) {
+      if (extrapolation_ == Extrapolation::kClamp) return ys_.front();
+      const double m = (ys_[1] - ys_[0]) / (xs_[1] - xs_[0]);
+      return ys_.front() + m * (x - xs_.front());
+    }
+    if (x >= xs_.back()) {
+      if (extrapolation_ == Extrapolation::kClamp) return ys_.back();
+      const std::size_t n = xs_.size();
+      const double m = (ys_[n - 1] - ys_[n - 2]) / (xs_[n - 1] - xs_[n - 2]);
+      return ys_.back() + m * (x - xs_.back());
+    }
+    std::size_t hi = 1;
+    while (xs_[hi] <= x) ++hi;  // bounded: x < xs_.back() here
+    const std::size_t lo = hi - 1;
+    const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+    return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+  }
 
   /// Derivative dy/dx at `x` (one-sided at knots; 0 in clamped regions).
   [[nodiscard]] double slope(double x) const;
@@ -61,6 +87,8 @@ class PiecewiseLinearCurve {
   std::vector<double> xs_;
   std::vector<double> ys_;
   Extrapolation extrapolation_ = Extrapolation::kClamp;
+
+  void require_nonempty() const { require(!xs_.empty(), "evaluating empty curve"); }
 };
 
 /// Linear interpolation between (x0,y0) and (x1,y1); clamps outside.

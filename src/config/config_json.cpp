@@ -193,6 +193,7 @@ Json cooling_to_json(const CoolingConfig& c) {
   j["step_s"] = Json(c.step_s);
   j["thermal_substep_s"] = Json(c.thermal_substep_s);
   j["hydraulics"] = Json(std::string(hydraulics_eval_name(c.hydraulics)));
+  j["thermal"] = Json(std::string(thermal_eval_name(c.thermal)));
   return j;
 }
 
@@ -261,6 +262,9 @@ CoolingConfig cooling_from_json(const Json& j, const CoolingConfig& d) {
   if (j.contains("hydraulics")) {
     c.hydraulics = hydraulics_eval_from_name(j.at("hydraulics").as_string());
   }
+  if (j.contains("thermal")) {
+    c.thermal = thermal_eval_from_name(j.at("thermal").as_string());
+  }
   return c;
 }
 
@@ -303,6 +307,16 @@ HydraulicsEval hydraulics_eval_from_name(const std::string& name) {
                     "\"");
 }
 
+const char* thermal_eval_name(ThermalEval eval) {
+  return eval == ThermalEval::kScalar ? "scalar" : "batched";
+}
+
+ThermalEval thermal_eval_from_name(const std::string& name) {
+  if (name == "batched") return ThermalEval::kBatched;
+  if (name == "scalar") return ThermalEval::kScalar;
+  throw ConfigError("thermal eval must be \"batched\" or \"scalar\", got \"" + name + "\"");
+}
+
 Json system_config_to_json(const SystemConfig& c) {
   Json j;
   j["name"] = Json(c.name);
@@ -337,6 +351,7 @@ Json system_config_to_json(const SystemConfig& c) {
   sim["cooling_quantum_s"] = Json(c.simulation.cooling_quantum_s);
   sim["trace_quantum_s"] = Json(c.simulation.trace_quantum_s);
   sim["engine"] = Json(std::string(engine_mode_name(c.simulation.engine)));
+  sim["threads"] = Json(c.simulation.threads);
   j["simulation"] = sim;
   if (!c.partitions.empty()) {
     Json::Array parts;
@@ -401,6 +416,7 @@ SystemConfig system_config_from_json(const Json& j) {
     if (s.contains("engine")) {
       c.simulation.engine = engine_mode_from_name(s.at("engine").as_string());
     }
+    c.simulation.threads = static_cast<int>(s.int_or("threads", c.simulation.threads));
   }
   if (j.contains("partitions")) {
     for (const auto& jp : j.at("partitions").as_array()) {

@@ -33,4 +33,10 @@ namespace exadigit {
 /// Parses a hydraulics-eval name; throws ConfigError on anything else.
 [[nodiscard]] HydraulicsEval hydraulics_eval_from_name(const std::string& name);
 
+/// Thermal-eval exchange names ("batched" / "scalar"), shared by the
+/// cooling.thermal config field and scenario params.
+[[nodiscard]] const char* thermal_eval_name(ThermalEval eval);
+/// Parses a thermal-eval name; throws ConfigError on anything else.
+[[nodiscard]] ThermalEval thermal_eval_from_name(const std::string& name);
+
 }  // namespace exadigit

@@ -8,27 +8,73 @@
 /// valid over the plant's 5-60 degC operating range — the paper's
 /// system-level model (Modelica.Media incompressible tables) needs nothing
 /// finer.
+///
+/// Everything here is defined inline: these evaluators sit inside the
+/// thermal substep and hydraulic inner loops (millions of calls per
+/// simulated day), where the cross-TU call overhead used to outweigh the
+/// polynomial itself. The build uses strict IEEE arithmetic on baseline
+/// x86-64 (no -ffast-math, no FMA codegen), so inlining cannot change the
+/// computed bits.
+
+#include <algorithm>
 
 namespace exadigit {
 
 /// Which coolant a loop circulates.
 enum class Coolant { kWater, kPg25 };
 
+namespace fluid_detail {
+// Quadratic fits to IAPWS liquid-water data, 5-60 degC.
+inline double water_density(double t_c) {
+  const double t = std::clamp(t_c, 0.0, 90.0);
+  return 1001.2 - 0.075 * t - 0.00375 * t * t;
+}
+
+inline double water_cp(double t_c) {
+  const double t = std::clamp(t_c, 0.0, 90.0);
+  return 4209.0 - 1.31 * t + 0.014 * t * t;
+}
+
+// PG25 (25 % propylene glycol by volume), ASHRAE-style fit.
+inline double pg25_density(double t_c) {
+  const double t = std::clamp(t_c, 0.0, 90.0);
+  return 1024.0 - 0.30 * t;
+}
+
+inline double pg25_cp(double t_c) {
+  const double t = std::clamp(t_c, 0.0, 90.0);
+  return 3930.0 + 2.5 * t;
+}
+}  // namespace fluid_detail
+
 /// Density (kg/m^3) at temperature `t_c` (degC).
-[[nodiscard]] double coolant_density(Coolant coolant, double t_c);
+[[nodiscard]] inline double coolant_density(Coolant coolant, double t_c) {
+  return coolant == Coolant::kWater ? fluid_detail::water_density(t_c)
+                                    : fluid_detail::pg25_density(t_c);
+}
 
 /// Specific heat capacity (J/(kg K)) at `t_c` (degC).
-[[nodiscard]] double coolant_cp(Coolant coolant, double t_c);
+[[nodiscard]] inline double coolant_cp(Coolant coolant, double t_c) {
+  return coolant == Coolant::kWater ? fluid_detail::water_cp(t_c)
+                                    : fluid_detail::pg25_cp(t_c);
+}
 
 /// Volumetric heat capacity rho*cp (J/(m^3 K)) at `t_c`.
-[[nodiscard]] double coolant_rho_cp(Coolant coolant, double t_c);
+[[nodiscard]] inline double coolant_rho_cp(Coolant coolant, double t_c) {
+  return coolant_density(coolant, t_c) * coolant_cp(coolant, t_c);
+}
 
 /// Capacity rate C = rho * cp * Q (W/K) for volumetric flow `q_m3s`.
-[[nodiscard]] double capacity_rate(Coolant coolant, double t_c, double q_m3s);
+[[nodiscard]] inline double capacity_rate(Coolant coolant, double t_c, double q_m3s) {
+  return coolant_rho_cp(coolant, t_c) * q_m3s;
+}
 
 /// Heat carried by a stream between two temperatures (paper Eq. (7)):
 /// H = rho * Q * dT * cp, evaluated at the mean temperature.
-[[nodiscard]] double stream_heat_w(Coolant coolant, double q_m3s, double t_in_c,
-                                   double t_out_c);
+[[nodiscard]] inline double stream_heat_w(Coolant coolant, double q_m3s, double t_in_c,
+                                          double t_out_c) {
+  const double t_mean = 0.5 * (t_in_c + t_out_c);
+  return capacity_rate(coolant, t_mean, q_m3s) * (t_out_c - t_in_c);
+}
 
 }  // namespace exadigit

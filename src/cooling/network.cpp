@@ -162,6 +162,44 @@ void FlowNetwork::append_parameter_key(std::vector<double>& key) const {
   }
 }
 
+bool FlowNetwork::refresh_parameter_key(std::vector<double>& key) const {
+  const std::size_t want = 2 + branches_.size() * 10;
+  if (key.size() != want) {
+    key.clear();
+    key.reserve(want);
+    append_parameter_key(key);
+    return true;
+  }
+  // Single pass: compare each slot against the current parameter and write
+  // through on mismatch. Same slot layout as append_parameter_key; exact
+  // (bitwise-equality-of-values) comparison, consistent with the dedup
+  // contract. One fused pass instead of rebuild-then-compare halves the
+  // per-step key traffic on the hot path.
+  bool changed = false;
+  auto put = [&key, &changed](std::size_t slot, double v) {
+    if (key[slot] != v) {
+      key[slot] = v;
+      changed = true;
+    }
+  };
+  put(0, static_cast<double>(node_count()));
+  put(1, static_cast<double>(branches_.size()));
+  std::size_t slot = 2;
+  for (const Branch& b : branches_) {
+    put(slot++, static_cast<double>(b.kind));
+    put(slot++, static_cast<double>(b.from));
+    put(slot++, static_cast<double>(b.to));
+    put(slot++, b.k);
+    put(slot++, b.position);
+    put(slot++, b.min_position);
+    put(slot++, b.shutoff_head_pa);
+    put(slot++, b.curve_coeff);
+    put(slot++, b.speed);
+    put(slot++, static_cast<double>(b.parallel_units));
+  }
+  return changed;
+}
+
 void FlowNetwork::adopt_solution(const NetworkSolution& sol) {
   require(sol.node_pressure_pa.size() == node_count() &&
           sol.branch_flow_m3s.size() == branch_count(),

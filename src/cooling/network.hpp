@@ -117,6 +117,14 @@ class FlowNetwork {
   /// (exact comparison, never tolerance-based, to keep runs deterministic).
   void append_parameter_key(std::vector<double>& key) const;
 
+  /// In-place variant for hot loops: rewrites `key` to this network's
+  /// current parameter key (same layout as append_parameter_key produces
+  /// for a single network) in one fused compare-and-write pass. Returns
+  /// true when any slot changed — i.e. exactly when the freshly built key
+  /// would have differed from the previous contents of `key`. A `key` of
+  /// the wrong size is rebuilt from scratch (and reported changed).
+  bool refresh_parameter_key(std::vector<double>& key) const;
+
   /// Warm-start state: the previously converged nodal pressures (empty
   /// before the first successful solve).
   [[nodiscard]] const std::vector<double>& warm_start_pressures() const {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "cooling/fluid.hpp"
 #include "cooling/heat_exchanger.hpp"
 
@@ -98,6 +99,7 @@ CoolingPlantModel::CoolingPlantModel(const SystemConfig& config)
       ehx_stage_lag_(config.cooling.staging_delay_s, 2.0) {
   config_.validate();
   hydraulics_eval_ = config_.cooling.hydraulics;
+  thermal_eval_ = config_.cooling.thermal;
   ct_supply_setpoint_c_ = config_.cooling.primary.htws_setpoint_c - 4.0;
   build_networks();
   reset();
@@ -184,15 +186,16 @@ void CoolingPlantModel::reset(double ambient_c) {
     loop.pump_pid.reset(loop.pump_speed);
     loop.valve_pid.reset(loop.valve_position);
     loop.last_solution = NetworkSolution{};
-    loop.last_key.clear();
+    loop.key.clear();
     loop.has_solution = false;
     for (BranchId b : loop.rack_branches) loop.net.branch(b).position = 1.0;
   }
-  pri_last_key_.clear();
+  pri_key_.clear();
   pri_has_solution_ = false;
-  ct_last_key_.clear();
+  ct_key_.clear();
   ct_has_solution_ = false;
   hydraulics_stats_ = HydraulicsStats{};
+  thermal_stats_ = ThermalStats{};
   step_count_ = 0;
   t_pri_supply_c_ = start;
   t_pri_return_c_ = start + 3.0;
@@ -328,66 +331,90 @@ void CoolingPlantModel::update_controls(const CoolingInputs& inputs, double dt) 
 void CoolingPlantModel::solve_hydraulics() {
   const bool dedup = hydraulics_eval_ == HydraulicsEval::kDedup;
   const double sec_scale = config_.cooling.cdu.secondary_design_flow_m3s;
+  const std::size_t n = cdu_loops_.size();
 
-  // Snapshot every loop's warm-start state before any of this step's
-  // solves: copying loop j's result to loop i is only exact when both
-  // would have started Newton from the same point, and j's warm state
-  // advances as soon as j is solved.
-  if (dedup) {
-    for (auto& loop : cdu_loops_) {
-      const std::vector<double>& warm = loop.net.warm_start_pressures();
-      loop.warm_before.assign(warm.begin(), warm.end());
-    }
-  }
-
-  for (std::size_t i = 0; i < cdu_loops_.size(); ++i) {
+  // Phase A (serial decide). Copying loop j's result to loop i is only
+  // exact when both would have started Newton from the same point — and
+  // because classification happens before ANY of this step's solves run,
+  // every network still holds its pre-step warm state, so the donor scan
+  // can compare live warm vectors directly (no snapshot copies needed).
+  solve_actions_.assign(n, SolveAction::kSolve);
+  solve_donor_.assign(n, 0);
+  solve_list_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
     auto& loop = cdu_loops_[i];
-    loop.key.clear();
-    loop.net.append_parameter_key(loop.key);
-    if (dedup && loop.has_solution && loop.key == loop.last_key) {
+    const bool changed = loop.net.refresh_parameter_key(loop.key);
+    if (dedup && loop.has_solution && !changed) {
       // Unchanged operating point: a re-solve would warm-start at the
       // converged pressures and exit after zero iterations with exactly
       // the stored state, so skip it outright.
-      ++hydraulics_stats_.reused_unchanged;
+      solve_actions_[i] = SolveAction::kSkipUnchanged;
       continue;
     }
-    const CduLoopState* donor = nullptr;
     if (dedup) {
-      // A loop already handled this step with the same exact key and the
-      // same pre-step warm start would converge to the bit-identical
-      // solution: Newton here is a deterministic function of (parameters,
-      // warm start).
+      // A loop ahead of this one with the same exact key and the same
+      // pre-step warm start converges to the bit-identical solution:
+      // Newton here is a deterministic function of (parameters, warm
+      // start). Every loop ends the step holding a solution, so any j < i
+      // is an eligible donor — exactly the set the serial scan saw.
       for (std::size_t j = 0; j < i; ++j) {
         const CduLoopState& other = cdu_loops_[j];
-        if (other.has_solution && other.key == loop.key &&
-            other.warm_before == loop.warm_before) {
-          donor = &other;
+        if (other.key == loop.key &&
+            other.net.warm_start_pressures() == loop.net.warm_start_pressures()) {
+          solve_actions_[i] = SolveAction::kCopyDonor;
+          solve_donor_[i] = j;
           break;
         }
       }
     }
-    if (donor != nullptr) {
-      loop.last_solution = donor->last_solution;
-      loop.net.adopt_solution(loop.last_solution);
-      ++hydraulics_stats_.reused_shared;
-    } else if (dedup) {
+    if (solve_actions_[i] == SolveAction::kSolve) solve_list_.push_back(i);
+  }
+
+  // Phase B: the Newton solves. Each loop owns its network, warm state,
+  // and workspace, so shards are disjoint and every solve computes exactly
+  // the arithmetic the serial loop would — sharding across the pool cannot
+  // change a single bit of any solution.
+  const auto solve_one = [&](std::size_t k) {
+    auto& loop = cdu_loops_[solve_list_[k]];
+    if (dedup) {
       loop.net.solve_into(loop.last_solution, sec_scale);
-      ++hydraulics_stats_.solves_performed;
     } else {
       // Reference path: the original allocate-per-solve call, preserved so
       // benchmarks can measure the cost the fast path removed.
       loop.last_solution = loop.net.solve(sec_scale);
-      ++hydraulics_stats_.solves_performed;
     }
-    loop.last_key = loop.key;  // copy-assign: reuses capacity
-    loop.has_solution = true;
+  };
+  if (pool_ != nullptr && pool_->width() > 1 && solve_list_.size() > 1) {
+    pool_->parallel_for(solve_list_.size(), solve_one);
+  } else {
+    for (std::size_t k = 0; k < solve_list_.size(); ++k) solve_one(k);
+  }
+
+  // Phase C (serial apply, ascending loop order): donor copies, warm-state
+  // adoption, stats — identical order and counts to the serial pass.
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& loop = cdu_loops_[i];
+    switch (solve_actions_[i]) {
+      case SolveAction::kSkipUnchanged:
+        ++hydraulics_stats_.reused_unchanged;
+        break;
+      case SolveAction::kCopyDonor:
+        loop.last_solution = cdu_loops_[solve_donor_[i]].last_solution;
+        loop.net.adopt_solution(loop.last_solution);
+        ++hydraulics_stats_.reused_shared;
+        loop.has_solution = true;
+        break;
+      case SolveAction::kSolve:
+        ++hydraulics_stats_.solves_performed;
+        loop.has_solution = true;
+        break;
+    }
   }
 
   // Primary and CT loops have unique topologies, so only the unchanged-key
   // skip applies to them.
-  pri_key_.clear();
-  pri_net_.append_parameter_key(pri_key_);
-  if (dedup && pri_has_solution_ && pri_key_ == pri_last_key_) {
+  const bool pri_changed = pri_net_.refresh_parameter_key(pri_key_);
+  if (dedup && pri_has_solution_ && !pri_changed) {
     ++hydraulics_stats_.reused_unchanged;
   } else {
     if (dedup) {
@@ -396,13 +423,11 @@ void CoolingPlantModel::solve_hydraulics() {
       pri_solution_ = pri_net_.solve(config_.cooling.primary.design_flow_m3s);
     }
     ++hydraulics_stats_.solves_performed;
-    pri_last_key_ = pri_key_;
     pri_has_solution_ = true;
   }
 
-  ct_key_.clear();
-  ct_net_.append_parameter_key(ct_key_);
-  if (dedup && ct_has_solution_ && ct_key_ == ct_last_key_) {
+  const bool ct_changed = ct_net_.refresh_parameter_key(ct_key_);
+  if (dedup && ct_has_solution_ && !ct_changed) {
     ++hydraulics_stats_.reused_unchanged;
   } else {
     if (dedup) {
@@ -411,7 +436,6 @@ void CoolingPlantModel::solve_hydraulics() {
       ct_solution_ = ct_net_.solve(config_.cooling.ct.design_flow_m3s);
     }
     ++hydraulics_stats_.solves_performed;
-    ct_last_key_ = ct_key_;
     ct_has_solution_ = true;
   }
   last_ct_header_pa_ = ct_solution_.node_pressure_pa.at(ct_header_node_);
@@ -425,6 +449,30 @@ void CoolingPlantModel::integrate_thermal(const CoolingInputs& inputs, double dt
 
   const double q_pri_total = pri_net_.flow(pri_solution_, pri_pump_branch_);
   const double q_ct = ct_net_.flow(ct_solution_, ct_pump_branch_);
+  const std::size_t n = cdu_loops_.size();
+  const bool batched = thermal_eval_ == ThermalEval::kBatched;
+
+  if (batched) {
+    // Gather the substep-invariant per-CDU inputs once: the loop and
+    // primary-branch flows come from this step's (fixed) hydraulic
+    // solutions and the heat loads from `inputs`, none of which change
+    // across substeps. The scalar reference path re-reads them per substep;
+    // the values are the same doubles either way.
+    th_q_sec_.resize(n);
+    th_q_branch_.resize(n);
+    th_heat_.resize(n);
+    th_hot_in_.resize(n);
+    th_rho_cp_.resize(n);
+    th_c_sec_.resize(n);
+    th_c_pri_.resize(n);
+    th_hx_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& loop = cdu_loops_[i];
+      th_q_sec_[i] = loop.net.flow(loop.last_solution, loop.pump);
+      th_q_branch_[i] = pri_net_.flow(pri_solution_, pri_cdu_branches_[i]);
+      th_heat_[i] = inputs.cdu_heat_w.at(i);
+    }
+  }
 
   for (int s = 0; s < substeps; ++s) {
     // --- CDU loops + primary branch mixing --------------------------------
@@ -435,31 +483,69 @@ void CoolingPlantModel::integrate_thermal(const CoolingInputs& inputs, double dt
     const double rho_cp_pri_supply = coolant_rho_cp(Coolant::kWater, t_pri_supply_c_);
     double mix_accum = 0.0;
     double mix_flow = 0.0;
-    for (std::size_t i = 0; i < cdu_loops_.size(); ++i) {
-      auto& loop = cdu_loops_[i];
-      const double q_sec = loop.net.flow(loop.last_solution, loop.pump);
-      const double q_branch =
-          pri_net_.flow(pri_solution_, pri_cdu_branches_[i]);
-      const double rho_cp = coolant_rho_cp(Coolant::kWater, loop.t_return_c);
-      const double c_sec = rho_cp * q_sec;
-      const double c_pri = rho_cp_pri_supply * q_branch;
-      const HxResult hx = evaluate_counterflow_hx(cool.cdu.hex.ua_w_per_k, loop.t_return_c,
-                                                  c_sec, t_pri_supply_c_, c_pri);
-      const double heat = inputs.cdu_heat_w.at(i);
-      const double half_vol = 0.5 * cool.cdu.secondary_volume_m3;
-      // Supply volume: fed by the HEX hot-side outlet.
-      const double d_supply = q_sec / half_vol * (hx.hot_out_c - loop.t_supply_c);
-      // Return volume: fed by the supply volume plus the rack heat load.
-      const double d_return = q_sec / half_vol * (loop.t_supply_c - loop.t_return_c) +
-                              heat / (rho_cp * half_vol);
-      loop.t_supply_c += h * d_supply;
-      loop.t_return_c += h * d_return;
-      mix_accum += q_branch * hx.cold_out_c;
-      mix_flow += q_branch;
-      if (s == substeps - 1) {
-        auto& out = outputs_.cdus[i];
-        out.hex_duty_w = hx.duty_w;
-        out.pri_return_t_c = hx.cold_out_c;
+    if (batched) {
+      // Batched fast path: pack this substep's HX inputs, evaluate all 25
+      // HX units through the contiguous-array kernel, then apply the same
+      // per-loop update expressions in the same ascending order as the
+      // scalar path (bit-identical; see heat_exchanger.hpp).
+      for (std::size_t i = 0; i < n; ++i) {
+        auto& loop = cdu_loops_[i];
+        const double rho_cp = coolant_rho_cp(Coolant::kWater, loop.t_return_c);
+        th_hot_in_[i] = loop.t_return_c;
+        th_rho_cp_[i] = rho_cp;
+        th_c_sec_[i] = rho_cp * th_q_sec_[i];
+        th_c_pri_[i] = rho_cp_pri_supply * th_q_branch_[i];
+      }
+      thermal_stats_.hx_evaluated += static_cast<long long>(n);
+      evaluate_counterflow_hx_batch(n, cool.cdu.hex.ua_w_per_k, th_hot_in_.data(),
+                                    th_c_sec_.data(), t_pri_supply_c_, th_c_pri_.data(),
+                                    th_hx_.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        auto& loop = cdu_loops_[i];
+        const HxResult& hx = th_hx_[i];
+        const double q_sec = th_q_sec_[i];
+        const double q_branch = th_q_branch_[i];
+        const double half_vol = 0.5 * cool.cdu.secondary_volume_m3;
+        const double d_supply = q_sec / half_vol * (hx.hot_out_c - loop.t_supply_c);
+        const double d_return = q_sec / half_vol * (loop.t_supply_c - loop.t_return_c) +
+                                th_heat_[i] / (th_rho_cp_[i] * half_vol);
+        loop.t_supply_c += h * d_supply;
+        loop.t_return_c += h * d_return;
+        mix_accum += q_branch * hx.cold_out_c;
+        mix_flow += q_branch;
+        if (s == substeps - 1) {
+          auto& out = outputs_.cdus[i];
+          out.hex_duty_w = hx.duty_w;
+          out.pri_return_t_c = hx.cold_out_c;
+        }
+      }
+    } else {
+      // Scalar reference path: the original PR 4 per-loop structure.
+      for (std::size_t i = 0; i < n; ++i) {
+        auto& loop = cdu_loops_[i];
+        const double q_sec = loop.net.flow(loop.last_solution, loop.pump);
+        const double q_branch = pri_net_.flow(pri_solution_, pri_cdu_branches_[i]);
+        const double rho_cp = coolant_rho_cp(Coolant::kWater, loop.t_return_c);
+        const double c_sec = rho_cp * q_sec;
+        const double c_pri = rho_cp_pri_supply * q_branch;
+        const HxResult hx = evaluate_counterflow_hx(cool.cdu.hex.ua_w_per_k, loop.t_return_c,
+                                                    c_sec, t_pri_supply_c_, c_pri);
+        const double heat = inputs.cdu_heat_w.at(i);
+        const double half_vol = 0.5 * cool.cdu.secondary_volume_m3;
+        // Supply volume: fed by the HEX hot-side outlet.
+        const double d_supply = q_sec / half_vol * (hx.hot_out_c - loop.t_supply_c);
+        // Return volume: fed by the supply volume plus the rack heat load.
+        const double d_return = q_sec / half_vol * (loop.t_supply_c - loop.t_return_c) +
+                                heat / (rho_cp * half_vol);
+        loop.t_supply_c += h * d_supply;
+        loop.t_return_c += h * d_return;
+        mix_accum += q_branch * hx.cold_out_c;
+        mix_flow += q_branch;
+        if (s == substeps - 1) {
+          auto& out = outputs_.cdus[i];
+          out.hex_duty_w = hx.duty_w;
+          out.pri_return_t_c = hx.cold_out_c;
+        }
       }
     }
     const double t_mix = mix_flow > 1e-9 ? mix_accum / mix_flow : t_pri_return_c_;

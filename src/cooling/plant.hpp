@@ -34,17 +34,33 @@
 /// is bit-identical to the HydraulicsEval::kAlwaysSolve reference path —
 /// tests/cooling/plant_dedup_test.cpp asserts this across staging,
 /// blockage, and forced-pump churn.
+///
+/// Deterministic parallel solves: solve_hydraulics is split into three
+/// phases — (A) serial decide: snapshot warm starts, refresh parameter
+/// keys, classify every CDU loop as skip / copy-from-donor / solve;
+/// (B) run the Newton solves, optionally sharded across a ThreadPool
+/// (each loop owns its network and workspace, so shards are disjoint and
+/// each solve computes exactly what the serial loop would); (C) serial
+/// ascending apply: donor copies, warm-state adoption, stats. Phases A/C
+/// run on the caller's thread in loop order, so results and counters are
+/// bit-identical for any pool width — tests/cooling/plant_parallel_test.cpp
+/// asserts threads∈{1,2,8} against serial.
 
+#include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "config/system_config.hpp"
 #include "controls/pid.hpp"
 #include "controls/staging.hpp"
 #include "cooling/cooling_tower.hpp"
+#include "cooling/heat_exchanger.hpp"
 #include "cooling/network.hpp"
 #include "cooling/pump.hpp"
 
 namespace exadigit {
+
+class ThreadPool;
 
 /// Per-step boundary conditions supplied by RAPS / telemetry.
 struct CoolingInputs {
@@ -110,6 +126,12 @@ class CoolingPlantModel {
     }
   };
 
+  /// CDU heat-exchanger kernel accounting since the last reset()
+  /// (batched thermal path only; the scalar reference path leaves it 0).
+  struct ThermalStats {
+    long long hx_evaluated = 0;  ///< elements run through the batch kernel
+  };
+
   explicit CoolingPlantModel(const SystemConfig& config);
 
   /// Re-initializes all states to a quiescent plant at the given ambient.
@@ -144,10 +166,24 @@ class CoolingPlantModel {
   /// is allowed and stays exact — reuse keys survive the switch.
   void set_hydraulics_eval(HydraulicsEval eval) { hydraulics_eval_ = eval; }
   [[nodiscard]] HydraulicsEval hydraulics_eval() const { return hydraulics_eval_; }
+
+  /// Thermal HX kernel strategy; seeded from CoolingConfig::thermal.
+  /// Batched and scalar are bit-identical (see heat_exchanger.hpp), so
+  /// switching mid-run is allowed.
+  void set_thermal_eval(ThermalEval eval) { thermal_eval_ = eval; }
+  [[nodiscard]] ThermalEval thermal_eval() const { return thermal_eval_; }
+
+  /// Installs a worker pool for phase-B hydraulic solves (see the file
+  /// header); nullptr (the default) or a width-1 pool runs serially.
+  /// The pool is borrowed, not owned, and must outlive the plant's steps.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  [[nodiscard]] ThreadPool* thread_pool() const { return pool_; }
   /// Solve/reuse counters since the last reset().
   [[nodiscard]] const HydraulicsStats& hydraulics_stats() const {
     return hydraulics_stats_;
   }
+  /// HX kernel/memo counters since the last reset().
+  [[nodiscard]] const ThermalStats& thermal_stats() const { return thermal_stats_; }
   /// Number of step() calls since the last reset().
   [[nodiscard]] long long step_count() const { return step_count_; }
 
@@ -167,12 +203,12 @@ class CoolingPlantModel {
     double pump_speed = 0.8;
     double forced_speed = -1.0;
     NetworkSolution last_solution;
-    // Dedup bookkeeping (solve_hydraulics): the parameter key of the
-    // current step, the key the stored solution was solved under, and the
-    // warm-start snapshot taken before any of this step's solves.
+    // Dedup bookkeeping (solve_hydraulics): the parameter key, refreshed
+    // in place each step (FlowNetwork::refresh_parameter_key reports
+    // whether it differs from the previous step's). Donor comparisons use
+    // the networks' live warm-start vectors — phase A runs before any of
+    // the step's solves, so they still hold the pre-step state.
     std::vector<double> key;
-    std::vector<double> last_key;
-    std::vector<double> warm_before;
     bool has_solution = false;
     CduLoopState(FlowNetwork n, const PidConfig& pump_cfg, const PidConfig& valve_cfg)
         : net(std::move(n)), pump_pid(pump_cfg), valve_pid(valve_cfg) {}
@@ -219,12 +255,30 @@ class CoolingPlantModel {
   // loops only skip-unchanged; sharing applies to the CDU loop family).
   HydraulicsEval hydraulics_eval_ = HydraulicsEval::kDedup;
   HydraulicsStats hydraulics_stats_;
+  ThermalStats thermal_stats_;
   std::vector<double> pri_key_;
-  std::vector<double> pri_last_key_;
   bool pri_has_solution_ = false;
   std::vector<double> ct_key_;
-  std::vector<double> ct_last_key_;
   bool ct_has_solution_ = false;
+
+  // Phase-A classification scratch for solve_hydraulics, reused per step.
+  enum class SolveAction : unsigned char { kSolve, kSkipUnchanged, kCopyDonor };
+  std::vector<SolveAction> solve_actions_;
+  std::vector<std::size_t> solve_donor_;
+  std::vector<std::size_t> solve_list_;  ///< loop indices needing Newton
+
+  // Thermal kernel evaluation mode + gather scratch (ThermalEval::kBatched).
+  ThermalEval thermal_eval_ = ThermalEval::kBatched;
+  std::vector<double> th_q_sec_;
+  std::vector<double> th_q_branch_;
+  std::vector<double> th_heat_;
+  std::vector<double> th_hot_in_;
+  std::vector<double> th_rho_cp_;
+  std::vector<double> th_c_sec_;
+  std::vector<double> th_c_pri_;
+  std::vector<HxResult> th_hx_;
+
+  ThreadPool* pool_ = nullptr;  ///< borrowed; nullptr = serial
 
   PlantOutputs outputs_;
   double time_s_ = 0.0;

@@ -85,7 +85,10 @@ class ValueMemo {
   }
 
  private:
-  static constexpr int kSlots = 128;  // power of two; ~#jobs distinct loads
+  // Power of two, sized well above the distinct concurrent operating points
+  // (~one per active job plus idle levels): overwrite-on-collision means an
+  // undersized table silently thrashes into re-evaluations.
+  static constexpr int kSlots = 1024;
   static constexpr int kProbes = 4;
   struct Slot {
     double key = 0.0;

@@ -8,6 +8,13 @@
 /// get rack-major node ranges when available, which also keeps rectifier
 /// groups homogeneous for the power model), and supports multi-partition
 /// machines (Section V) by restricting jobs to partition node ranges.
+///
+/// The free map is kept as a packed 64-bit bitmap so the first-fit and
+/// scattered scans step a word (64 nodes) at a time — countr_zero/popcount
+/// instead of a branch per node. Selection semantics are exactly the
+/// original bit-by-bit scans (first-fit contiguous run, then ascending
+/// scattered fill), so allocations — and everything downstream of them —
+/// are unchanged; tests/raps/allocator_test.cpp pins the equivalence.
 
 #include <cstdint>
 #include <optional>
@@ -52,11 +59,20 @@ class NodeAllocator {
 
   int total_nodes_;
   int free_count_;
-  std::vector<bool> free_;
+  std::vector<std::uint64_t> free_words_;  ///< bit set = node free
   std::vector<PartitionRange> partitions_;
   int nodes_per_rack_;
 
   [[nodiscard]] PartitionRange range_for(const std::string& partition) const;
+  [[nodiscard]] bool test(int node) const {
+    return ((free_words_[static_cast<std::size_t>(node) >> 6] >> (node & 63)) & 1u) != 0;
+  }
+  void set_bit(int node) {
+    free_words_[static_cast<std::size_t>(node) >> 6] |= std::uint64_t{1} << (node & 63);
+  }
+  void clear_bit(int node) {
+    free_words_[static_cast<std::size_t>(node) >> 6] &= ~(std::uint64_t{1} << (node & 63));
+  }
 };
 
 }  // namespace exadigit

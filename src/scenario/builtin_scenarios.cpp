@@ -75,7 +75,7 @@ void add_report_metrics(ScenarioResult& r, const Report& report) {
 // --- workflow adapters -----------------------------------------------------
 
 ScenarioResult run_simulate_scenario(const ScenarioSpec& spec) {
-  check_params(spec, {"cooling", "engine", "hydraulics"});
+  check_params(spec, {"cooling", "engine", "hydraulics", "thermal", "threads"});
   SystemConfig config = spec.resolve_config();
   // "engine": "event" (default) or "tick" — the legacy fixed-step loop,
   // kept for A/B validation batches (results are bit-identical; see
@@ -89,6 +89,18 @@ ScenarioResult run_simulate_scenario(const ScenarioSpec& spec) {
   if (spec.params.is_object() && spec.params.contains("hydraulics")) {
     config.cooling.hydraulics =
         hydraulics_eval_from_name(spec.params.at("hydraulics").as_string());
+  }
+  // "thermal": "batched" (default) or "scalar" — the reference per-CDU HX
+  // kernel, same A/B role (see cooling/heat_exchanger.hpp).
+  if (spec.params.is_object() && spec.params.contains("thermal")) {
+    config.cooling.thermal =
+        thermal_eval_from_name(spec.params.at("thermal").as_string());
+  }
+  // "threads": worker-pool width for the twin's intra-run parallelism;
+  // 1 (default) = serial, 0 = hardware concurrency. Any width is
+  // bit-identical to serial (see common/thread_pool.hpp).
+  if (spec.params.is_object() && spec.params.contains("threads")) {
+    config.simulation.threads = static_cast<int>(spec.params.at("threads").as_int());
   }
   const std::uint64_t seed = spec.seed_or(42);
   const bool cooling = param_bool(spec, "cooling", true);

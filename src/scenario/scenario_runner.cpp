@@ -1,9 +1,10 @@
 #include "scenario/scenario_runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <mutex>
 #include <thread>
+
+#include "common/thread_pool.hpp"
 
 namespace exadigit {
 
@@ -37,44 +38,36 @@ std::vector<ScenarioResult> ScenarioRunner::run(const std::vector<ScenarioSpec>&
     options_.on_status(index, effective[index], status);
   };
 
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&]() {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= effective.size()) return;
-      notify(i, ScenarioResult::Status::kRunning);
-      ScenarioResult& result = results[i];
-      try {
-        result = registry.run(effective[i]);
-      } catch (const std::exception& e) {
-        result.name = effective[i].name;
-        result.type = effective[i].type;
-        result.status = ScenarioResult::Status::kFailed;
-        result.error = e.what();
-      } catch (...) {
-        // User-registered factories may throw anything; an escape would
-        // std::terminate the pool and take the whole batch down.
-        result.name = effective[i].name;
-        result.type = effective[i].type;
-        result.status = ScenarioResult::Status::kFailed;
-        result.error = "unknown non-standard exception";
-      }
-      notify(i, result.status);
+  const auto run_one = [&](std::size_t i) {
+    notify(i, ScenarioResult::Status::kRunning);
+    ScenarioResult& result = results[i];
+    try {
+      result = registry.run(effective[i]);
+    } catch (const std::exception& e) {
+      result.name = effective[i].name;
+      result.type = effective[i].type;
+      result.status = ScenarioResult::Status::kFailed;
+      result.error = e.what();
+    } catch (...) {
+      // User-registered factories may throw anything; an escape would
+      // std::terminate the pool and take the whole batch down.
+      result.name = effective[i].name;
+      result.type = effective[i].type;
+      result.status = ScenarioResult::Status::kFailed;
+      result.error = "unknown non-standard exception";
     }
+    notify(i, result.status);
   };
 
-  std::size_t pool = options_.jobs > 0 ? static_cast<std::size_t>(options_.jobs)
-                                       : static_cast<std::size_t>(
-                                             std::thread::hardware_concurrency());
-  pool = std::clamp<std::size_t>(pool, 1, effective.size());
-  if (pool == 1) {
-    worker();
-    return results;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(pool);
-  for (std::size_t t = 0; t < pool; ++t) workers.emplace_back(worker);
-  for (std::thread& t : workers) t.join();
+  // Scenarios are heavy and uneven, so hand them out dynamically; every
+  // result is slot-addressed and seeds were fixed above, so the outputs do
+  // not depend on which lane runs which scenario.
+  std::size_t width = options_.jobs > 0 ? static_cast<std::size_t>(options_.jobs)
+                                        : static_cast<std::size_t>(
+                                              std::thread::hardware_concurrency());
+  width = std::clamp<std::size_t>(width, 1, effective.size());
+  ThreadPool pool(static_cast<int>(width));
+  pool.parallel_for_dynamic(effective.size(), run_one);
   return results;
 }
 

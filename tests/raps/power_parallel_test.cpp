@@ -1,0 +1,91 @@
+/// Cross-assertion for the pooled dirty-rack refresh (raps/power_model.hpp):
+/// a RapsEngine with a worker pool installed must replay a workload
+/// *bit-identically* to the serial engine — every power sample, the final
+/// conversion-chain state, and the report. This is the power half of the
+/// determinism contract documented in common/thread_pool.hpp (the cooling
+/// half lives in tests/cooling/plant_parallel_test.cpp).
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "raps/engine.hpp"
+#include "raps/workload.hpp"
+
+namespace exadigit {
+namespace {
+
+struct EngineTrace {
+  std::vector<double> power_times;
+  std::vector<double> power_values;
+  double system_power_w = 0.0;
+  double total_energy_mwh = 0.0;
+  int jobs_completed = 0;
+};
+
+EngineTrace run_replay(const SystemConfig& config, const std::vector<JobRecord>& jobs,
+                       ThreadPool* pool, RapsEngine::PowerEval eval) {
+  RapsEngine::Options options;
+  options.collect_series = true;
+  options.power_eval = eval;
+  RapsEngine engine(config, options);
+  if (pool != nullptr) engine.set_thread_pool(pool);
+  engine.submit_all(jobs);
+  engine.run_until(2.0 * units::kSecondsPerHour);
+  EngineTrace t;
+  t.power_times = engine.power_series_mw().times();
+  t.power_values = engine.power_series_mw().values();
+  t.system_power_w = engine.power().system_power_w;
+  t.total_energy_mwh = engine.report().total_energy_mwh;
+  t.jobs_completed = engine.jobs_completed();
+  return t;
+}
+
+void expect_traces_bit_identical(const EngineTrace& a, const EngineTrace& b) {
+  EXPECT_EQ(a.system_power_w, b.system_power_w);
+  EXPECT_EQ(a.total_energy_mwh, b.total_energy_mwh);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  ASSERT_EQ(a.power_values.size(), b.power_values.size());
+  for (std::size_t i = 0; i < a.power_values.size(); ++i) {
+    EXPECT_EQ(a.power_times[i], b.power_times[i]) << "sample " << i;
+    EXPECT_EQ(a.power_values[i], b.power_values[i]) << "sample " << i;
+  }
+}
+
+class PowerParallelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PowerParallelTest, PooledRefreshBitIdenticalToSerial) {
+  const SystemConfig config = frontier_system_config();
+  WorkloadGenerator gen(config.workload, config, Rng(4242));
+  const std::vector<JobRecord> jobs = gen.generate(0.0, 2.0 * units::kSecondsPerHour);
+
+  const EngineTrace serial =
+      run_replay(config, jobs, nullptr, RapsEngine::PowerEval::kIncremental);
+  ThreadPool pool(GetParam());
+  const EngineTrace pooled =
+      run_replay(config, jobs, &pool, RapsEngine::PowerEval::kIncremental);
+  expect_traces_bit_identical(serial, pooled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PowerParallelTest, ::testing::Values(2, 3, 8));
+
+TEST(PowerParallelTest, PooledFullRecomputeAlsoBitIdentical) {
+  // The pool shards both the incremental refresh and the full rebuild; the
+  // legacy kFullRecompute path must stay exact under it too.
+  const SystemConfig config = frontier_system_config();
+  WorkloadGenerator gen(config.workload, config, Rng(77));
+  const std::vector<JobRecord> jobs = gen.generate(0.0, units::kSecondsPerHour);
+
+  const EngineTrace serial =
+      run_replay(config, jobs, nullptr, RapsEngine::PowerEval::kFullRecompute);
+  ThreadPool pool(4);
+  const EngineTrace pooled =
+      run_replay(config, jobs, &pool, RapsEngine::PowerEval::kFullRecompute);
+  expect_traces_bit_identical(serial, pooled);
+}
+
+}  // namespace
+}  // namespace exadigit
