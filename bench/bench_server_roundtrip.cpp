@@ -1,0 +1,240 @@
+/// Scenario-service round-trip bench: what warm twin residency buys over a
+/// cold start. Boots the real poll(2) server on an ephemeral loopback port,
+/// submits a 6-scenario what-if batch cold (every scenario executed), then
+/// replays the identical batch against the warm process, where every result
+/// is served from the content-addressed cache without re-execution. Reports
+/// min-of-reps batch wall times, warm per-request latency percentiles, the
+/// cache hit rate, and the warm/cold speedup; exits non-zero when the warm
+/// path re-executes anything, misses the cache, or the warm p50 breaches
+/// the 5 ms budget from the PR 7 acceptance bar.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.hpp"
+#include "common/table.hpp"
+#include "json/json.hpp"
+#include "perf_json.hpp"
+#include "scenario/scenario_registry.hpp"
+#include "server/framing.hpp"
+#include "server/server.hpp"
+
+using namespace exadigit;
+
+namespace {
+
+double env_hours() {
+  const char* env = std::getenv("EXADIGIT_BENCH_HOURS");
+  const double hours = env != nullptr ? std::atof(env) : 0.05;
+  return hours > 0.0 ? hours : 0.05;
+}
+
+Json make_batch(double horizon_hours) {
+  static const char* kTypes[] = {"simulate", "whatif_dc380",
+                                 "whatif_smart_rectifiers"};
+  Json batch;
+  batch["seed"] = std::int64_t{4242};
+  Json scenarios;  // null promotes to an array on push_back
+  for (int i = 0; i < 6; ++i) {
+    Json spec;
+    spec["type"] = kTypes[i % 3];
+    spec["name"] = std::string(kTypes[i % 3]) + "-" + std::to_string(i);
+    spec["horizon_hours"] = horizon_hours;
+    scenarios.push_back(std::move(spec));
+  }
+  batch["scenarios"] = std::move(scenarios);
+  return batch;
+}
+
+/// The real server, run()ning on its own thread, stopped on destruction.
+class LiveServer {
+ public:
+  LiveServer() : thread_([this] { server_.run(); }) {}
+  ~LiveServer() {
+    server_.stop();
+    thread_.join();
+  }
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+
+ private:
+  ScenarioServer server_;
+  std::thread thread_;
+};
+
+struct Roundtrip {
+  double wall_ms = 0.0;
+  std::size_t results = 0;
+  std::size_t cached = 0;
+  std::size_t failed = 0;
+};
+
+/// Submits `batch` on `socket` and blocks until batch_done.
+Roundtrip submit(TcpSocket& socket, const Json& batch, const std::string& id) {
+  Json request;
+  request["type"] = "run";
+  request["id"] = id;
+  request["batch"] = batch;
+  Roundtrip trip;
+  const auto start = std::chrono::steady_clock::now();
+  send_frame(socket, request.dump());
+  std::string payload;
+  while (recv_frame(socket, &payload)) {
+    const Json envelope = Json::parse(payload);
+    const std::string type = envelope.string_or("type", "");
+    if (type == "result") {
+      ++trip.results;
+      if (envelope.at("cached").as_bool()) ++trip.cached;
+    } else if (type == "error") {
+      std::fprintf(stderr, "server error: %s\n",
+                   envelope.string_or("message", "?").c_str());
+      std::exit(1);
+    } else if (type == "batch_done") {
+      trip.failed = static_cast<std::size_t>(envelope.at("failed").as_int());
+      break;
+    }
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  trip.wall_ms = std::chrono::duration<double, std::milli>(stop - start).count();
+  return trip;
+}
+
+Json server_stats(TcpSocket& socket) {
+  send_frame(socket, R"({"type": "stats"})");
+  std::string payload;
+  if (!recv_frame(socket, &payload)) {
+    std::fprintf(stderr, "server closed during stats request\n");
+    std::exit(1);
+  }
+  return Json::parse(payload);
+}
+
+double percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (!bench::parse_json_flag(argc, argv, "bench_server_roundtrip", &json_path)) {
+    return 2;
+  }
+  const int reps = bench::bench_reps();
+  const double hours = env_hours();
+  const Json batch = make_batch(hours);
+  std::printf("server round-trip, 6-scenario batch, %.3f h horizon, %d reps\n\n",
+              hours, reps);
+
+  // Cold: a fresh process image per rep — empty cache, every scenario
+  // executed. min-of-reps, like every wall_ms* the regression gate reads.
+  double wall_ms_cold = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    LiveServer live;
+    TcpSocket socket = TcpSocket::connect("127.0.0.1", live.port());
+    socket.set_nodelay(true);
+    const Roundtrip trip = submit(socket, batch, "cold-" + std::to_string(rep));
+    if (trip.results != 6 || trip.failed != 0 || trip.cached != 0) {
+      std::fprintf(stderr,
+                   "cold rep %d: %zu results, %zu failed, %zu cached "
+                   "(want 6/0/0)\n",
+                   rep, trip.results, trip.failed, trip.cached);
+      return 1;
+    }
+    wall_ms_cold = rep == 0 ? trip.wall_ms : std::min(wall_ms_cold, trip.wall_ms);
+  }
+
+  // Warm: one long-lived server; the first submission fills the cache, then
+  // every timed round trip must be served without re-executing anything.
+  LiveServer live;
+  TcpSocket socket = TcpSocket::connect("127.0.0.1", live.port());
+  socket.set_nodelay(true);
+  (void)submit(socket, batch, "warmup");
+  const std::uint64_t runs_before = scenario_run_count();
+
+  const int warm_requests = std::max(32, reps);
+  std::vector<double> warm_ms;
+  warm_ms.reserve(static_cast<std::size_t>(warm_requests));
+  const auto warm_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < warm_requests; ++i) {
+    const Roundtrip trip = submit(socket, batch, "warm-" + std::to_string(i));
+    if (trip.results != 6 || trip.cached != 6) {
+      std::fprintf(stderr, "warm request %d: %zu/%zu results cached (want 6/6)\n",
+                   i, trip.cached, trip.results);
+      return 1;
+    }
+    warm_ms.push_back(trip.wall_ms);
+  }
+  const auto warm_stop = std::chrono::steady_clock::now();
+  const double warm_span_s =
+      std::chrono::duration<double>(warm_stop - warm_start).count();
+
+  if (scenario_run_count() != runs_before) {
+    std::fprintf(stderr, "warm phase re-executed scenarios: run count %llu -> %llu\n",
+                 static_cast<unsigned long long>(runs_before),
+                 static_cast<unsigned long long>(scenario_run_count()));
+    return 1;
+  }
+
+  const Json stats = server_stats(socket);
+  const auto cache_hits = stats.at("cache").at("hits").as_int();
+  const auto cache_misses = stats.at("cache").at("misses").as_int();
+  if (cache_hits <= 0) {
+    std::fprintf(stderr, "no cache hits recorded (hits=%lld)\n",
+                 static_cast<long long>(cache_hits));
+    return 1;
+  }
+  const double cache_hit_rate =
+      static_cast<double>(cache_hits) /
+      static_cast<double>(cache_hits + cache_misses);
+
+  const double wall_ms_warm =
+      *std::min_element(warm_ms.begin(), warm_ms.end());
+  const double warm_p50 = percentile(warm_ms, 0.50);
+  const double warm_p95 = percentile(warm_ms, 0.95);
+  const double warm_rps = static_cast<double>(warm_requests) / warm_span_s;
+
+  AsciiTable t({"Phase", "Batch wall (ms)", "Scenarios", "Served from"});
+  t.add_row({"cold (fresh process)", AsciiTable::num(wall_ms_cold, 3), "6",
+             "executed"});
+  t.add_row({"warm (resident twin)", AsciiTable::num(wall_ms_warm, 3), "6",
+             "result cache"});
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nwarm p50 %.3f ms | p95 %.3f ms | %.0f batches/s | cache hit rate "
+      "%.2f | speedup vs cold %.1fx\n",
+      warm_p50, warm_p95, warm_rps, cache_hit_rate, wall_ms_cold / wall_ms_warm);
+
+  // PR 7 acceptance bar: a warm cached submit -> result round trip stays
+  // under 5 ms at the median.
+  if (warm_p50 >= 5.0) {
+    std::fprintf(stderr, "warm p50 %.3f ms breaches the 5 ms budget\n", warm_p50);
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    Json record;
+    record["bench"] = "server_roundtrip";
+    record["hours"] = hours;
+    record["scenarios"] = std::int64_t{6};
+    record["warm_requests"] = std::int64_t{warm_requests};
+    record["wall_ms_cold"] = wall_ms_cold;
+    record["wall_ms_warm"] = wall_ms_warm;
+    record["warm_p50_ms"] = warm_p50;
+    record["warm_p95_ms"] = warm_p95;
+    record["warm_requests_per_s"] = warm_rps;
+    record["cache_hits"] = cache_hits;
+    record["cache_misses"] = cache_misses;
+    record["cache_hit_rate"] = cache_hit_rate;
+    record["speedup_vs_cold"] = wall_ms_cold / wall_ms_warm;
+    if (!bench::write_perf_json(json_path, record)) return 1;
+  }
+  return 0;
+}

@@ -16,19 +16,30 @@
 ///   exadigit_cli scene     <output.json>
 ///   exadigit_cli config    <output.json>      # dump the Frontier descriptor
 ///   exadigit_cli types                        # list registered scenario types
+///
+/// With a running `exadigit_server`, `submit` is the thin-client twin of
+/// `run`: the batch executes inside the warm server process (resident
+/// datasets, content-addressed result cache) and the exported files are
+/// identical to a local `run`.
+///
+///   exadigit_cli submit    <scenarios.json> --connect host:port [--out DIR] [--id NAME]
+///   exadigit_cli stats     --connect host:port
 
 #include <cstdio>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/arg_parser.hpp"
+#include "common/socket.hpp"
 #include "common/units.hpp"
 #include "config/config_json.hpp"
 #include "core/physical_twin.hpp"
 #include "core/replay.hpp"
 #include "raps/workload.hpp"
 #include "scenario/scenario_runner.hpp"
+#include "server/framing.hpp"
 #include "telemetry/store.hpp"
 #include "viz/dashboard.hpp"
 #include "viz/scene_export.hpp"
@@ -48,6 +59,8 @@ struct Args {
   bool cooling = true;
   bool seed_set = false;  ///< --seed appeared (run: overrides the batch seed)
   int jobs = 0;           ///< scenario-runner concurrency cap; 0 = batch/hardware
+  std::string connect;    ///< host:port of a running exadigit_server
+  std::string request_id = "cli";  ///< request id echoed in server envelopes
 };
 
 Args parse_args(int argc, char** argv) {
@@ -61,6 +74,8 @@ Args parse_args(int argc, char** argv) {
       .add_string("--config", &args.config_path)
       .add_string("--out", &args.out_dir)
       .add_int("--jobs", &args.jobs)
+      .add_string("--connect", &args.connect)
+      .add_string("--id", &args.request_id)
       .add_switch("--no-cooling", &args.cooling, false);
   args.positional = parser.parse(argc, argv, 2);
   return args;
@@ -69,6 +84,38 @@ Args parse_args(int argc, char** argv) {
 SystemConfig load_config(const Args& args) {
   if (args.config_path.empty()) return frontier_system_config();
   return system_config_from_json(Json::load_file(args.config_path));
+}
+
+/// Prints and exports a completed batch — shared verbatim by `run` (local
+/// execution) and `submit` (server execution) so their outputs are
+/// bit-identical. Returns the number of failed scenarios.
+int report_and_export(const std::vector<ScenarioResult>& results,
+                      const std::string& out_dir) {
+  int failed = 0;
+  int exported = 0;
+  for (const ScenarioResult& r : results) {
+    std::printf("\n=== %s (%s) — %s ===\n", r.name.c_str(), r.type.c_str(),
+                to_string(r.status));
+    if (r.status == ScenarioResult::Status::kFailed) {
+      ++failed;
+      std::printf("error: %s\n", r.error.c_str());
+      continue;
+    }
+    if (!r.text.empty()) std::printf("%s\n", r.text.c_str());
+    std::printf("%s", r.summary_table().c_str());
+    r.export_files(out_dir);
+    ++exported;
+  }
+
+  batch_summary_csv(results).save(out_dir + "/batch_summary.csv");
+  Json batch_json{Json::Array{}};
+  for (const ScenarioResult& r : results) batch_json.push_back(r.to_json());
+  batch_json.save_file(out_dir + "/batch_summary.json");
+
+  std::printf("\n%s", batch_summary_table(results).c_str());
+  std::printf("exported %d of %zu scenario(s) to %s\n", exported, results.size(),
+              out_dir.c_str());
+  return failed;
 }
 
 /// The declarative path: execute a batch file through the runner.
@@ -91,32 +138,7 @@ int cmd_run(const Args& args) {
     std::printf("[%zu] %-28s %s\n", index, spec.name.c_str(), to_string(status));
   };
   const std::vector<ScenarioResult> results = ScenarioRunner(options).run(batch.scenarios);
-
-  int failed = 0;
-  int exported = 0;
-  for (const ScenarioResult& r : results) {
-    std::printf("\n=== %s (%s) — %s ===\n", r.name.c_str(), r.type.c_str(),
-                to_string(r.status));
-    if (r.status == ScenarioResult::Status::kFailed) {
-      ++failed;
-      std::printf("error: %s\n", r.error.c_str());
-      continue;
-    }
-    if (!r.text.empty()) std::printf("%s\n", r.text.c_str());
-    std::printf("%s", r.summary_table().c_str());
-    r.export_files(args.out_dir);
-    ++exported;
-  }
-
-  batch_summary_csv(results).save(args.out_dir + "/batch_summary.csv");
-  Json batch_json{Json::Array{}};
-  for (const ScenarioResult& r : results) batch_json.push_back(r.to_json());
-  batch_json.save_file(args.out_dir + "/batch_summary.json");
-
-  std::printf("\n%s", batch_summary_table(results).c_str());
-  std::printf("exported %d of %zu scenario(s) to %s\n", exported, results.size(),
-              args.out_dir.c_str());
-  return failed == 0 ? 0 : 1;
+  return report_and_export(results, args.out_dir) == 0 ? 0 : 1;
 }
 
 int cmd_types(const Args&) {
@@ -235,6 +257,87 @@ int cmd_config(const Args& args) {
   return 0;
 }
 
+/// Connects to the `--connect host:port` of a running exadigit_server.
+TcpSocket connect_to_server(const Args& args) {
+  require(!args.connect.empty(), "this command requires --connect host:port");
+  const std::size_t colon = args.connect.rfind(':');
+  require(colon != std::string::npos && colon + 1 < args.connect.size(),
+          "--connect expects host:port");
+  const std::string host = args.connect.substr(0, colon);
+  const int port = static_cast<int>(std::stol(args.connect.substr(colon + 1)));
+  require(port > 0 && port <= 65535, "--connect port must be in [1, 65535]");
+  TcpSocket socket = TcpSocket::connect(host, static_cast<std::uint16_t>(port));
+  socket.set_nodelay(true);
+  return socket;
+}
+
+/// Thin-client `run`: the batch executes inside the warm server, results
+/// stream back as scenarios finish, and the exports match `run` exactly.
+int cmd_submit(const Args& args) {
+  if (args.positional.empty()) throw ConfigError("submit requires a scenarios.json path");
+  TcpSocket socket = connect_to_server(args);
+
+  Json request;
+  request["type"] = "run";
+  request["id"] = args.request_id;
+  request["batch"] = Json::load_file(args.positional[0]);
+  send_frame(socket, request.dump());
+
+  std::map<std::size_t, ScenarioResult> by_index;
+  std::map<std::size_t, bool> cached;
+  std::size_t expected = 0;
+  bool batch_done = false;
+  std::string payload;
+  while (!batch_done && recv_frame(socket, &payload)) {
+    const Json envelope = Json::parse(payload);
+    const std::string type = envelope.string_or("type", "");
+    if (type == "error") {
+      throw Error("server error: " + envelope.string_or("message", "(no message)"));
+    } else if (type == "accepted") {
+      expected = static_cast<std::size_t>(envelope.int_or("scenarios", 0));
+    } else if (type == "status") {
+      std::printf("[%lld] %-28s %s\n",
+                  static_cast<long long>(envelope.int_or("index", 0)),
+                  envelope.string_or("name", "").c_str(),
+                  envelope.string_or("status", "").c_str());
+    } else if (type == "result") {
+      const auto index = static_cast<std::size_t>(envelope.int_or("index", 0));
+      ScenarioResult result = ScenarioResult::from_wire_json(envelope.at("result"));
+      const bool was_cached = envelope.bool_or("cached", false);
+      std::printf("[%zu] %-28s %s%s\n", index, result.name.c_str(),
+                  to_string(result.status), was_cached ? " (cached)" : "");
+      cached[index] = was_cached;
+      by_index.emplace(index, std::move(result));
+    } else if (type == "batch_done") {
+      batch_done = true;
+    }
+  }
+  require(batch_done, "connection closed before the batch completed");
+  require(by_index.size() == expected, "server sent an incomplete result set");
+
+  std::vector<ScenarioResult> results;
+  results.reserve(expected);
+  for (std::size_t i = 0; i < expected; ++i) {
+    const auto it = by_index.find(i);
+    require(it != by_index.end(), "server skipped a scenario index");
+    results.push_back(std::move(it->second));
+  }
+  std::filesystem::create_directories(args.out_dir);
+  return report_and_export(results, args.out_dir) == 0 ? 0 : 1;
+}
+
+/// Prints the server's live statistics document.
+int cmd_server_stats(const Args& args) {
+  TcpSocket socket = connect_to_server(args);
+  Json request;
+  request["type"] = "stats";
+  send_frame(socket, request.dump());
+  std::string payload;
+  require(recv_frame(socket, &payload), "connection closed before the stats reply");
+  std::printf("%s\n", Json::parse(payload).dump(2).c_str());
+  return 0;
+}
+
 void usage() {
   std::printf(
       "exadigit_cli — console interface to the ExaDigiT digital twin\n\n"
@@ -247,7 +350,9 @@ void usage() {
       "  optimize  [--power-mw P] [--wetbulb C]\n"
       "  scene     <out.json>\n"
       "  config    <out.json>\n"
-      "  types\n");
+      "  types\n"
+      "  submit    <scenarios.json> --connect host:port [--out DIR] [--id NAME]\n"
+      "  stats     --connect host:port\n");
 }
 
 }  // namespace
@@ -269,6 +374,8 @@ int main(int argc, char** argv) {
     if (command == "optimize") return cmd_optimize(args);
     if (command == "scene") return cmd_scene(args);
     if (command == "config") return cmd_config(args);
+    if (command == "submit") return cmd_submit(args);
+    if (command == "stats") return cmd_server_stats(args);
     usage();
     return 2;
   } catch (const std::exception& e) {

@@ -1,0 +1,188 @@
+#include "common/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace exadigit {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& operation) {
+  throw SocketError(operation + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+TcpSocket TcpSocket::connect(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &result);
+  if (rc != 0) {
+    throw SocketError("resolve " + host + ": " + gai_strerror(rc));
+  }
+  TcpSocket socket;
+  int last_errno = 0;
+  for (const addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      socket = TcpSocket(fd);
+      break;
+    }
+    last_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(result);
+  if (!socket.valid()) {
+    errno = last_errno;
+    throw_errno("connect " + host + ":" + service);
+  }
+  return socket;
+}
+
+void TcpSocket::set_nonblocking(bool nonblocking) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, want) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+void TcpSocket::set_nodelay(bool nodelay) {
+  const int value = nodelay ? 1 : 0;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &value, sizeof value) < 0) {
+    throw_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+IoStatus TcpSocket::read_some(char* buffer, std::size_t size, std::size_t* n_read) {
+  for (;;) {
+    const ssize_t n = ::read(fd_, buffer, size);
+    if (n > 0) {
+      *n_read = static_cast<std::size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    if (errno == ECONNRESET) return IoStatus::kClosed;
+    throw_errno("read");
+  }
+}
+
+IoStatus TcpSocket::write_some(const char* data, std::size_t size,
+                               std::size_t* n_written) {
+  for (;;) {
+    // MSG_NOSIGNAL: a vanished peer must surface as kClosed on this
+    // connection, not as a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n >= 0) {
+      *n_written = static_cast<std::size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    if (errno == EPIPE || errno == ECONNRESET) return IoStatus::kClosed;
+    throw_errno("write");
+  }
+}
+
+void TcpSocket::write_all(const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    std::size_t n = 0;
+    const IoStatus status = write_some(data + sent, size - sent, &n);
+    if (status == IoStatus::kClosed) throw SocketError("write_all: peer closed");
+    if (status == IoStatus::kOk) sent += n;
+    // kWouldBlock on a blocking socket cannot happen; looping is still safe.
+  }
+}
+
+bool TcpSocket::read_exact(char* buffer, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    std::size_t n = 0;
+    const IoStatus status = read_some(buffer + got, size - got, &n);
+    if (status == IoStatus::kClosed) {
+      if (got != 0) throw SocketError("read_exact: truncated stream");
+      return false;
+    }
+    if (status == IoStatus::kOk) got += n;
+  }
+  return true;
+}
+
+void TcpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  socket_ = TcpSocket(fd);
+
+  const int reuse = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse) < 0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("listener host must be a numeric IPv4 address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    throw_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) < 0) throw_errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpSocket TcpListener::accept() {
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) return TcpSocket(fd);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return TcpSocket();
+    // Transient per-connection failures (the peer aborted between poll and
+    // accept) must not take the listener down.
+    if (errno == ECONNABORTED) return TcpSocket();
+    throw_errno("accept");
+  }
+}
+
+}  // namespace exadigit

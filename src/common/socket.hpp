@@ -1,0 +1,107 @@
+#pragma once
+
+/// @file socket.hpp
+/// Minimal POSIX TCP wrappers for the scenario service.
+///
+/// The scenario server (server/server.hpp) multiplexes many clients on one
+/// poll(2) loop, so what it needs from the OS layer is small and specific:
+/// RAII ownership of file descriptors, listeners that can bind port 0 and
+/// report the kernel-assigned port (tests and benches run on ephemeral
+/// loopback ports), non-blocking mode for the event loop, and EINTR-safe
+/// read/write that distinguish "would block" from "peer gone". Everything
+/// protocol-shaped (framing, JSON) lives above this file.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+/// A socket-layer failure (bind, connect, accept, read, write...). The
+/// message names the operation and carries strerror(errno).
+class SocketError : public Error {
+ public:
+  explicit SocketError(const std::string& what) : Error("socket error: " + what) {}
+};
+
+/// Outcome of a non-blocking read/write attempt.
+enum class IoStatus {
+  kOk,          ///< >= 1 byte transferred
+  kWouldBlock,  ///< EAGAIN/EWOULDBLOCK — retry after the next poll wakeup
+  kClosed,      ///< orderly EOF (read) or EPIPE/ECONNRESET (peer vanished)
+};
+
+/// An owned TCP socket file descriptor. Move-only; closes on destruction.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  /// Takes ownership of `fd` (-1 = empty).
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket() { close(); }
+
+  TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Blocking connect to host:port (numeric IPv4 or a resolvable name).
+  static TcpSocket connect(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  void set_nonblocking(bool nonblocking);
+  /// Disables Nagle batching — the service's frames are small and
+  /// latency-bound, the exact case TCP_NODELAY exists for.
+  void set_nodelay(bool nodelay);
+
+  /// One read(2) into `buffer`; EINTR is retried internally. On kOk,
+  /// `*n_read` holds the byte count.
+  IoStatus read_some(char* buffer, std::size_t size, std::size_t* n_read);
+  /// One write(2) of up to `size` bytes; EINTR retried. On kOk, `*n_written`
+  /// holds the (possibly short) byte count.
+  IoStatus write_some(const char* data, std::size_t size, std::size_t* n_written);
+
+  /// Blocking helpers for simple clients (the CLI and tests): transfer
+  /// exactly `size` bytes or throw SocketError / return false on EOF.
+  void write_all(const char* data, std::size_t size);
+  [[nodiscard]] bool read_exact(char* buffer, std::size_t size);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket. Binding port 0 picks an ephemeral port, readable
+/// afterwards through port().
+class TcpListener {
+ public:
+  TcpListener() = default;
+  /// Binds and listens on host:port (SO_REUSEADDR set). Throws SocketError.
+  TcpListener(const std::string& host, std::uint16_t port, int backlog = 64);
+
+  TcpListener(TcpListener&&) noexcept = default;
+  TcpListener& operator=(TcpListener&&) noexcept = default;
+
+  [[nodiscard]] bool valid() const { return socket_.valid(); }
+  [[nodiscard]] int fd() const { return socket_.fd(); }
+  /// The bound port (the kernel-assigned one when constructed with port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  void set_nonblocking(bool nonblocking) { socket_.set_nonblocking(nonblocking); }
+
+  /// Accepts one pending connection. Returns an empty socket when the
+  /// listener is non-blocking and no connection is queued.
+  [[nodiscard]] TcpSocket accept();
+
+  void close() { socket_.close(); }
+
+ private:
+  TcpSocket socket_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace exadigit

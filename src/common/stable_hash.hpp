@@ -1,0 +1,58 @@
+#pragma once
+
+/// @file stable_hash.hpp
+/// Platform-stable 64-bit hashing (FNV-1a).
+///
+/// std::hash makes no cross-platform (or even cross-run) guarantees, so it
+/// can never back anything that is persisted, logged, or compared between
+/// processes. These helpers are the stable alternative: FNV-1a over bytes,
+/// with a splitmix64-style combiner for composing field hashes. The scenario
+/// service keys its content-addressed result cache on fnv1a64 of canonical
+/// JSON (scenario/scenario_key.hpp), and tests assert exact digest values —
+/// the constants here must never change.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace exadigit {
+
+inline constexpr std::uint64_t kFnv1a64Offset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x00000100000001b3ULL;
+
+/// FNV-1a over a byte range, continuing from `seed` (chainable: feed the
+/// previous digest back in to hash a concatenation without materializing it).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                              std::uint64_t seed = kFnv1a64Offset) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= kFnv1a64Prime;
+  }
+  return hash;
+}
+
+/// Order-dependent combination of two 64-bit hashes (splitmix64 finalizer of
+/// the sum): combine(a, b) != combine(b, a) for a != b, and a zero operand
+/// still perturbs the result.
+[[nodiscard]] constexpr std::uint64_t stable_hash_combine(std::uint64_t a,
+                                                          std::uint64_t b) {
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Fixed-width lower-case hex rendering of a digest ("00" * 8 .. "ff" * 8) —
+/// the wire/stats spelling of cache keys.
+[[nodiscard]] inline std::string stable_hash_hex(std::uint64_t hash) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+}  // namespace exadigit

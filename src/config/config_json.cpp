@@ -431,4 +431,10 @@ SystemConfig system_config_from_json(const Json& j) {
   return c;
 }
 
+const Json& frontier_descriptor_json() {
+  // Magic-static: built on first use, thread-safe, immutable afterwards.
+  static const Json descriptor = system_config_to_json(frontier_system_config());
+  return descriptor;
+}
+
 }  // namespace exadigit

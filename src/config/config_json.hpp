@@ -17,6 +17,13 @@ namespace exadigit {
 [[nodiscard]] Json system_config_to_json(const SystemConfig& config);
 [[nodiscard]] SystemConfig system_config_from_json(const Json& j);
 
+/// The canonical Frontier descriptor (system_config_to_json of
+/// frontier_system_config()), built once per process and cached. Long-lived
+/// services hash or merge-patch this document on every request
+/// (scenario/scenario_key.hpp); rebuilding it each time would dominate the
+/// warm path. Callers must not mutate the returned reference.
+[[nodiscard]] const Json& frontier_descriptor_json();
+
 /// Curve exchange helpers (arrays of [x, y] pairs).
 [[nodiscard]] Json curve_to_json(const PiecewiseLinearCurve& curve);
 [[nodiscard]] PiecewiseLinearCurve curve_from_json(const Json& j);

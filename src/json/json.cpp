@@ -170,9 +170,11 @@ void dump_number(std::string& out, double n) {
     out += buf;
     return;
   }
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", n);
-  out += buf;
+  // Shortest round-trip form (std::to_chars): every double has exactly one
+  // serialization, so equal values always dump to equal bytes. Together with
+  // std::map key ordering this makes dump() canonical — the foundation the
+  // scenario cache keys hash (scenario/scenario_key.hpp).
+  out += format_double(n);
 }
 
 }  // namespace

@@ -1,0 +1,33 @@
+#include "scenario/scenario_key.hpp"
+
+#include "common/stable_hash.hpp"
+#include "config/config_json.hpp"
+
+namespace exadigit {
+
+std::string ScenarioKey::to_string() const {
+  return "spec:" + stable_hash_hex(spec_hash) + "/config:" + stable_hash_hex(config_hash);
+}
+
+std::uint64_t canonical_json_hash(const Json& j) { return fnv1a64(j.dump()); }
+
+Json canonical_spec_json(const ScenarioSpec& spec) {
+  Json j = spec.to_json();
+  j.as_object().erase("config_path");
+  j.as_object().erase("config");
+  return j;
+}
+
+Json resolved_config_json(const ScenarioSpec& spec) {
+  Json base = spec.config_path.empty() ? frontier_descriptor_json()
+                                       : Json::load_file(spec.config_path);
+  if (!spec.config_delta.is_null()) base = Json::merge_patch(base, spec.config_delta);
+  return base;
+}
+
+ScenarioKey scenario_cache_key(const ScenarioSpec& spec) {
+  return ScenarioKey{canonical_json_hash(canonical_spec_json(spec)),
+                     canonical_json_hash(resolved_config_json(spec))};
+}
+
+}  // namespace exadigit

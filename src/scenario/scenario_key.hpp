@@ -1,0 +1,63 @@
+#pragma once
+
+/// @file scenario_key.hpp
+/// Content-addressed identity of a scenario: canonical JSON + stable hashes.
+///
+/// The scenario service (server/) returns a cached result whenever a client
+/// resubmits a what-if it has already computed. "The same what-if" is
+/// defined content-wise, not textually: two spec documents with re-ordered
+/// members, or two different RFC 7386 config deltas that merge to the same
+/// resolved descriptor, are the same scenario. That works because Json::dump
+/// is canonical (sorted keys, shortest-round-trip numbers), so hashing the
+/// dump of
+///   - the spec minus its config fields (spec_hash), and
+///   - the fully resolved system descriptor (config_hash)
+/// yields a (spec_hash, config_hash) pair that is stable across member
+/// order, delta spelling, and processes (FNV-1a, common/stable_hash.hpp).
+///
+/// The caller must pass the *effective* spec — the one whose seed the runner
+/// resolved (derive_scenario_seed) — otherwise two batches with different
+/// batch seeds would collide on seedless specs.
+
+#include <cstdint>
+#include <string>
+
+#include "json/json.hpp"
+#include "scenario/scenario_spec.hpp"
+
+namespace exadigit {
+
+/// Content identity of one scenario execution.
+struct ScenarioKey {
+  std::uint64_t spec_hash = 0;    ///< canonical spec JSON minus config fields
+  std::uint64_t config_hash = 0;  ///< canonical resolved system descriptor
+
+  [[nodiscard]] bool operator==(const ScenarioKey&) const = default;
+  [[nodiscard]] auto operator<=>(const ScenarioKey&) const = default;
+
+  /// "spec:<16 hex>/config:<16 hex>" — the stats/logging spelling.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// FNV-1a of the canonical dump. Equal documents (any member order, any
+/// number spelling that parses to the same doubles) hash equal.
+[[nodiscard]] std::uint64_t canonical_json_hash(const Json& j);
+
+/// The spec's canonical JSON with "config_path"/"config" removed — those two
+/// fields are represented by the config_hash instead, so delta spellings
+/// never leak into the spec identity. The seed is serialized as-is; pass an
+/// effective spec (seed resolved) for cache keying.
+[[nodiscard]] Json canonical_spec_json(const ScenarioSpec& spec);
+
+/// The fully resolved system descriptor: the base (Frontier, or the file at
+/// config_path) with the spec's config delta merge-patched over it. This is
+/// the document `ScenarioSpec::resolve_config()` parses.
+[[nodiscard]] Json resolved_config_json(const ScenarioSpec& spec);
+
+/// Both hashes in one call (canonical_spec_json + resolved_config_json).
+/// Costs a config resolve; services that key many specs against the same
+/// base should memoize config_hash by (config_path, mtime, delta hash) —
+/// see server/scenario_service.cpp.
+[[nodiscard]] ScenarioKey scenario_cache_key(const ScenarioSpec& spec);
+
+}  // namespace exadigit

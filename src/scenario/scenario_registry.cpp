@@ -1,8 +1,16 @@
 #include "scenario/scenario_registry.hpp"
 
+#include <atomic>
+
 #include "common/error.hpp"
 
 namespace exadigit {
+
+namespace {
+std::atomic<std::uint64_t> run_count{0};
+}  // namespace
+
+std::uint64_t scenario_run_count() { return run_count.load(std::memory_order_relaxed); }
 
 ScenarioRegistry& ScenarioRegistry::instance() {
   static ScenarioRegistry* registry = [] {
@@ -56,6 +64,9 @@ void ScenarioRegistry::require_type(const std::string& type) const {
 
 ScenarioResult ScenarioRegistry::run(const ScenarioSpec& spec) const {
   const Factory factory = find_factory(spec.type);
+  // Counted before the factory runs so failed executions count too — the
+  // counter answers "did the twin execute?", not "did it succeed?".
+  run_count.fetch_add(1, std::memory_order_relaxed);
   ScenarioResult result = factory(spec);
   result.name = spec.name;
   result.type = spec.type;

@@ -56,6 +56,13 @@ class ScenarioRegistry {
   [[nodiscard]] Factory find_factory(const std::string& type) const;
 };
 
+/// Number of scenario factory executions in this process so far — every
+/// ScenarioRegistry::run that reached a factory, succeeded or failed.
+/// Monotonic and thread-safe. The scenario service's result cache is
+/// verified against this: a cache hit must return a result *without*
+/// bumping the counter.
+[[nodiscard]] std::uint64_t scenario_run_count();
+
 /// Registers every built-in workflow type:
 ///   simulate, replay, cooling_validation, whatif, whatif_smart_rectifiers,
 ///   whatif_dc380, whatif_cooling_extension, day_sweep, thermal_scan,

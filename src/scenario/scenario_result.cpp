@@ -52,6 +52,74 @@ Json ScenarioResult::to_json() const {
   return j;
 }
 
+Json ScenarioResult::to_wire_json() const {
+  Json j;
+  j["name"] = name;
+  j["type"] = type;
+  j["status"] = to_string(status);
+  if (!error.empty()) j["error"] = error;
+  // Ordered pairs, not an object: summary_table renders insertion order and
+  // metrics may legitimately repeat a name across workflow phases.
+  Json metrics{Json::Array{}};
+  for (const ScenarioMetric& m : summary) {
+    metrics.push_back(Json(Json::Array{Json(m.name), Json(m.value)}));
+  }
+  j["summary"] = std::move(metrics);
+  Json series{Json::Object{}};
+  for (const auto& [channel, ts] : channels) {
+    Json entry;
+    Json times{Json::Array{}};
+    Json values{Json::Array{}};
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      times.push_back(ts.time(i));
+      values.push_back(ts.value(i));
+    }
+    entry["times"] = std::move(times);
+    entry["values"] = std::move(values);
+    series[channel] = std::move(entry);
+  }
+  j["channels"] = std::move(series);
+  if (!text.empty()) j["text"] = text;
+  return j;
+}
+
+ScenarioResult ScenarioResult::from_wire_json(const Json& j) {
+  ScenarioResult r;
+  r.name = j.at("name").as_string();
+  r.type = j.at("type").as_string();
+  const std::string& status_name = j.at("status").as_string();
+  if (status_name == "pending") {
+    r.status = Status::kPending;
+  } else if (status_name == "running") {
+    r.status = Status::kRunning;
+  } else if (status_name == "done") {
+    r.status = Status::kDone;
+  } else if (status_name == "failed") {
+    r.status = Status::kFailed;
+  } else {
+    throw ConfigError("unknown scenario result status: \"" + status_name + "\"");
+  }
+  r.error = j.string_or("error", "");
+  for (const Json& pair : j.at("summary").as_array()) {
+    r.add_metric(pair.at(0).as_string(), pair.at(1).as_number());
+  }
+  for (const auto& [channel, entry] : j.at("channels").as_object()) {
+    const Json::Array& times = entry.at("times").as_array();
+    const Json::Array& values = entry.at("values").as_array();
+    require(times.size() == values.size(),
+            "wire channel \"" + channel + "\" has ragged times/values");
+    std::vector<double> t(times.size());
+    std::vector<double> v(values.size());
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      t[i] = times[i].as_number();
+      v[i] = values[i].as_number();
+    }
+    r.channels.emplace(channel, TimeSeries(std::move(t), std::move(v)));
+  }
+  r.text = j.string_or("text", "");
+  return r;
+}
+
 CsvDocument ScenarioResult::series_csv() const {
   CsvDocument doc({"channel", "time_s", "value"});
   for (const auto& [channel, series] : channels) {

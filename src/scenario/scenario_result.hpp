@@ -54,6 +54,17 @@ struct ScenarioResult {
   /// {"name", "type", "status", "error"?, "summary": {...}, "channels": [...]}.
   [[nodiscard]] Json to_json() const;
 
+  /// Full-fidelity wire form for the scenario service: summary as ordered
+  /// [name, value] pairs, every channel's complete times/values arrays, and
+  /// the native text rendering, so a remote client reconstructs a result
+  /// whose exports (to_json / series_csv / export_files) are byte-identical
+  /// to a local run. The engine Report is console-side detail and is not
+  /// transmitted.
+  [[nodiscard]] Json to_wire_json() const;
+  /// Inverse of to_wire_json; throws ConfigError/JsonTypeError on malformed
+  /// documents (unknown status names, ragged series arrays).
+  static ScenarioResult from_wire_json(const Json& j);
+
   /// Long-format (channel,time_s,value) document of every channel.
   [[nodiscard]] CsvDocument series_csv() const;
 

@@ -37,6 +37,13 @@ std::vector<ScenarioResult> ScenarioRunner::run(const std::vector<ScenarioSpec>&
     const std::lock_guard<std::mutex> lock(status_mutex);
     options_.on_status(index, effective[index], status);
   };
+  // One mutex serializes both callbacks, so a result can never be observed
+  // before its own completion status.
+  const auto notify_result = [&](std::size_t index, const ScenarioResult& result) {
+    if (!options_.on_result) return;
+    const std::lock_guard<std::mutex> lock(status_mutex);
+    options_.on_result(index, effective[index], result);
+  };
 
   const auto run_one = [&](std::size_t i) {
     notify(i, ScenarioResult::Status::kRunning);
@@ -57,6 +64,7 @@ std::vector<ScenarioResult> ScenarioRunner::run(const std::vector<ScenarioSpec>&
       result.error = "unknown non-standard exception";
     }
     notify(i, result.status);
+    notify_result(i, result);
   };
 
   // Scenarios are heavy and uneven, so hand them out dynamically; every

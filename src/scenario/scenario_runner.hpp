@@ -41,6 +41,14 @@ class ScenarioRunner {
     std::function<void(std::size_t index, const ScenarioSpec& spec,
                        ScenarioResult::Status status)>
         on_status;
+    /// Completed results as they finish, in completion order (immediately
+    /// after that scenario's kDone/kFailed on_status), serialized like
+    /// on_status. This is the streaming hook long-lived services use to
+    /// push results to clients while the rest of the batch still runs; the
+    /// reference passed aliases the slot returned by run().
+    std::function<void(std::size_t index, const ScenarioSpec& spec,
+                       const ScenarioResult& result)>
+        on_result;
   };
 
   ScenarioRunner() = default;

@@ -1,5 +1,6 @@
 #include "scenario/scenario_spec.hpp"
 
+#include <mutex>
 #include <set>
 #include <utility>
 
@@ -27,7 +28,20 @@ void check_keys(const Json& j, const std::set<std::string>& allowed,
   }
 }
 
+std::mutex dataset_loader_mutex;
+ScenarioDatasetLoader dataset_loader;  // empty = default filesystem resolution
+
+ScenarioDatasetLoader current_dataset_loader() {
+  const std::lock_guard<std::mutex> lock(dataset_loader_mutex);
+  return dataset_loader;
+}
+
 }  // namespace
+
+void set_scenario_dataset_loader(ScenarioDatasetLoader loader) {
+  const std::lock_guard<std::mutex> lock(dataset_loader_mutex);
+  dataset_loader = std::move(loader);
+}
 
 TimeSeries synthetic_wetbulb_series(double duration_s, std::uint64_t seed) {
   SyntheticWeather weather(WeatherConfig{}, Rng(seed));
@@ -88,6 +102,10 @@ SystemConfig ScenarioSpec::resolve_config() const {
 
 TelemetryDataset ScenarioSpec::resolve_dataset(const SystemConfig& config) const {
   if (source.kind == ScenarioSource::Kind::kDataset) {
+    // A long-lived service may have installed a residency cache.
+    if (const ScenarioDatasetLoader loader = current_dataset_loader(); loader) {
+      return loader(source);
+    }
     // Explicit formats go through the reader registry (so bespoke adapters
     // like "swf" work); otherwise the single-pass columnar loader
     // auto-detects the native format from the manifest.

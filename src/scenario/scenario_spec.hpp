@@ -14,6 +14,7 @@
 /// to every twin workflow.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -95,6 +96,18 @@ struct ScenarioBatch {
     return from_json(Json::load_file(path));
   }
 };
+
+/// Process-wide override of dataset-source resolution. When installed,
+/// ScenarioSpec::resolve_dataset routes every kDataset source through
+/// `loader` instead of hitting the filesystem directly — this is how the
+/// long-lived scenario service keeps loaded datasets resident across
+/// requests (keyed by path/format/mtime; see server/scenario_service.hpp)
+/// without the workflow factories knowing a cache exists. Synthetic sources
+/// are unaffected. Pass an empty function to restore the default. Install
+/// before serving: the setter is thread-safe, but swapping loaders while
+/// scenarios run gives an arbitrary mix of old and new resolution.
+using ScenarioDatasetLoader = std::function<TelemetryDataset(const ScenarioSource&)>;
+void set_scenario_dataset_loader(ScenarioDatasetLoader loader);
 
 /// The paper-style synthetic wet-bulb boundary series used by workload
 /// scenarios: 60 s samples over `duration_s`, deterministic in `seed`.

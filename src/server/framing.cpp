@@ -1,0 +1,102 @@
+#include "server/framing.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace exadigit {
+
+namespace {
+
+/// Little-endian, byte-at-a-time: independent of host endianness.
+void put_u32le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xffu));
+  out.push_back(static_cast<char>((value >> 8) & 0xffu));
+  out.push_back(static_cast<char>((value >> 16) & 0xffu));
+  out.push_back(static_cast<char>((value >> 24) & 0xffu));
+}
+
+std::uint32_t get_u32le(const char* p) {
+  const auto b = [&](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+}  // namespace
+
+std::string encode_frame(std::string_view payload) {
+  require(payload.size() <= 0xffffffffu, "frame payload exceeds 4 GiB");
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  if (dead_) return;
+  buffer_.append(data, size);
+  decode();
+}
+
+bool FrameDecoder::next(Frame* out) {
+  if (ready_.empty()) return false;
+  *out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+void FrameDecoder::decode() {
+  while (true) {
+    if (skip_remaining_ > 0) {
+      const std::size_t drop = std::min(skip_remaining_, buffer_.size());
+      buffer_.erase(0, drop);
+      skip_remaining_ -= drop;
+      if (skip_remaining_ > 0) return;  // still mid-discard
+    }
+    if (buffer_.size() < kFrameHeaderBytes) return;
+    if (std::memcmp(buffer_.data(), kFrameMagic, sizeof(kFrameMagic)) != 0) {
+      dead_ = true;
+      buffer_.clear();
+      ready_.push_back(Frame{Event::kBadMagic, {}, 0});
+      return;
+    }
+    const std::size_t payload_size = get_u32le(buffer_.data() + sizeof(kFrameMagic));
+    if (payload_size > max_payload_bytes_) {
+      buffer_.erase(0, kFrameHeaderBytes);
+      skip_remaining_ = payload_size;
+      ready_.push_back(Frame{Event::kOversized, {}, payload_size});
+      continue;
+    }
+    if (buffer_.size() < kFrameHeaderBytes + payload_size) return;
+    Frame frame;
+    frame.event = Event::kPayload;
+    frame.payload = buffer_.substr(kFrameHeaderBytes, payload_size);
+    buffer_.erase(0, kFrameHeaderBytes + payload_size);
+    ready_.push_back(std::move(frame));
+  }
+}
+
+void send_frame(TcpSocket& socket, std::string_view payload) {
+  const std::string frame = encode_frame(payload);
+  socket.write_all(frame.data(), frame.size());
+}
+
+bool recv_frame(TcpSocket& socket, std::string* payload) {
+  char header[kFrameHeaderBytes];
+  if (!socket.read_exact(header, sizeof(header))) return false;  // clean EOF
+  if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    throw SocketError("frame stream desynchronized: bad magic");
+  }
+  const std::uint32_t size = get_u32le(header + sizeof(kFrameMagic));
+  payload->resize(size);
+  if (size > 0 && !socket.read_exact(payload->data(), size)) {
+    throw SocketError("connection closed mid-frame");
+  }
+  return true;
+}
+
+}  // namespace exadigit

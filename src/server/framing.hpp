@@ -1,0 +1,88 @@
+#pragma once
+
+/// @file framing.hpp
+/// The scenario service's wire framing: length-prefixed JSON frames.
+///
+/// Every message in either direction is one frame:
+///
+///   offset 0: 4-byte magic "EXDG"
+///   offset 4: payload length, unsigned 32-bit little-endian
+///   offset 8: payload — one UTF-8 JSON document
+///
+/// The magic guards against a client speaking the wrong protocol (an HTTP
+/// request, a stray telnet session): without it, the first 4 arbitrary bytes
+/// would be interpreted as a length and the server would sit waiting for
+/// gigabytes that never come. Decoding is incremental (feed whatever the
+/// socket produced, pop zero or more events), so the server never blocks on
+/// a half-received frame, and the two failure shapes are explicit events
+/// rather than exceptions:
+///
+///   - kBadMagic: the stream is desynchronized — after an error reply the
+///     connection must be closed, because frame boundaries are unknowable.
+///   - kOversized: the header is valid but declares a payload above the
+///     limit. The decoder discards exactly that many bytes and resumes at
+///     the next frame, so the connection stays usable.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "common/socket.hpp"
+
+namespace exadigit {
+
+inline constexpr char kFrameMagic[4] = {'E', 'X', 'D', 'G'};
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+/// Default payload ceiling (64 MiB) — far above any real batch, far below
+/// "attacker asks the server to buffer 4 GiB".
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Wraps `payload` in a frame header.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental frame decoder; see the file header for the event semantics.
+class FrameDecoder {
+ public:
+  enum class Event {
+    kPayload,   ///< a complete payload
+    kBadMagic,  ///< stream desynchronized; emitted once, then the decoder is dead
+    kOversized, ///< declared length above the limit; payload discarded
+  };
+
+  struct Frame {
+    Event event = Event::kPayload;
+    std::string payload;              ///< kPayload only
+    std::size_t declared_size = 0;    ///< kOversized only
+  };
+
+  explicit FrameDecoder(std::size_t max_payload_bytes = kDefaultMaxFrameBytes)
+      : max_payload_bytes_(max_payload_bytes) {}
+
+  /// Appends raw socket bytes and decodes as far as possible.
+  void feed(const char* data, std::size_t size);
+
+  /// Pops the next decoded event; returns false when more bytes are needed.
+  [[nodiscard]] bool next(Frame* out);
+
+  /// True after kBadMagic: no further frame boundary can be trusted.
+  [[nodiscard]] bool dead() const { return dead_; }
+
+ private:
+  void decode();
+
+  std::size_t max_payload_bytes_;
+  std::string buffer_;
+  std::size_t skip_remaining_ = 0;  ///< oversized-payload bytes still to drop
+  bool dead_ = false;
+  std::deque<Frame> ready_;
+};
+
+/// Blocking conveniences for simple clients (the CLI, tests, the bench).
+/// send_frame writes one whole frame; recv_frame reads one, returning false
+/// on clean EOF and throwing SocketError on truncation or a bad magic.
+void send_frame(TcpSocket& socket, std::string_view payload);
+[[nodiscard]] bool recv_frame(TcpSocket& socket, std::string* payload);
+
+}  // namespace exadigit

@@ -1,0 +1,50 @@
+#include "server/result_cache.hpp"
+
+namespace exadigit {
+
+std::shared_ptr<const std::string> ResultCache::lookup(const ScenarioKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  order_.splice(order_.begin(), order_, it->second);
+  return it->second->second;
+}
+
+void ResultCache::insert(const ScenarioKey& key,
+                         std::shared_ptr<const std::string> result) {
+  if (capacity_ == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent duplicate submissions can both execute and both insert;
+    // keep the first value (byte-stability) but refresh recency.
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.emplace_front(key, std::move(result));
+  index_.emplace(key, order_.begin());
+  ++insertions_;
+  while (order_.size() > capacity_) {
+    index_.erase(order_.back().first);
+    order_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.entries = order_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace exadigit

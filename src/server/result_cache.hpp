@@ -1,0 +1,69 @@
+#pragma once
+
+/// @file result_cache.hpp
+/// Bounded LRU cache of completed scenario results, keyed by ScenarioKey.
+///
+/// The content-addressed half of the server's warm residency (ISSUE PR 7):
+/// a scenario whose canonical spec hash and resolved config hash match a
+/// previous run is the *same computation* — every engine in this codebase is
+/// deterministic in (spec, config, seed) — so the server answers from the
+/// cache without touching the registry. Values are the already-serialized
+/// wire JSON documents (shared_ptr so a hit never copies the payload), which
+/// also guarantees repeat submissions are byte-identical to the first reply.
+///
+/// Failed results are never inserted: a failure is usually environmental
+/// (missing dataset file, bad path) and caching it would pin the error past
+/// the fix. Thread-safe — the poll thread looks up while executor workers
+/// insert.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "scenario/scenario_key.hpp"
+
+namespace exadigit {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+  };
+
+  /// `capacity` = maximum resident entries; 0 disables caching entirely
+  /// (every lookup misses, inserts are dropped).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached result and refreshes its recency, or nullptr.
+  /// Counts a hit or a miss either way.
+  [[nodiscard]] std::shared_ptr<const std::string> lookup(const ScenarioKey& key);
+
+  /// Inserts (or refreshes) `result`, evicting the least-recently-used
+  /// entry when over capacity.
+  void insert(const ScenarioKey& key, std::shared_ptr<const std::string> result);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  using Entry = std::pair<ScenarioKey, std::shared_ptr<const std::string>>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> order_;  ///< front = most recently used
+  std::map<ScenarioKey, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace exadigit

@@ -1,0 +1,84 @@
+#include "common/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace exadigit {
+namespace {
+
+TEST(SocketTest, EphemeralPortRoundTrip) {
+  TcpListener listener("127.0.0.1", 0);
+  ASSERT_TRUE(listener.valid());
+  ASSERT_GT(listener.port(), 0);
+
+  // Echo server: one accepted connection, echoes one message back.
+  std::thread server([&listener] {
+    TcpSocket conn = listener.accept();
+    ASSERT_TRUE(conn.valid());
+    char buffer[64];
+    ASSERT_TRUE(conn.read_exact(buffer, 5));
+    conn.write_all(buffer, 5);
+  });
+
+  TcpSocket client = TcpSocket::connect("127.0.0.1", listener.port());
+  ASSERT_TRUE(client.valid());
+  client.set_nodelay(true);
+  client.write_all("hello", 5);
+  char echoed[8] = {};
+  ASSERT_TRUE(client.read_exact(echoed, 5));
+  EXPECT_EQ(std::string(echoed, 5), "hello");
+  server.join();
+}
+
+TEST(SocketTest, ReadExactReportsCleanEofAsFalse) {
+  TcpListener listener("127.0.0.1", 0);
+  std::thread server([&listener] {
+    TcpSocket conn = listener.accept();
+    // Close without sending anything: the client sees orderly EOF.
+  });
+  TcpSocket client = TcpSocket::connect("127.0.0.1", listener.port());
+  server.join();
+  char buffer[4];
+  EXPECT_FALSE(client.read_exact(buffer, 4));
+}
+
+TEST(SocketTest, NonblockingAcceptReturnsEmptyWhenIdle) {
+  TcpListener listener("127.0.0.1", 0);
+  listener.set_nonblocking(true);
+  TcpSocket conn = listener.accept();
+  EXPECT_FALSE(conn.valid());
+}
+
+TEST(SocketTest, ConnectToClosedPortThrows) {
+  // Bind-then-close guarantees the port is currently unbound.
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener("127.0.0.1", 0);
+    dead_port = listener.port();
+  }
+  EXPECT_THROW(TcpSocket::connect("127.0.0.1", dead_port), SocketError);
+}
+
+TEST(SocketTest, WriteToVanishedPeerReportsClosedNotSigpipe) {
+  TcpListener listener("127.0.0.1", 0);
+  TcpSocket client = TcpSocket::connect("127.0.0.1", listener.port());
+  {
+    TcpSocket conn = listener.accept();
+    ASSERT_TRUE(conn.valid());
+  }  // server side closed and destroyed
+  // The first write may land in flight; keep writing until the RST surfaces.
+  // If SIGPIPE were not suppressed this test would kill the process.
+  IoStatus status = IoStatus::kOk;
+  for (int i = 0; i < 500 && status == IoStatus::kOk; ++i) {
+    std::size_t n = 0;
+    status = client.write_some("x", 1, &n);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(status, IoStatus::kClosed);
+}
+
+}  // namespace
+}  // namespace exadigit

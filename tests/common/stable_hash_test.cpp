@@ -1,0 +1,49 @@
+#include "common/stable_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace exadigit {
+namespace {
+
+TEST(StableHashTest, MatchesPublishedFnv1aVectors) {
+  // Reference digests of the 64-bit FNV-1a specification. These pin the
+  // constants: the scenario result cache persists nothing, but digests are
+  // compared across processes (server vs CLI), so they must never drift.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(StableHashTest, ChainsAcrossCalls) {
+  const std::uint64_t whole = fnv1a64("scenario:config");
+  const std::uint64_t chained = fnv1a64(":config", fnv1a64("scenario"));
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(StableHashTest, CombineIsOrderDependent) {
+  const std::uint64_t a = fnv1a64("spec");
+  const std::uint64_t b = fnv1a64("config");
+  EXPECT_NE(stable_hash_combine(a, b), stable_hash_combine(b, a));
+  EXPECT_NE(stable_hash_combine(a, 0), a);
+  EXPECT_NE(stable_hash_combine(0, a), a);
+}
+
+TEST(StableHashTest, HexIsFixedWidthLowercase) {
+  EXPECT_EQ(stable_hash_hex(0), "0000000000000000");
+  EXPECT_EQ(stable_hash_hex(0xdeadbeefULL), "00000000deadbeef");
+  EXPECT_EQ(stable_hash_hex(0xcbf29ce484222325ULL), "cbf29ce484222325");
+}
+
+TEST(StableHashTest, DistinctShortStringsRarelyCollide) {
+  std::set<std::uint64_t> digests;
+  for (int i = 0; i < 1000; ++i) {
+    digests.insert(fnv1a64("key-" + std::to_string(i)));
+  }
+  EXPECT_EQ(digests.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace exadigit

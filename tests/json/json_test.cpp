@@ -113,6 +113,31 @@ TEST(JsonDumpTest, NumbersKeepIntegerShape) {
   EXPECT_EQ(Json(-0.25).dump(), "-0.25");
 }
 
+TEST(JsonDumpTest, NonIntegralNumbersAreShortestRoundTrip) {
+  // The canonical dump emits the shortest decimal that parses back to the
+  // same double — never the %.17g noise ("0.10000000000000001").
+  EXPECT_EQ(Json(0.1).dump(), "0.1");
+  EXPECT_EQ(Json(1.0 / 3.0).dump(), "0.3333333333333333");
+  EXPECT_EQ(Json(2.5e-7).dump(), "2.5e-07");
+  // ... and still parses back bit-identically.
+  for (const double v : {0.1, 1.0 / 3.0, 2.5e-7, 1.0000000000000002, -9876.54321}) {
+    EXPECT_EQ(Json::parse(Json(v).dump()).as_number(), v);
+  }
+}
+
+TEST(JsonDumpTest, EqualValuesDumpToEqualBytes) {
+  // Canonical serialization: member order of construction never shows in the
+  // output (std::map keys), so semantically equal documents byte-match.
+  Json a;
+  a["x"] = Json(0.25);
+  a["y"] = Json("s");
+  Json b;
+  b["y"] = Json("s");
+  b["x"] = Json(0.25);
+  EXPECT_EQ(a.dump(), b.dump());
+  EXPECT_EQ(Json::parse(R"({"y": "s", "x": 0.25})").dump(), a.dump());
+}
+
 TEST(JsonDumpTest, NanSerializesAsNull) {
   EXPECT_EQ(Json(std::nan("")).dump(), "null");
 }

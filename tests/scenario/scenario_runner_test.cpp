@@ -232,6 +232,55 @@ TEST(ScenarioRunnerTest, StatusCallbackSeesEveryTransition) {
   EXPECT_EQ(done, 2);
 }
 
+TEST(ScenarioRunnerTest, ResultCallbackStreamsCompletionsIncludingFailures) {
+  // The streaming hook the scenario service is built on: every completion
+  // (success or failure) arrives exactly once, after its terminal status,
+  // carrying the same object that run() later returns.
+  ScenarioRegistry registry;
+  registry.register_type("ok", [](const ScenarioSpec& s) {
+    ScenarioResult r;
+    r.add_metric("seed_echo", static_cast<double>(s.seed_or(0)));
+    return r;
+  });
+  registry.register_type("boom", [](const ScenarioSpec&) -> ScenarioResult {
+    throw ConfigError("deliberate");
+  });
+  std::vector<ScenarioSpec> specs(4);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].name = "s" + std::to_string(i);
+    specs[i].type = i == 2 ? "boom" : "ok";
+  }
+  std::vector<std::size_t> order;
+  std::vector<ScenarioResult> streamed(specs.size());
+  std::vector<ScenarioResult::Status> status_at_callback(specs.size(),
+                                                         ScenarioResult::Status::kPending);
+  ScenarioRunner::Options options;
+  options.jobs = 4;
+  options.on_status = [&](std::size_t index, const ScenarioSpec&,
+                          ScenarioResult::Status status) {
+    if (status != ScenarioResult::Status::kRunning) status_at_callback[index] = status;
+  };
+  options.on_result = [&](std::size_t index, const ScenarioSpec& spec,
+                          const ScenarioResult& result) {
+    EXPECT_TRUE(spec.seed.has_value());
+    // The terminal on_status for this index already fired.
+    EXPECT_EQ(status_at_callback[index], result.status);
+    order.push_back(index);
+    streamed[index] = result;
+  };
+  const auto results = ScenarioRunner(options).run(specs, registry);
+  ASSERT_EQ(order.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(streamed[i].status, results[i].status);
+    EXPECT_EQ(streamed[i].error, results[i].error);
+    if (results[i].status == ScenarioResult::Status::kDone) {
+      EXPECT_EQ(streamed[i].metric("seed_echo"), results[i].metric("seed_echo"));
+    }
+  }
+  EXPECT_EQ(streamed[2].status, ScenarioResult::Status::kFailed);
+  EXPECT_NE(streamed[2].error.find("deliberate"), std::string::npos);
+}
+
 TEST(ScenarioRunnerTest, ExportsSummariesAndSeries) {
   ScenarioSpec spec;
   spec.name = "export me/please";

@@ -1,0 +1,141 @@
+#include "server/framing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "common/socket.hpp"
+
+namespace exadigit {
+namespace {
+
+TEST(FramingTest, EncodeProducesHeaderPlusPayload) {
+  const std::string frame = encode_frame("{\"a\":1}");
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 7);
+  EXPECT_EQ(frame.substr(0, 4), "EXDG");
+  EXPECT_EQ(static_cast<unsigned char>(frame[4]), 7);
+  EXPECT_EQ(frame.substr(kFrameHeaderBytes), "{\"a\":1}");
+}
+
+TEST(FramingTest, DecodeSurvivesArbitraryFeedBoundaries) {
+  const std::string wire = encode_frame("first") + encode_frame("") +
+                           encode_frame(std::string(1000, 'x'));
+  // Byte-at-a-time is the worst case every TCP segmentation reduces to.
+  FrameDecoder decoder;
+  std::vector<std::string> payloads;
+  for (const char byte : wire) {
+    decoder.feed(&byte, 1);
+    FrameDecoder::Frame frame;
+    while (decoder.next(&frame)) {
+      ASSERT_EQ(frame.event, FrameDecoder::Event::kPayload);
+      payloads.push_back(frame.payload);
+    }
+  }
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], "first");
+  EXPECT_EQ(payloads[1], "");
+  EXPECT_EQ(payloads[2], std::string(1000, 'x'));
+}
+
+TEST(FramingTest, MultipleFramesInOneFeedAllDecode) {
+  const std::string wire = encode_frame("a") + encode_frame("bb") + encode_frame("ccc");
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), wire.size());
+  FrameDecoder::Frame frame;
+  ASSERT_TRUE(decoder.next(&frame));
+  EXPECT_EQ(frame.payload, "a");
+  ASSERT_TRUE(decoder.next(&frame));
+  EXPECT_EQ(frame.payload, "bb");
+  ASSERT_TRUE(decoder.next(&frame));
+  EXPECT_EQ(frame.payload, "ccc");
+  EXPECT_FALSE(decoder.next(&frame));
+}
+
+TEST(FramingTest, BadMagicKillsTheDecoderOnce) {
+  FrameDecoder decoder;
+  const std::string garbage = "GET / HTTP/1.1\r\n\r\n";
+  decoder.feed(garbage.data(), garbage.size());
+  FrameDecoder::Frame frame;
+  ASSERT_TRUE(decoder.next(&frame));
+  EXPECT_EQ(frame.event, FrameDecoder::Event::kBadMagic);
+  EXPECT_TRUE(decoder.dead());
+  // Further bytes — even a valid frame — are ignored: boundaries are gone.
+  const std::string valid = encode_frame("late");
+  decoder.feed(valid.data(), valid.size());
+  EXPECT_FALSE(decoder.next(&frame));
+}
+
+TEST(FramingTest, OversizedFrameIsSkippedAndTheStreamRecovers) {
+  FrameDecoder decoder(16);  // tiny limit for the test
+  const std::string big(100, 'z');
+  const std::string wire = encode_frame(big) + encode_frame("ok");
+  // Feed in two pieces so the skip spans a feed boundary.
+  decoder.feed(wire.data(), 20);
+  FrameDecoder::Frame frame;
+  ASSERT_TRUE(decoder.next(&frame));
+  EXPECT_EQ(frame.event, FrameDecoder::Event::kOversized);
+  EXPECT_EQ(frame.declared_size, 100u);
+  EXPECT_FALSE(decoder.next(&frame));
+  decoder.feed(wire.data() + 20, wire.size() - 20);
+  ASSERT_TRUE(decoder.next(&frame));
+  EXPECT_EQ(frame.event, FrameDecoder::Event::kPayload);
+  EXPECT_EQ(frame.payload, "ok");
+  EXPECT_FALSE(decoder.dead());
+}
+
+TEST(FramingTest, HeaderSplitAcrossFeedsDecodes) {
+  const std::string wire = encode_frame("split");
+  FrameDecoder decoder;
+  decoder.feed(wire.data(), 3);  // partial magic
+  FrameDecoder::Frame frame;
+  EXPECT_FALSE(decoder.next(&frame));
+  decoder.feed(wire.data() + 3, wire.size() - 3);
+  ASSERT_TRUE(decoder.next(&frame));
+  EXPECT_EQ(frame.payload, "split");
+}
+
+TEST(FramingTest, BlockingHelpersRoundTripOverLoopback) {
+  TcpListener listener("127.0.0.1", 0);
+  std::thread peer([port = listener.port()] {
+    TcpSocket client = TcpSocket::connect("127.0.0.1", port);
+    send_frame(client, R"({"type":"ping"})");
+    std::string reply;
+    ASSERT_TRUE(recv_frame(client, &reply));
+    EXPECT_EQ(reply, R"({"type":"pong"})");
+  });
+  TcpSocket conn = listener.accept();
+  std::string request;
+  ASSERT_TRUE(recv_frame(conn, &request));
+  EXPECT_EQ(request, R"({"type":"ping"})");
+  send_frame(conn, R"({"type":"pong"})");
+  peer.join();
+  // After the peer closes, recv reports clean EOF.
+  std::string leftover;
+  EXPECT_FALSE(recv_frame(conn, &leftover));
+}
+
+TEST(FramingTest, RecvFrameThrowsOnBadMagicAndTruncation) {
+  TcpListener listener("127.0.0.1", 0);
+  {
+    TcpSocket client = TcpSocket::connect("127.0.0.1", listener.port());
+    TcpSocket conn = listener.accept();
+    // Explicit length: the header contains embedded NULs.
+    const std::string garbage("NOPE\x01\x00\x00\x00x", 9);
+    client.write_all(garbage.data(), garbage.size());
+    std::string payload;
+    EXPECT_THROW(recv_frame(conn, &payload), SocketError);
+  }
+  {
+    TcpSocket client = TcpSocket::connect("127.0.0.1", listener.port());
+    TcpSocket conn = listener.accept();
+    const std::string frame = encode_frame("truncated payload");
+    client.write_all(frame.data(), frame.size() - 5);
+    client.close();  // EOF mid-payload
+    std::string payload;
+    EXPECT_THROW(recv_frame(conn, &payload), SocketError);
+  }
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,74 @@
+#include "server/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace exadigit {
+namespace {
+
+std::shared_ptr<const std::string> value(const std::string& text) {
+  return std::make_shared<const std::string>(text);
+}
+
+TEST(ResultCacheTest, MissThenHitWithCounters) {
+  ResultCache cache(4);
+  const ScenarioKey key{1, 2};
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  cache.insert(key, value("r"));
+  const auto hit = cache.lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "r");
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.capacity, 4u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.insert(ScenarioKey{1, 0}, value("a"));
+  cache.insert(ScenarioKey{2, 0}, value("b"));
+  // Touch "a" so "b" becomes the LRU entry.
+  EXPECT_NE(cache.lookup(ScenarioKey{1, 0}), nullptr);
+  cache.insert(ScenarioKey{3, 0}, value("c"));
+  EXPECT_EQ(cache.lookup(ScenarioKey{2, 0}), nullptr);   // evicted
+  EXPECT_NE(cache.lookup(ScenarioKey{1, 0}), nullptr);   // survived
+  EXPECT_NE(cache.lookup(ScenarioKey{3, 0}), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResultCacheTest, DuplicateInsertKeepsTheFirstValue) {
+  // Two workers racing the same key must not flip the cached bytes: repeat
+  // submissions are promised byte-identical replies.
+  ResultCache cache(4);
+  const ScenarioKey key{7, 7};
+  cache.insert(key, value("first"));
+  cache.insert(key, value("second"));
+  EXPECT_EQ(*cache.lookup(key), "first");
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  const ScenarioKey key{1, 1};
+  cache.insert(key, value("r"));
+  EXPECT_EQ(cache.lookup(key), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(ResultCacheTest, DistinguishesSpecAndConfigHashes) {
+  ResultCache cache(8);
+  cache.insert(ScenarioKey{1, 1}, value("a"));
+  EXPECT_EQ(cache.lookup(ScenarioKey{1, 2}), nullptr);
+  EXPECT_EQ(cache.lookup(ScenarioKey{2, 1}), nullptr);
+  EXPECT_NE(cache.lookup(ScenarioKey{1, 1}), nullptr);
+}
+
+}  // namespace
+}  // namespace exadigit

@@ -1,0 +1,269 @@
+#include "server/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json/json.hpp"
+#include "scenario/scenario_registry.hpp"
+#include "scenario/scenario_runner.hpp"
+#include "scenario/scenario_spec.hpp"
+#include "server/framing.hpp"
+
+namespace exadigit {
+namespace {
+
+/// A live server on an ephemeral loopback port, stopped on destruction.
+class LiveServer {
+ public:
+  explicit LiveServer(ServerOptions options = ServerOptions{})
+      : server_(std::move(options)), thread_([this] { server_.run(); }) {}
+  ~LiveServer() {
+    server_.stop();
+    thread_.join();
+  }
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+  [[nodiscard]] ScenarioServer& server() { return server_; }
+
+ private:
+  ScenarioServer server_;
+  std::thread thread_;
+};
+
+class Client {
+ public:
+  explicit Client(std::uint16_t port)
+      : socket_(TcpSocket::connect("127.0.0.1", port)) {
+    socket_.set_nodelay(true);
+  }
+
+  void send(const Json& request) { send_frame(socket_, request.dump()); }
+
+  Json recv() {
+    std::string payload;
+    if (!recv_frame(socket_, &payload)) {
+      throw SocketError("server closed the connection");
+    }
+    return Json::parse(payload);
+  }
+
+  /// Sends a run request and collects every envelope through batch_done.
+  std::vector<Json> submit(const Json& batch, const std::string& id) {
+    Json request;
+    request["type"] = "run";
+    request["id"] = id;
+    request["batch"] = batch;
+    send(request);
+    std::vector<Json> envelopes;
+    while (true) {
+      envelopes.push_back(recv());
+      if (envelopes.back().string_or("type", "") == "batch_done") break;
+      if (envelopes.back().string_or("type", "") == "error") break;
+    }
+    return envelopes;
+  }
+
+  [[nodiscard]] TcpSocket& socket() { return socket_; }
+
+ private:
+  TcpSocket socket_;
+};
+
+const char* kBatchText = R"({"seed": 9, "scenarios": [
+  {"name": "sim", "type": "simulate", "horizon_hours": 0.05},
+  {"name": "wif", "type": "whatif_dc380", "horizon_hours": 0.05}]})";
+
+/// Index -> result document bytes, from a collected envelope stream.
+std::map<std::int64_t, std::string> result_bytes(const std::vector<Json>& envelopes) {
+  std::map<std::int64_t, std::string> out;
+  for (const Json& e : envelopes) {
+    if (e.string_or("type", "") == "result") {
+      out[e.at("index").as_int()] = e.at("result").dump();
+    }
+  }
+  return out;
+}
+
+TEST(ServerLoopbackTest, ConcurrentClientsMatchDirectExecutionBitIdentically) {
+  // The reference: the exact path `exadigit_cli run` takes, in-process.
+  const ScenarioBatch batch = ScenarioBatch::from_json(Json::parse(kBatchText));
+  ScenarioRunner::Options options;
+  options.batch_seed = batch.seed;
+  const std::vector<ScenarioResult> direct = ScenarioRunner(options).run(batch.scenarios);
+  std::vector<std::string> expected;
+  for (const ScenarioResult& r : direct) expected.push_back(r.to_wire_json().dump());
+
+  LiveServer live;
+  constexpr int kClients = 4;
+  std::vector<std::map<std::int64_t, std::string>> received(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(live.port());
+      received[static_cast<std::size_t>(c)] = result_bytes(
+          client.submit(Json::parse(kBatchText), "client-" + std::to_string(c)));
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    const auto& results = received[static_cast<std::size_t>(c)];
+    ASSERT_EQ(results.size(), expected.size()) << "client " << c;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      // Full result documents — summaries AND every series sample.
+      EXPECT_EQ(results.at(static_cast<std::int64_t>(i)), expected[i])
+          << "client " << c << " scenario " << i;
+    }
+  }
+}
+
+TEST(ServerLoopbackTest, RepeatSubmissionAcrossConnectionsIsACacheHit) {
+  LiveServer live;
+  std::map<std::int64_t, std::string> first;
+  {
+    Client client(live.port());
+    first = result_bytes(client.submit(Json::parse(kBatchText), "warm"));
+  }
+  const std::uint64_t runs_before = scenario_run_count();
+  Client client(live.port());
+  const std::vector<Json> envelopes = client.submit(Json::parse(kBatchText), "hit");
+  EXPECT_EQ(scenario_run_count(), runs_before);  // nothing re-executed
+  std::size_t cached = 0;
+  for (const Json& e : envelopes) {
+    if (e.string_or("type", "") == "result") {
+      EXPECT_TRUE(e.at("cached").as_bool());
+      ++cached;
+    }
+  }
+  EXPECT_EQ(cached, 2u);
+  const std::map<std::int64_t, std::string> second = result_bytes(envelopes);
+  EXPECT_EQ(second, first);  // byte-identical replies
+
+  client.send(Json::parse(R"({"type": "stats"})"));
+  const Json stats = client.recv();
+  EXPECT_GE(stats.at("cache").at("hits").as_int(), 2);
+}
+
+TEST(ServerLoopbackTest, MisbehavingClientsGetStructuredErrorsOthersUnaffected) {
+  ServerOptions options;
+  options.max_frame_bytes = 4096;
+  LiveServer live(std::move(options));
+
+  {
+    // Wrong protocol entirely: error reply, then the server closes.
+    Client bad(live.port());
+    const std::string garbage = "GET / HTTP/1.1\r\n\r\n";
+    bad.socket().write_all(garbage.data(), garbage.size());
+    const Json error = bad.recv();
+    EXPECT_EQ(error.string_or("type", ""), "error");
+    std::string leftover;
+    EXPECT_FALSE(recv_frame(bad.socket(), &leftover));  // EOF
+  }
+  {
+    // Oversized frame: error reply, connection survives.
+    Client big(live.port());
+    const std::string frame = encode_frame(std::string(10000, 'x'));
+    big.socket().write_all(frame.data(), frame.size());
+    const Json error = big.recv();
+    EXPECT_EQ(error.string_or("type", ""), "error");
+    EXPECT_NE(error.string_or("message", "").find("exceeds"), std::string::npos);
+    big.send(Json::parse(R"({"type": "ping"})"));
+    EXPECT_EQ(big.recv().string_or("type", ""), "pong");
+  }
+  {
+    // Truncated JSON payload in a well-formed frame: same story.
+    Client truncated(live.port());
+    send_frame(truncated.socket(), R"({"type": "run", "batch)");
+    EXPECT_EQ(truncated.recv().string_or("type", ""), "error");
+    truncated.send(Json::parse(R"({"type": "ping"})"));
+    EXPECT_EQ(truncated.recv().string_or("type", ""), "pong");
+  }
+
+  // A healthy client is fully served on the same server instance.
+  Client healthy(live.port());
+  const std::vector<Json> envelopes = healthy.submit(Json::parse(kBatchText), "ok");
+  bool done = false;
+  for (const Json& e : envelopes) {
+    if (e.string_or("type", "") == "batch_done") {
+      done = true;
+      EXPECT_EQ(e.at("done").as_int(), 2);
+      EXPECT_EQ(e.at("failed").as_int(), 0);
+    }
+  }
+  EXPECT_TRUE(done);
+}
+
+TEST(ServerLoopbackTest, AbruptDisconnectMidBatchCancelsNothingElse) {
+  LiveServer live;
+  {
+    // Fire a batch and vanish before reading a single reply.
+    Client vanishing(live.port());
+    Json request;
+    request["type"] = "run";
+    request["id"] = "ghost";
+    request["batch"] = Json::parse(kBatchText);
+    vanishing.send(request);
+  }  // socket closes here
+
+  // A concurrent client is served normally.
+  Client steady(live.port());
+  const std::vector<Json> envelopes = steady.submit(
+      Json::parse(R"([{"name": "sr", "type": "whatif_smart_rectifiers",
+                       "horizon_hours": 0.05}])"),
+      "steady");
+  ASSERT_EQ(result_bytes(envelopes).size(), 1u);
+
+  // The ghost's scenarios still ran to completion and warmed the cache:
+  // wait for the server to go idle, then resubmit the ghost's batch.
+  for (int i = 0; i < 500; ++i) {
+    steady.send(Json::parse(R"({"type": "stats"})"));
+    if (steady.recv().at("in_flight").as_int() == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const std::uint64_t runs_before = scenario_run_count();
+  const std::vector<Json> resubmit = steady.submit(Json::parse(kBatchText), "again");
+  EXPECT_EQ(scenario_run_count(), runs_before);
+  for (const Json& e : resubmit) {
+    if (e.string_or("type", "") == "result") {
+      EXPECT_TRUE(e.at("cached").as_bool());
+    }
+  }
+}
+
+TEST(ServerLoopbackTest, ShutdownRequestDrainsInFlightAndFlushesEverything) {
+  LiveServer live;
+  Client client(live.port());
+  Json request;
+  request["type"] = "run";
+  request["id"] = "draining";
+  request["batch"] = Json::parse(kBatchText);
+  client.send(request);
+  // Shutdown lands while the batch is (potentially) still executing; every
+  // result must still arrive before the server closes the connection.
+  client.send(Json::parse(R"({"type": "shutdown"})"));
+
+  bool saw_shutting_down = false;
+  bool saw_batch_done = false;
+  std::size_t results = 0;
+  std::string payload;
+  while (recv_frame(client.socket(), &payload)) {
+    const Json envelope = Json::parse(payload);
+    const std::string type = envelope.string_or("type", "");
+    if (type == "shutting_down") saw_shutting_down = true;
+    if (type == "result") ++results;
+    if (type == "batch_done") saw_batch_done = true;
+  }
+  EXPECT_TRUE(saw_shutting_down);
+  EXPECT_TRUE(saw_batch_done);
+  EXPECT_EQ(results, 2u);
+
+  // The listener is gone: new connections are refused.
+  EXPECT_THROW(TcpSocket::connect("127.0.0.1", live.port()), SocketError);
+}
+
+}  // namespace
+}  // namespace exadigit
