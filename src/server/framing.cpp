@@ -85,13 +85,19 @@ void send_frame(TcpSocket& socket, std::string_view payload) {
   socket.write_all(frame.data(), frame.size());
 }
 
-bool recv_frame(TcpSocket& socket, std::string* payload) {
+bool recv_frame(TcpSocket& socket, std::string* payload,
+                std::size_t max_payload_bytes) {
   char header[kFrameHeaderBytes];
   if (!socket.read_exact(header, sizeof(header))) return false;  // clean EOF
   if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
     throw SocketError("frame stream desynchronized: bad magic");
   }
   const std::uint32_t size = get_u32le(header + sizeof(kFrameMagic));
+  if (size > max_payload_bytes) {
+    throw SocketError("frame payload of " + std::to_string(size) +
+                      " bytes exceeds the " + std::to_string(max_payload_bytes) +
+                      "-byte limit");
+  }
   payload->resize(size);
   if (size > 0 && !socket.read_exact(payload->data(), size)) {
     throw SocketError("connection closed mid-frame");

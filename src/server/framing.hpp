@@ -81,8 +81,11 @@ class FrameDecoder {
 
 /// Blocking conveniences for simple clients (the CLI, tests, the bench).
 /// send_frame writes one whole frame; recv_frame reads one, returning false
-/// on clean EOF and throwing SocketError on truncation or a bad magic.
+/// on clean EOF and throwing SocketError on truncation, a bad magic, or a
+/// declared payload above `max_payload_bytes` (a misbehaving peer must not
+/// be able to demand a multi-GiB allocation).
 void send_frame(TcpSocket& socket, std::string_view payload);
-[[nodiscard]] bool recv_frame(TcpSocket& socket, std::string* payload);
+[[nodiscard]] bool recv_frame(TcpSocket& socket, std::string* payload,
+                              std::size_t max_payload_bytes = kDefaultMaxFrameBytes);
 
 }  // namespace exadigit

@@ -23,6 +23,12 @@ constexpr std::size_t kLatencyBucketCount =
     sizeof(kLatencyBucketsMs) / sizeof(kLatencyBucketsMs[0]) + 1;
 /// Percentiles come from a bounded ring of the most recent samples.
 constexpr std::size_t kLatencyRingCapacity = 512;
+/// Ceiling on the resolved-config-hash memo: every distinct (path, mtime,
+/// delta) adds an entry, so a long-lived server touching many configs (or a
+/// config rewritten in place, bumping mtime) would otherwise grow without
+/// bound. Entries are cheap to recompute, so a wholesale clear beats LRU
+/// bookkeeping here.
+constexpr std::size_t kConfigMemoMaxEntries = 4096;
 
 std::int64_t file_mtime_ticks(const std::string& path) {
   if (path.empty()) return 0;
@@ -259,6 +265,9 @@ bool ScenarioService::compute_key(const ScenarioSpec& spec, ScenarioKey* key) {
     if (!memoized) {
       config_hash = canonical_json_hash(resolved_config_json(spec));
       const std::lock_guard<std::mutex> lock(state_mutex_);
+      if (config_hash_memo_.size() >= kConfigMemoMaxEntries) {
+        config_hash_memo_.clear();
+      }
       config_hash_memo_.emplace(memo_key, config_hash);
     }
     std::uint64_t spec_hash = canonical_json_hash(canonical_spec_json(spec));

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -21,42 +22,56 @@ void set_fd_nonblocking(int fd) {
 
 }  // namespace
 
+ScenarioServer::WakePipe::WakePipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    throw SocketError(std::string("pipe: ") + std::strerror(errno));
+  }
+  read_fd = fds[0];
+  write_fd = fds[1];
+  set_fd_nonblocking(read_fd);
+  set_fd_nonblocking(write_fd);
+}
+
+ScenarioServer::WakePipe::~WakePipe() {
+  // Declared before service_, so this runs after the workers have joined
+  // and nothing can invoke the wakeup anymore.
+  if (read_fd >= 0) ::close(read_fd);
+  if (write_fd >= 0) ::close(write_fd);
+}
+
 ScenarioServer::ScenarioServer(ServerOptions options)
     : options_(std::move(options)),
       listener_(options_.host, options_.port),
       service_(ScenarioService::Options{options_.jobs, options_.cache_entries,
                                         options_.dataset_entries}) {
-  int fds[2];
-  if (::pipe(fds) != 0) {
-    throw SocketError(std::string("pipe: ") + std::strerror(errno));
-  }
-  wake_read_ = fds[0];
-  wake_write_ = fds[1];
-  set_fd_nonblocking(wake_read_);
-  set_fd_nonblocking(wake_write_);
   listener_.set_nonblocking(true);
-  service_.set_wakeup([fd = wake_write_] {
+  service_.set_wakeup([fd = wake_.write_fd] {
     const char byte = 1;
     // EAGAIN means a wakeup is already pending — exactly as good.
     [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
   });
 }
 
-ScenarioServer::~ScenarioServer() {
-  // Workers stop inside the service destructor; after that nothing calls
-  // the wakeup, so the pipe can go.
-  if (wake_read_ >= 0) ::close(wake_read_);
-  if (wake_write_ >= 0) ::close(wake_write_);
-}
+ScenarioServer::~ScenarioServer() = default;
 
 void ScenarioServer::stop() {
   stop_requested_.store(true, std::memory_order_relaxed);
   const char byte = 1;
-  [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+  [[maybe_unused]] const ssize_t n = ::write(wake_.write_fd, &byte, 1);
 }
 
 void ScenarioServer::run() {
+  // The final-flush phase is bounded: a client that stopped reading (full
+  // socket buffer) would otherwise keep wants_write() true forever and pin
+  // the process at shutdown. No flush progress for this long drops the
+  // stalled connections instead.
+  constexpr std::chrono::seconds kFlushStallLimit{5};
+  using Clock = std::chrono::steady_clock;
   bool draining = false;
+  std::size_t last_unflushed = 0;
+  Clock::time_point flush_stalled_since{};
+
   while (true) {
     if (!draining &&
         (stop_requested_.load(std::memory_order_relaxed) ||
@@ -66,9 +81,12 @@ void ScenarioServer::run() {
     }
 
     std::vector<pollfd> fds;
-    fds.push_back(pollfd{wake_read_, POLLIN, 0});
+    fds.push_back(pollfd{wake_.read_fd, POLLIN, 0});
     if (!draining) fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
     const std::size_t first_connection = fds.size();
+    // accept_pending() below may grow connections_; only the first `polled`
+    // entries have a pollfd this round.
+    const std::size_t polled = connections_.size();
     for (const auto& conn : connections_) {
       short events = POLLIN;
       if (conn->wants_write()) events |= POLLOUT;
@@ -87,7 +105,7 @@ void ScenarioServer::run() {
     if ((fds[0].revents & POLLIN) != 0) drain_wake_pipe();
     if (!draining && (fds[1].revents & POLLIN) != 0) accept_pending();
 
-    for (std::size_t i = 0; i < connections_.size(); ++i) {
+    for (std::size_t i = 0; i < polled; ++i) {
       Connection& conn = *connections_[i];
       const short revents = fds[first_connection + i].revents;
       if (revents == 0 || conn.dead) continue;
@@ -101,11 +119,23 @@ void ScenarioServer::run() {
     if (draining && service_.in_flight() == 0) {
       pump_completions();  // envelopes queued before in-flight hit zero
       bool pending = false;
+      std::size_t unflushed = 0;
       for (const auto& conn : connections_) {
         if (!conn->dead) flush(*conn);
-        if (!conn->dead && conn->wants_write()) pending = true;
+        if (!conn->dead && conn->wants_write()) {
+          pending = true;
+          unflushed += conn->outbox.size() - conn->outbox_offset;
+        }
       }
       if (!pending) break;
+      const Clock::time_point now = Clock::now();
+      if (flush_stalled_since == Clock::time_point{} ||
+          unflushed < last_unflushed) {
+        flush_stalled_since = now;  // first pass, or bytes moved: progress
+        last_unflushed = unflushed;
+      } else if (now - flush_stalled_since >= kFlushStallLimit) {
+        break;  // stalled clients are dropped with their unflushed bytes
+      }
     }
   }
   connections_.clear();
@@ -229,7 +259,7 @@ void ScenarioServer::sweep_dead_connections() {
 
 void ScenarioServer::drain_wake_pipe() {
   char buffer[256];
-  while (::read(wake_read_, buffer, sizeof(buffer)) > 0) {
+  while (::read(wake_.read_fd, buffer, sizeof(buffer)) > 0) {
   }
 }
 

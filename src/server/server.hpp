@@ -81,6 +81,18 @@ class ScenarioServer {
     [[nodiscard]] bool wants_write() const { return outbox_offset < outbox.size(); }
   };
 
+  /// Self-pipe as RAII so declaration order fixes teardown order: declared
+  /// before service_, it is destroyed after the workers (which write to it
+  /// from the wakeup hook) have joined.
+  struct WakePipe {
+    int read_fd = -1;
+    int write_fd = -1;
+    WakePipe();
+    ~WakePipe();
+    WakePipe(const WakePipe&) = delete;
+    WakePipe& operator=(const WakePipe&) = delete;
+  };
+
   void accept_pending();
   void handle_readable(Connection& conn);
   /// Appends one frame to the outbox and flushes opportunistically.
@@ -94,9 +106,8 @@ class ScenarioServer {
 
   ServerOptions options_;
   TcpListener listener_;
+  WakePipe wake_;  ///< must precede service_: workers signal it until joined
   ScenarioService service_;
-  int wake_read_ = -1;
-  int wake_write_ = -1;
   std::atomic<bool> stop_requested_{false};
   std::vector<std::unique_ptr<Connection>> connections_;
   std::uint64_t next_connection_id_ = 1;

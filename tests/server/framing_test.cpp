@@ -137,5 +137,29 @@ TEST(FramingTest, RecvFrameThrowsOnBadMagicAndTruncation) {
   }
 }
 
+TEST(FramingTest, RecvFrameRejectsPayloadAboveTheLimit) {
+  TcpListener listener("127.0.0.1", 0);
+  const std::string frame = encode_frame(std::string(100, 'z'));
+  {
+    TcpSocket client = TcpSocket::connect("127.0.0.1", listener.port());
+    TcpSocket conn = listener.accept();
+    // A valid header declaring more than the receiver's ceiling must be
+    // rejected before any allocation of the declared size is attempted.
+    // Like bad magic, the throw leaves the stream unusable.
+    client.write_all(frame.data(), frame.size());
+    std::string payload;
+    EXPECT_THROW(recv_frame(conn, &payload, /*max_payload_bytes=*/16), SocketError);
+  }
+  {
+    TcpSocket client = TcpSocket::connect("127.0.0.1", listener.port());
+    TcpSocket conn = listener.accept();
+    // The default ceiling accepts the same frame.
+    client.write_all(frame.data(), frame.size());
+    std::string payload;
+    ASSERT_TRUE(recv_frame(conn, &payload));
+    EXPECT_EQ(payload, std::string(100, 'z'));
+  }
+}
+
 }  // namespace
 }  // namespace exadigit
