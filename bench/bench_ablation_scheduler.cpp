@@ -26,11 +26,11 @@ int main() {
 
   struct Case {
     const char* name;
-    SchedulerPolicy policy;
+    const char* policy;
   };
-  const Case cases[] = {{"FCFS (paper baseline)", SchedulerPolicy::kFcfs},
-                        {"SJF (paper)", SchedulerPolicy::kSjf},
-                        {"EASY backfill (extension)", SchedulerPolicy::kEasyBackfill}};
+  const Case cases[] = {{"FCFS (paper baseline)", "fcfs"},
+                        {"SJF (paper)", "sjf"},
+                        {"EASY backfill (extension)", "easy_backfill"}};
 
   AsciiTable t({"Policy", "Completed", "Throughput (jobs/hr)", "Utilization",
                 "Avg power (MW)", "Energy (MWh)"});

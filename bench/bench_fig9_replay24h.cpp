@@ -17,9 +17,11 @@
 /// EXADIGIT_BENCH_REPS sets the repetitions per timed configuration (min
 /// wall time is reported — see perf_json.hpp).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -169,6 +171,41 @@ int main(int argc, char** argv) {
     out["energy_mwh"] = Json(fast.report.total_energy_mwh);
     out["avg_power_mw"] = Json(fast.report.avg_power_mw);
     out["engine"] = Json(std::string("event"));
+
+    // Scheduling-policy throughput columns: a queue-bound synthetic burst
+    // (replayed jobs carry fixed start times and bypass the queue, so the
+    // dataset above cannot exercise a policy) run under each headline
+    // policy; the column is completed jobs per wall-second of engine time.
+    // Gated > 0 by bench/check_bench.py — guards the policy layer's hot
+    // path staying functional and fast enough to schedule at all.
+    {
+      WorkloadConfig queued = spec.workload;
+      queued.mean_arrival_s = 30.0;
+      const double window_s = std::min(duration, 2.0 * units::kSecondsPerHour);
+      WorkloadGenerator qgen(queued, spec, Rng(20240118));
+      const std::vector<JobRecord> qjobs = qgen.generate(0.0, window_s);
+      std::printf("\npolicy throughput (%zu queued jobs, %.1f h window):\n", qjobs.size(),
+                  window_s / units::kSecondsPerHour);
+      for (const char* policy : {"fcfs", "easy_backfill", "power_capped"}) {
+        SystemConfig config = spec;
+        config.scheduler.policy = policy;
+        if (std::string(policy) == "power_capped") {
+          // Binds between Frontier idle (~7.2 MW) and peak (~28 MW).
+          config.scheduler.policy_params["cap_mw"] = Json(26.0);
+        }
+        RapsEngine engine(config);
+        const auto p0 = std::chrono::steady_clock::now();
+        engine.submit_all(qjobs);
+        engine.run_until(window_s);
+        const double wall_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - p0).count();
+        const double jobs_per_s =
+            wall_s > 0.0 ? static_cast<double>(engine.jobs_completed()) / wall_s : 0.0;
+        out[std::string("policy_jobs_per_s_") + policy] = Json(jobs_per_s);
+        std::printf("  %-14s %d jobs completed, %.0f jobs scheduled/s\n", policy,
+                    engine.jobs_completed(), jobs_per_s);
+      }
+    }
     if (!bench::write_perf_json(json_path, out)) return 1;
     std::printf("\nperf: power replay %.0f ms (%.0f sim-s/wall-s), legacy %.0f ms "
                 "(%.1fx); JSON -> %s\n",

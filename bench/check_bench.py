@@ -25,8 +25,9 @@ Gates (a failure in any one fails the run):
   * speedup floors: every "speedup_vs_*" field must be >= 1.0 — the fast
     paths must never lose to the reference/legacy paths they replace.
   * invariants: "sim_rate" > 0, "solves_reused" > 0,
-    "solves_reused_threads" > 0, and "threads_identical" is true, for
-    whichever of those fields the measured file carries.
+    "solves_reused_threads" > 0, every "policy_jobs_per_s_*" > 0, and
+    "threads_identical" is true, for whichever of those fields the
+    measured file carries.
 
 Updating baselines (intentional bumps only):
   1. Build Release and run the bench on the CI reference configuration
@@ -89,6 +90,12 @@ def check_pair(measured_path: str, baseline_path: str, tolerance: float,
     for key in ("sim_rate", "solves_reused", "solves_reused_threads"):
         if key in measured and not measured[key] > 0:
             failures.append(f"{name}: {key} = {measured[key]!r} (must be > 0)")
+    for key, value in sorted(measured.items()):
+        # Per-policy scheduling throughput (bench_fig9_replay24h): every
+        # policy column must schedule at a positive rate — 0 means the
+        # policy layer stalled the queue outright.
+        if key.startswith("policy_jobs_per_s_") and not value > 0:
+            failures.append(f"{name}: {key} = {value!r} (must be > 0)")
     if "threads_identical" in measured and measured["threads_identical"] is not True:
         failures.append(f"{name}: threads_identical = "
                         f"{measured['threads_identical']!r} (threaded replay "

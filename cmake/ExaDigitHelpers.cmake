@@ -3,14 +3,19 @@
 # exadigit_add_library(<layer> [DEPS <layer>...])
 #
 # Defines a static library `exadigit_<layer>` (alias `exadigit::<layer>`) from
-# every .cpp in the current source directory, with the repository-wide include
-# root (src/) and warning flags applied. DEPS name other layers and are linked
-# PUBLIC so transitive includes keep working.
+# every .cpp in the current source directory and its immediate subdirectories
+# (e.g. raps/policy/), with the repository-wide include root (src/) and
+# warning flags applied. DEPS name other layers and are linked PUBLIC so
+# transitive includes keep working.
 function(exadigit_add_library layer)
   cmake_parse_arguments(ARG "" "" "DEPS" ${ARGN})
 
-  file(GLOB layer_sources CONFIGURE_DEPENDS "${CMAKE_CURRENT_SOURCE_DIR}/*.cpp")
-  file(GLOB layer_headers CONFIGURE_DEPENDS "${CMAKE_CURRENT_SOURCE_DIR}/*.hpp")
+  file(GLOB layer_sources CONFIGURE_DEPENDS
+       "${CMAKE_CURRENT_SOURCE_DIR}/*.cpp"
+       "${CMAKE_CURRENT_SOURCE_DIR}/*/*.cpp")
+  file(GLOB layer_headers CONFIGURE_DEPENDS
+       "${CMAKE_CURRENT_SOURCE_DIR}/*.hpp"
+       "${CMAKE_CURRENT_SOURCE_DIR}/*/*.hpp")
 
   set(target exadigit_${layer})
   if(layer_sources)

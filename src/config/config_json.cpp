@@ -1,5 +1,8 @@
 #include "config/config_json.hpp"
 
+#include <mutex>
+#include <set>
+
 namespace exadigit {
 
 Json curve_to_json(const PiecewiseLinearCurve& curve) {
@@ -268,23 +271,45 @@ CoolingConfig cooling_from_json(const Json& j, const CoolingConfig& d) {
   return c;
 }
 
-const char* policy_name(SchedulerPolicy p) {
-  switch (p) {
-    case SchedulerPolicy::kFcfs: return "fcfs";
-    case SchedulerPolicy::kSjf: return "sjf";
-    case SchedulerPolicy::kEasyBackfill: return "easy_backfill";
-  }
-  return "fcfs";
+// Accepted scheduler policy names. An ordered set so error messages and
+// known_scheduler_policy_names() list names deterministically.
+std::mutex& policy_names_mutex() {
+  static std::mutex m;
+  return m;
 }
 
-SchedulerPolicy policy_from_name(const std::string& s) {
-  if (s == "fcfs") return SchedulerPolicy::kFcfs;
-  if (s == "sjf") return SchedulerPolicy::kSjf;
-  if (s == "easy_backfill") return SchedulerPolicy::kEasyBackfill;
-  throw ConfigError("unknown scheduler policy: " + s);
+std::set<std::string>& policy_names_locked() {
+  static std::set<std::string> names{"fcfs", "sjf", "easy_backfill", "priority",
+                                     "power_capped"};
+  return names;
 }
 
 }  // namespace
+
+std::vector<std::string> known_scheduler_policy_names() {
+  std::lock_guard<std::mutex> lock(policy_names_mutex());
+  const auto& names = policy_names_locked();
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+void register_scheduler_policy_name(const std::string& name) {
+  std::lock_guard<std::mutex> lock(policy_names_mutex());
+  policy_names_locked().insert(name);
+}
+
+void require_scheduler_policy_name(const std::string& name) {
+  std::lock_guard<std::mutex> lock(policy_names_mutex());
+  const auto& names = policy_names_locked();
+  if (names.count(name) != 0) return;
+  std::string msg = "unknown scheduler policy \"" + name + "\"; valid policies are: ";
+  bool first = true;
+  for (const auto& n : names) {
+    if (!first) msg += ", ";
+    msg += "\"" + n + "\"";
+    first = false;
+  }
+  throw ConfigError(msg);
+}
 
 const char* engine_mode_name(EngineMode mode) {
   return mode == EngineMode::kTickLoop ? "tick" : "event";
@@ -327,7 +352,10 @@ Json system_config_to_json(const SystemConfig& c) {
   j["rack"] = rack_to_json(c.rack);
   j["power"] = power_to_json(c.power);
   Json sched;
-  sched["policy"] = Json(policy_name(c.scheduler.policy));
+  sched["policy"] = Json(c.scheduler.policy);
+  if (!c.scheduler.policy_params.is_null()) {
+    sched["params"] = c.scheduler.policy_params;
+  }
   sched["max_queue_depth"] = Json(c.scheduler.max_queue_depth);
   j["scheduler"] = sched;
   Json wl;
@@ -380,7 +408,12 @@ SystemConfig system_config_from_json(const Json& j) {
   c.scheduler = d.scheduler;
   if (j.contains("scheduler")) {
     const Json& s = j.at("scheduler");
-    if (s.contains("policy")) c.scheduler.policy = policy_from_name(s.at("policy").as_string());
+    if (s.contains("policy")) {
+      const std::string name = s.at("policy").as_string();
+      require_scheduler_policy_name(name);
+      c.scheduler.policy = name;
+    }
+    if (s.contains("params")) c.scheduler.policy_params = s.at("params");
     c.scheduler.max_queue_depth =
         static_cast<int>(s.int_or("max_queue_depth", c.scheduler.max_queue_depth));
   }

@@ -46,4 +46,17 @@ namespace exadigit {
 /// Parses a thermal-eval name; throws ConfigError on anything else.
 [[nodiscard]] ThermalEval thermal_eval_from_name(const std::string& name);
 
+/// Scheduler policy names the config layer will accept. Seeded with the
+/// built-in policies ("fcfs", "sjf", "easy_backfill", "priority",
+/// "power_capped"); the raps-layer SchedulingPolicyRegistry registers any
+/// additional policies here so config parsing and policy construction agree
+/// without the config library depending on raps. Sorted, thread-safe.
+[[nodiscard]] std::vector<std::string> known_scheduler_policy_names();
+/// Adds a name to the accepted set (idempotent, thread-safe). Called by
+/// SchedulingPolicyRegistry::register_policy for non-built-in policies.
+void register_scheduler_policy_name(const std::string& name);
+/// Validates a scheduler policy name against the accepted set; throws a
+/// ConfigError listing the valid names otherwise.
+void require_scheduler_policy_name(const std::string& name);
+
 }  // namespace exadigit

@@ -64,7 +64,7 @@ SystemConfig frontier_system_config() {
   c.power.feed = PowerFeed::kAC;
   c.power.dc_feed_efficiency = 0.9965;
 
-  c.scheduler.policy = SchedulerPolicy::kFcfs;
+  c.scheduler.policy = "fcfs";
 
   c.workload = WorkloadConfig{};
 

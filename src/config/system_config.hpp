@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/curve.hpp"
+#include "json/json.hpp"
 
 namespace exadigit {
 
@@ -92,11 +93,20 @@ struct PartitionConfig {
   NodeConfig node;
 };
 
-/// Scheduling policy for the RAPS built-in scheduler (Section III-B4).
-enum class SchedulerPolicy { kFcfs, kSjf, kEasyBackfill };
-
+/// Scheduling policy selection for the RAPS built-in scheduler (Section
+/// III-B4). The policy is an *open* string resolved against the
+/// SchedulingPolicyRegistry (raps/policy/policy_registry.hpp) when the
+/// Scheduler is built; built-ins are "fcfs", "sjf", "easy_backfill",
+/// "priority", and "power_capped". JSON parsing validates the name against
+/// the registered set (see config_json.hpp) so typos fail at config load,
+/// not mid-run.
 struct SchedulerConfig {
-  SchedulerPolicy policy = SchedulerPolicy::kFcfs;
+  std::string policy = "fcfs";
+  /// Free-form parameter block handed to the policy factory (null = policy
+  /// defaults). Unknown keys are ConfigErrors at Scheduler construction.
+  /// E.g. {"cap_mw": 25.0} for "power_capped", {"aging_weight": 2.0,
+  /// "user_weights": {"alice": 10.0}} for "priority".
+  Json policy_params;
   /// Maximum queue length before arrivals are rejected (0 = unbounded).
   int max_queue_depth = 0;
 };

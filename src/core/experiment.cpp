@@ -131,6 +131,7 @@ std::vector<SweepRow> DaySweepResult::table_rows() const {
 namespace {
 constexpr const char* kReportColumns[] = {
     "duration_s",    "jobs_submitted",   "jobs_completed",  "jobs_rejected",
+    "max_queue_depth", "avg_wait_s",     "makespan_s",
     "throughput",    "avg_power_mw",     "min_power_mw",    "max_power_mw",
     "energy_mwh",    "avg_loss_mw",      "max_loss_mw",     "loss_fraction",
     "avg_eta",       "avg_utilization",  "avg_arrival_s",   "avg_nodes",
@@ -147,6 +148,8 @@ void save_daily_reports_csv(const std::vector<Report>& daily, const std::string&
     doc.add_row({AsciiTable::integer(static_cast<long long>(d)),
                  AsciiTable::num(r.duration_s, 1), AsciiTable::integer(r.jobs_submitted),
                  AsciiTable::integer(r.jobs_completed), AsciiTable::integer(r.jobs_rejected),
+                 AsciiTable::integer(r.max_queue_depth), AsciiTable::num(r.avg_wait_s, 4),
+                 AsciiTable::num(r.makespan_s, 4),
                  AsciiTable::num(r.throughput_jobs_per_hour, 4),
                  AsciiTable::num(r.avg_power_mw, 6), AsciiTable::num(r.min_power_mw, 6),
                  AsciiTable::num(r.max_power_mw, 6), AsciiTable::num(r.total_energy_mwh, 6),
@@ -167,6 +170,9 @@ std::vector<Report> load_daily_reports_csv(const std::string& path) {
   const auto submitted = col("jobs_submitted");
   const auto completed = col("jobs_completed");
   const auto rejected = col("jobs_rejected");
+  const auto max_queue = col("max_queue_depth");
+  const auto wait = col("avg_wait_s");
+  const auto makespan = col("makespan_s");
   const auto throughput = col("throughput");
   const auto avg_p = col("avg_power_mw");
   const auto min_p = col("min_power_mw");
@@ -189,6 +195,9 @@ std::vector<Report> load_daily_reports_csv(const std::string& path) {
     r.jobs_submitted = static_cast<int>(submitted[i]);
     r.jobs_completed = static_cast<int>(completed[i]);
     r.jobs_rejected = static_cast<int>(rejected[i]);
+    r.max_queue_depth = static_cast<int>(max_queue[i]);
+    r.avg_wait_s = wait[i];
+    r.makespan_s = makespan[i];
     r.throughput_jobs_per_hour = throughput[i];
     r.avg_power_mw = avg_p[i];
     r.min_power_mw = min_p[i];

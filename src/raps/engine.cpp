@@ -27,8 +27,11 @@ RapsEngine::RapsEngine(const SystemConfig& config, const Options& options)
       power_(config),
       now_s_(options.start_time_s),
       run_begin_s_(options.start_time_s) {
-  // Initial sample so power() is meaningful before the first tick.
+  // Initial sample so power() is meaningful before the first tick. With no
+  // jobs running yet it is also the fleet's idle floor, which power-aware
+  // policies use as the base of their admission budget.
   sample_power_and_stats();
+  idle_system_power_w_ = power_.sample().system_power_w;
   // The initial sample must not count toward integrals.
   energy_j_ = loss_j_ = output_energy_j_ = input_energy_j_ = 0.0;
   utilization_integral_ = 0.0;
@@ -74,6 +77,14 @@ bool RapsEngine::try_start(const JobRecord& job) {
   }
   running_.push_back(std::move(r));
   job_start_log_.push_back(JobStartLogEntry{job, now_s_});
+  if (!job.is_replay()) {
+    // Queue wait of scheduler-placed jobs (replay jobs start on their
+    // recorded schedule; a wait would be a replay artifact, not a policy
+    // outcome).
+    const double wait_s = now_s_ - job.submit_time_s;
+    wait_sum_s_ += wait_s > 0.0 ? wait_s : 0.0;
+    ++queue_started_;
+  }
   return true;
 }
 
@@ -120,6 +131,9 @@ void RapsEngine::process_completions() {
       if (running_[i].power_handle >= 0) power_.on_job_stop(running_[i].power_handle);
       allocator_.release(running_[i].nodes);
       ++jobs_completed_;
+      if (running_[i].end_time_s > last_completion_s_) {
+        last_completion_s_ = running_[i].end_time_s;
+      }
       completed_nodes_sum_ += static_cast<double>(running_[i].record.node_count);
       completed_runtime_sum_s_ += running_[i].record.wall_time_s;
       running_[i] = std::move(running_.back());
@@ -136,7 +150,17 @@ void RapsEngine::schedule_pass() {
   for (const auto& r : running_) {
     infos.push_back(RunningJobInfo{r.end_time_s, r.record.node_count, r.record.id});
   }
-  scheduler_.schedule(now_s_, allocator_, infos,
+  // Power/price feedback for power-aware policies. The sample is the one
+  // taken at the last membership change or quantum boundary — stale-high
+  // right after completions free nodes, which errs conservative for a cap.
+  PowerFeedback feedback;
+  feedback.system_power_w = power_.sample().system_power_w;
+  feedback.idle_system_power_w = idle_system_power_w_;
+  feedback.electricity_usd_per_kwh = config_.economics.electricity_usd_per_kwh;
+  feedback.projected_job_wall_w = [this](const JobRecord& job) {
+    return power_.projected_job_wall_w(job);
+  };
+  scheduler_.schedule(now_s_, allocator_, infos, &feedback,
                       [this](const JobRecord& job) { return try_start(job); });
 }
 
@@ -355,6 +379,9 @@ Report RapsEngine::report() const {
   r.jobs_submitted = jobs_submitted_;
   r.jobs_completed = jobs_completed_;
   r.jobs_rejected = scheduler_.rejected_count();
+  r.max_queue_depth = scheduler_.max_queue_depth_seen();
+  if (queue_started_ > 0) r.avg_wait_s = wait_sum_s_ / queue_started_;
+  if (jobs_completed_ > 0) r.makespan_s = last_completion_s_ - run_begin_s_;
   const double hours = r.duration_s / units::kSecondsPerHour;
   r.throughput_jobs_per_hour = hours > 0.0 ? jobs_completed_ / hours : 0.0;
   if (stats_time_s_ > 0.0) {

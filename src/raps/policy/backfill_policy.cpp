@@ -1,0 +1,55 @@
+#include "raps/policy/backfill_policy.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "raps/policy/fcfs_policy.hpp"
+
+namespace exadigit {
+
+void BackfillPolicy::schedule(std::deque<JobRecord>& queue, const SchedulerContext& ctx,
+                              const std::function<bool(const JobRecord&)>& start_job) {
+  const double now = ctx.now_s;
+  const NodeAllocator& alloc = *ctx.alloc;
+  const std::vector<RunningJobInfo>& running = *ctx.running;
+
+  // EASY backfill: run FCFS until the head blocks, compute the head's
+  // shadow time (earliest start given running-job end times), then let
+  // later jobs jump ahead only if they cannot delay the head.
+  FcfsPolicy::run_pass(queue, alloc, start_job);
+  if (queue.empty()) return;
+
+  const JobRecord& head = queue.front();
+  const int free_now = alloc.free_nodes_in(head.partition);
+  if (head.node_count <= free_now) return;  // head blocked by start_job failure
+
+  std::vector<RunningJobInfo> by_end = running;
+  std::sort(by_end.begin(), by_end.end(),
+            [](const RunningJobInfo& a, const RunningJobInfo& b) {
+              if (a.end_time_s != b.end_time_s) return a.end_time_s < b.end_time_s;
+              return a.id < b.id;  // ties: platform-independent shadow scan
+            });
+  double shadow_time = now;
+  int avail = free_now;
+  for (const auto& r : by_end) {
+    if (avail >= head.node_count) break;
+    avail += r.node_count;
+    shadow_time = r.end_time_s;
+  }
+  if (avail < head.node_count) return;  // head can never start; nothing to protect
+  // Nodes the head will not need at its shadow start may be used freely.
+  const int extra = avail - head.node_count;
+
+  for (auto it = std::next(queue.begin()); it != queue.end();) {
+    const bool fits_now = it->node_count <= alloc.free_nodes_in(it->partition);
+    const bool ends_before_shadow = now + it->wall_time_s <= shadow_time;
+    const bool within_extra = it->node_count <= extra;
+    if (fits_now && (ends_before_shadow || within_extra) && start_job(*it)) {
+      it = queue.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace exadigit

@@ -1,0 +1,23 @@
+#pragma once
+
+/// @file backfill_policy.hpp
+/// EASY backfill — the de-facto HPC policy (planned extension in the paper).
+
+#include "raps/policy/scheduling_policy.hpp"
+
+namespace exadigit {
+
+/// EASY backfill: runs FCFS until the head blocks, computes the head's
+/// shadow time (earliest start given running-job end times, (end_time, id)
+/// tie-break), then lets later jobs jump ahead only if they cannot delay
+/// the head. Bit-identical to the pre-registry
+/// Scheduler::schedule_backfill switch arm.
+class BackfillPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "easy_backfill"; }
+
+  void schedule(std::deque<JobRecord>& queue, const SchedulerContext& ctx,
+                const std::function<bool(const JobRecord&)>& start_job) override;
+};
+
+}  // namespace exadigit

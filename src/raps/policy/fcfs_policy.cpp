@@ -1,0 +1,21 @@
+#include "raps/policy/fcfs_policy.hpp"
+
+namespace exadigit {
+
+void FcfsPolicy::schedule(std::deque<JobRecord>& queue, const SchedulerContext& ctx,
+                          const std::function<bool(const JobRecord&)>& start_job) {
+  run_pass(queue, *ctx.alloc, start_job);
+}
+
+void FcfsPolicy::run_pass(std::deque<JobRecord>& queue, const NodeAllocator& alloc,
+                          const std::function<bool(const JobRecord&)>& start_job) {
+  // Strict FCFS: stop at the first job that cannot start (no skipping).
+  while (!queue.empty()) {
+    const JobRecord& head = queue.front();
+    if (head.node_count > alloc.free_nodes_in(head.partition)) break;
+    if (!start_job(head)) break;
+    queue.pop_front();
+  }
+}
+
+}  // namespace exadigit

@@ -1,0 +1,26 @@
+#pragma once
+
+/// @file fcfs_policy.hpp
+/// First-come-first-served (paper Section III-B4, the RAPS default).
+
+#include "raps/policy/scheduling_policy.hpp"
+
+namespace exadigit {
+
+/// Strict FCFS: starts jobs in arrival order and stops at the first job
+/// that cannot start (no skipping). Bit-identical to the pre-registry
+/// Scheduler::schedule_fcfs switch arm.
+class FcfsPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "fcfs"; }
+
+  void schedule(std::deque<JobRecord>& queue, const SchedulerContext& ctx,
+                const std::function<bool(const JobRecord&)>& start_job) override;
+
+  /// The FCFS pass as a reusable building block (EASY backfill runs it
+  /// before protecting the blocked head).
+  static void run_pass(std::deque<JobRecord>& queue, const NodeAllocator& alloc,
+                       const std::function<bool(const JobRecord&)>& start_job);
+};
+
+}  // namespace exadigit

@@ -1,0 +1,71 @@
+#include "raps/policy/power_capped_policy.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "raps/policy/policy_registry.hpp"
+
+namespace exadigit {
+
+PowerCappedPolicy::PowerCappedPolicy(const Json& params) {
+  check_policy_params(params, "power_capped", {"cap_mw"});
+  require(params.is_object() && params.contains("cap_mw"),
+          "power_capped policy requires a \"cap_mw\" param");
+  const double cap_mw = params.at("cap_mw").as_number();
+  require(cap_mw > 0.0, "power_capped cap_mw must be positive");
+  cap_w_ = cap_mw * 1e6;
+}
+
+double PowerCappedPolicy::prune_reservations(const SchedulerContext& ctx) {
+  if (ctx.running == nullptr || ctx.running->empty()) {
+    reserved_w_.clear();
+    return 0.0;
+  }
+  std::set<std::int64_t> live;
+  for (const RunningJobInfo& r : *ctx.running) live.insert(r.id);
+  double total = 0.0;
+  for (auto it = reserved_w_.begin(); it != reserved_w_.end();) {
+    if (live.count(it->first) == 0) {
+      it = reserved_w_.erase(it);
+    } else {
+      total += it->second;  // ordered map: deterministic summation order
+      ++it;
+    }
+  }
+  return total;
+}
+
+void PowerCappedPolicy::schedule(std::deque<JobRecord>& queue, const SchedulerContext& ctx,
+                                 const std::function<bool(const JobRecord&)>& start_job) {
+  const NodeAllocator& alloc = *ctx.alloc;
+  const bool have_power = ctx.power != nullptr &&
+                          static_cast<bool>(ctx.power->projected_job_wall_w);
+  // Admission budget: the larger of the live sample (covers draw the policy
+  // did not admit, e.g. replay starts that bypass the queue) and the idle
+  // floor plus the summed reservations of every job this policy admitted
+  // that is still running. The reservation term is what makes the cap
+  // robust: the live sample only shows what admitted jobs draw *now*, and
+  // a job whose utilization trace ramps later would otherwise open up
+  // headroom its own future draw has already claimed.
+  double committed_w = 0.0;
+  if (ctx.power != nullptr) {
+    const double reserved = prune_reservations(ctx);
+    committed_w = std::max(ctx.power->system_power_w,
+                           ctx.power->idle_system_power_w + reserved);
+  }
+  for (auto it = queue.begin(); it != queue.end();) {
+    const bool fits = it->node_count <= alloc.free_nodes_in(it->partition);
+    const double projected_w = have_power ? ctx.power->projected_job_wall_w(*it) : 0.0;
+    const bool under_cap = committed_w + projected_w <= cap_w_;
+    if (fits && under_cap && start_job(*it)) {
+      committed_w += projected_w;
+      reserved_w_[it->id] += projected_w;  // += so colliding ids still count
+      it = queue.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace exadigit

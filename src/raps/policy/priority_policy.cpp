@@ -1,0 +1,54 @@
+#include "raps/policy/priority_policy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "raps/policy/policy_registry.hpp"
+
+namespace exadigit {
+
+PriorityPolicy::PriorityPolicy(const Json& params) {
+  check_policy_params(params, "priority", {"aging_weight", "user_weights"});
+  if (params.is_object()) {
+    aging_weight_ = params.number_or("aging_weight", 0.0);
+    require(aging_weight_ >= 0.0, "priority policy aging_weight must be non-negative");
+    if (params.contains("user_weights")) {
+      const Json& weights = params.at("user_weights");
+      require(weights.is_object(), "priority policy user_weights must be an object");
+      for (const auto& [user, w] : weights.as_object()) {
+        user_weights_[user] = w.as_number();
+      }
+    }
+  }
+}
+
+double PriorityPolicy::rank(const JobRecord& job, double now_s) const {
+  double r = job.priority;
+  auto it = user_weights_.find(job.user);
+  if (it != user_weights_.end()) r += it->second;
+  const double wait_s = now_s - job.submit_time_s;
+  if (wait_s > 0.0) r += aging_weight_ * wait_s;
+  return r;
+}
+
+void PriorityPolicy::schedule(std::deque<JobRecord>& queue, const SchedulerContext& ctx,
+                              const std::function<bool(const JobRecord&)>& start_job) {
+  const NodeAllocator& alloc = *ctx.alloc;
+  const double now = ctx.now_s;
+  // Stable sort: equal ranks keep arrival order (deterministic replays).
+  std::stable_sort(queue.begin(), queue.end(),
+                   [this, now](const JobRecord& a, const JobRecord& b) {
+                     return rank(a, now) > rank(b, now);
+                   });
+  // Greedy like SJF: start every job that fits, highest rank first, so one
+  // oversized high-priority job cannot idle the whole machine.
+  for (auto it = queue.begin(); it != queue.end();) {
+    if (it->node_count <= alloc.free_nodes_in(it->partition) && start_job(*it)) {
+      it = queue.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace exadigit

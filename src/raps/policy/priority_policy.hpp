@@ -1,0 +1,43 @@
+#pragma once
+
+/// @file priority_policy.hpp
+/// User-weighted priority scheduling with aging.
+
+#include <map>
+#include <string>
+
+#include "json/json.hpp"
+#include "raps/policy/scheduling_policy.hpp"
+
+namespace exadigit {
+
+/// Priority scheduling: each pass ranks the queue by
+///
+///   rank = job.priority + user_weight(job.user) + aging_weight * wait_s
+///
+/// (wait_s = now - submit_time_s, clamped at 0), stable-sorts descending so
+/// arrival order breaks ties, then greedily starts every job that fits in
+/// rank order (like SJF's scan, so a blocked high-rank job does not starve
+/// the machine). Aging guarantees eventual service for low-priority work.
+///
+/// Params: {"aging_weight": number >= 0 (rank units per second of wait,
+/// default 0), "user_weights": {"<user>": number, ...} (default empty;
+/// users absent from the map weigh 0)}.
+class PriorityPolicy final : public SchedulingPolicy {
+ public:
+  explicit PriorityPolicy(const Json& params);
+
+  [[nodiscard]] const char* name() const override { return "priority"; }
+
+  void schedule(std::deque<JobRecord>& queue, const SchedulerContext& ctx,
+                const std::function<bool(const JobRecord&)>& start_job) override;
+
+  /// The rank this policy assigns `job` at time `now_s` (exposed for tests).
+  [[nodiscard]] double rank(const JobRecord& job, double now_s) const;
+
+ private:
+  double aging_weight_ = 0.0;
+  std::map<std::string, double> user_weights_;
+};
+
+}  // namespace exadigit

@@ -1,0 +1,88 @@
+#pragma once
+
+/// @file scheduling_policy.hpp
+/// Strategy interface for RAPS scheduling policies (paper Section III-B4).
+///
+/// The paper ships FCFS and SJF "with plans to soon implement more
+/// sophisticated algorithms"; the Maiterth et al. follow-on (HPC Digital
+/// Twins for Evaluating Scheduling Policies, Incentive Structures and their
+/// Impact on Power and Cooling) uses exactly this twin to compare policies
+/// and power/price incentives. This interface is where those studies plug
+/// in: a policy owns queue ordering and per-pass start decisions, while the
+/// Scheduler keeps the queue (bounds, rejection counting) and the engine
+/// keeps allocation. Policies are looked up by name in the
+/// SchedulingPolicyRegistry (policy_registry.hpp) from
+/// SchedulerConfig::policy / policy_params.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "raps/allocator.hpp"
+#include "telemetry/schema.hpp"
+
+namespace exadigit {
+
+/// A job currently holding nodes; used for backfill reservations.
+struct RunningJobInfo {
+  double end_time_s = 0.0;
+  int node_count = 0;
+  /// Job id, used as a deterministic tie-break when end times collide (the
+  /// shadow-time scan must not depend on the engine's running-set order).
+  std::int64_t id = 0;
+};
+
+/// Engine-supplied power/price feedback for power-aware policies. The
+/// engine samples its incremental RapsPowerModel at the top of each
+/// scheduling pass; `projected_job_wall_w` asks the same model for a
+/// conservative (peak-utilization, wall-power) estimate of what starting a
+/// given job would add. Null members mean "no feedback available" (e.g. a
+/// bare Scheduler unit test); power-aware policies must degrade gracefully.
+struct PowerFeedback {
+  /// Total system wall power (IT + losses) at the start of the pass, watts.
+  double system_power_w = 0.0;
+  /// System wall power with zero jobs running (the fleet's idle floor,
+  /// captured at engine construction), watts. Lets capping policies bound
+  /// future draw as idle + their own admission reservations instead of
+  /// trusting the live sample, which lags ramping utilization traces.
+  double idle_system_power_w = 0.0;
+  /// Electricity price from EconomicsConfig, for price-aware policies.
+  double electricity_usd_per_kwh = 0.0;
+  /// Projected additional wall power (watts) if this job started now.
+  std::function<double(const JobRecord&)> projected_job_wall_w;
+};
+
+/// Everything a policy may consult during one scheduling pass. Non-owning
+/// views; valid only for the duration of the pass.
+struct SchedulerContext {
+  double now_s = 0.0;
+  const NodeAllocator* alloc = nullptr;
+  const std::vector<RunningJobInfo>* running = nullptr;
+  /// Null when the caller has no power model (policy must tolerate this).
+  const PowerFeedback* power = nullptr;
+};
+
+/// Queue-ordering + start-decision strategy. One scheduling pass: the
+/// policy may reorder `queue` freely, must call `start_job` for each job it
+/// wants started (in its chosen order), and must erase a job from the queue
+/// exactly when `start_job` returned true for it. `start_job` returns false
+/// when the engine could not allocate (the job stays queued).
+///
+/// Determinism contract: decisions may depend only on the queue, the
+/// context, and the policy's own params — never on pointer values, hashes
+/// of addresses, or clock reads — so replays are bit-identical across runs
+/// and platforms.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  /// Registry name this instance was created under ("fcfs", ...).
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Runs one scheduling pass at ctx.now_s over `queue`.
+  virtual void schedule(std::deque<JobRecord>& queue, const SchedulerContext& ctx,
+                        const std::function<bool(const JobRecord&)>& start_job) = 0;
+};
+
+}  // namespace exadigit

@@ -1,0 +1,25 @@
+#include "raps/policy/sjf_policy.hpp"
+
+#include <algorithm>
+
+namespace exadigit {
+
+void SjfPolicy::schedule(std::deque<JobRecord>& queue, const SchedulerContext& ctx,
+                         const std::function<bool(const JobRecord&)>& start_job) {
+  const NodeAllocator& alloc = *ctx.alloc;
+  // Stable sort keeps arrival order among equal wall times.
+  std::stable_sort(queue.begin(), queue.end(),
+                   [](const JobRecord& a, const JobRecord& b) {
+                     return a.wall_time_s < b.wall_time_s;
+                   });
+  // Greedy: start every queued job that fits, shortest first.
+  for (auto it = queue.begin(); it != queue.end();) {
+    if (it->node_count <= alloc.free_nodes_in(it->partition) && start_job(*it)) {
+      it = queue.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace exadigit

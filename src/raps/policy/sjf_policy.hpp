@@ -1,0 +1,21 @@
+#pragma once
+
+/// @file sjf_policy.hpp
+/// Shortest-job-first (paper Section III-B4).
+
+#include "raps/policy/scheduling_policy.hpp"
+
+namespace exadigit {
+
+/// SJF: stable-sorts the queue by requested wall time (arrival order among
+/// equals), then greedily starts every job that fits, shortest first.
+/// Bit-identical to the pre-registry Scheduler::schedule_sjf switch arm.
+class SjfPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "sjf"; }
+
+  void schedule(std::deque<JobRecord>& queue, const SchedulerContext& ctx,
+                const std::function<bool(const JobRecord&)>& start_job) override;
+};
+
+}  // namespace exadigit

@@ -40,6 +40,13 @@ RapsPowerModel::RapsPowerModel(const SystemConfig& config)
   rebuild_all_racks(/*use_memo=*/true);
 }
 
+double RapsPowerModel::projected_job_wall_w(const JobRecord& job) const {
+  const NodeConfig& cfg = node_config_for(job);
+  const double node_delta_w = cfg.peak_power_w() - cfg.idle_power_w();
+  const double eta = std::clamp(sample_.eta_system, 0.5, 1.0);
+  return node_delta_w * static_cast<double>(job.node_count) / eta;
+}
+
 const NodeConfig& RapsPowerModel::node_config_for(const JobRecord& job) const {
   if (!job.partition.empty()) {
     for (const auto& p : config_.partitions) {

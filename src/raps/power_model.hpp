@@ -87,6 +87,13 @@ class RapsPowerModel {
   const PowerSample& recompute(double now, std::span<const RunningJobView> running);
 
   [[nodiscard]] const PowerSample& sample() const { return sample_; }
+  /// Conservative wall-power increment (watts) of starting `job` now:
+  /// peak-utilization node power above idle for the job's partition,
+  /// divided by the sampled system conversion efficiency (clamped to
+  /// [0.5, 1]) to translate the 48 V node-side delta into wall power.
+  /// Feeds power-aware scheduling policies (PowerFeedback); an upper
+  /// bound, not the trace-following draw.
+  [[nodiscard]] double projected_job_wall_w(const JobRecord& job) const;
   /// Wall power per CDU (rack inputs summed; excludes the CDU pump).
   [[nodiscard]] const std::vector<double>& cdu_wall_power_w() const { return cdu_wall_w_; }
   /// Heat per CDU handed to the cooling model (wall power x cooling eff).

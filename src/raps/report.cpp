@@ -28,6 +28,9 @@ std::string Report::to_string() const {
   t.add_row({"Jobs submitted", AsciiTable::integer(jobs_submitted)});
   t.add_row({"Jobs completed", AsciiTable::integer(jobs_completed)});
   t.add_row({"Jobs rejected", AsciiTable::integer(jobs_rejected)});
+  t.add_row({"Max queue depth", AsciiTable::integer(max_queue_depth)});
+  t.add_row({"Avg queue wait (s)", AsciiTable::num(avg_wait_s, 1)});
+  t.add_row({"Makespan (h)", AsciiTable::num(makespan_s / units::kSecondsPerHour, 2)});
   t.add_row({"Throughput (jobs/hr)", AsciiTable::num(throughput_jobs_per_hour, 1)});
   t.add_row({"Avg power (MW)", AsciiTable::num(avg_power_mw, 2)});
   t.add_row({"Min/Max power (MW)", AsciiTable::num(min_power_mw, 2) + " / " +

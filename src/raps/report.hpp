@@ -21,6 +21,13 @@ struct Report {
   int jobs_submitted = 0;
   int jobs_completed = 0;
   int jobs_rejected = 0;
+  /// High-water mark of the scheduler queue depth over the run.
+  int max_queue_depth = 0;
+  /// Mean queue wait of scheduler-placed (non-replay) jobs, seconds.
+  double avg_wait_s = 0.0;
+  /// Last job completion relative to run begin, seconds (0 when no job
+  /// completed in the window).
+  double makespan_s = 0.0;
   double throughput_jobs_per_hour = 0.0;
   double avg_power_mw = 0.0;
   double min_power_mw = 0.0;

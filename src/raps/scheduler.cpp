@@ -1,13 +1,13 @@
 #include "raps/scheduler.hpp"
 
-#include <algorithm>
-
 #include "common/error.hpp"
+#include "raps/policy/policy_registry.hpp"
 
 namespace exadigit {
 
 Scheduler::Scheduler(const SchedulerConfig& config) : config_(config) {
   require(config_.max_queue_depth >= 0, "max_queue_depth must be non-negative");
+  policy_ = SchedulingPolicyRegistry::instance().create(config_.policy, config_.policy_params);
 }
 
 bool Scheduler::enqueue(JobRecord job) {
@@ -17,89 +17,22 @@ bool Scheduler::enqueue(JobRecord job) {
     return false;
   }
   queue_.push_back(std::move(job));
+  if (static_cast<int>(queue_.size()) > max_queue_depth_seen_) {
+    max_queue_depth_seen_ = static_cast<int>(queue_.size());
+  }
   return true;
 }
 
 void Scheduler::schedule(double now, const NodeAllocator& alloc,
                          const std::vector<RunningJobInfo>& running,
+                         const PowerFeedback* power,
                          const std::function<bool(const JobRecord&)>& start_job) {
-  switch (config_.policy) {
-    case SchedulerPolicy::kFcfs: schedule_fcfs(alloc, start_job); break;
-    case SchedulerPolicy::kSjf: schedule_sjf(alloc, start_job); break;
-    case SchedulerPolicy::kEasyBackfill:
-      schedule_backfill(now, alloc, running, start_job);
-      break;
-  }
-}
-
-void Scheduler::schedule_fcfs(const NodeAllocator& alloc,
-                              const std::function<bool(const JobRecord&)>& start_job) {
-  // Strict FCFS: stop at the first job that cannot start (no skipping).
-  while (!queue_.empty()) {
-    const JobRecord& head = queue_.front();
-    if (head.node_count > alloc.free_nodes_in(head.partition)) break;
-    if (!start_job(head)) break;
-    queue_.pop_front();
-  }
-}
-
-void Scheduler::schedule_sjf(const NodeAllocator& alloc,
-                             const std::function<bool(const JobRecord&)>& start_job) {
-  // Stable sort keeps arrival order among equal wall times.
-  std::stable_sort(queue_.begin(), queue_.end(),
-                   [](const JobRecord& a, const JobRecord& b) {
-                     return a.wall_time_s < b.wall_time_s;
-                   });
-  // Greedy: start every queued job that fits, shortest first.
-  for (auto it = queue_.begin(); it != queue_.end();) {
-    if (it->node_count <= alloc.free_nodes_in(it->partition) && start_job(*it)) {
-      it = queue_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void Scheduler::schedule_backfill(double now, const NodeAllocator& alloc,
-                                  const std::vector<RunningJobInfo>& running,
-                                  const std::function<bool(const JobRecord&)>& start_job) {
-  // EASY backfill: run FCFS until the head blocks, compute the head's
-  // shadow time (earliest start given running-job end times), then let
-  // later jobs jump ahead only if they cannot delay the head.
-  schedule_fcfs(alloc, start_job);
-  if (queue_.empty()) return;
-
-  const JobRecord& head = queue_.front();
-  const int free_now = alloc.free_nodes_in(head.partition);
-  if (head.node_count <= free_now) return;  // head blocked by start_job failure
-
-  std::vector<RunningJobInfo> by_end = running;
-  std::sort(by_end.begin(), by_end.end(),
-            [](const RunningJobInfo& a, const RunningJobInfo& b) {
-              if (a.end_time_s != b.end_time_s) return a.end_time_s < b.end_time_s;
-              return a.id < b.id;  // ties: platform-independent shadow scan
-            });
-  double shadow_time = now;
-  int avail = free_now;
-  for (const auto& r : by_end) {
-    if (avail >= head.node_count) break;
-    avail += r.node_count;
-    shadow_time = r.end_time_s;
-  }
-  if (avail < head.node_count) return;  // head can never start; nothing to protect
-  // Nodes the head will not need at its shadow start may be used freely.
-  const int extra = avail - head.node_count;
-
-  for (auto it = std::next(queue_.begin()); it != queue_.end();) {
-    const bool fits_now = it->node_count <= alloc.free_nodes_in(it->partition);
-    const bool ends_before_shadow = now + it->wall_time_s <= shadow_time;
-    const bool within_extra = it->node_count <= extra;
-    if (fits_now && (ends_before_shadow || within_extra) && start_job(*it)) {
-      it = queue_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  SchedulerContext ctx;
+  ctx.now_s = now;
+  ctx.alloc = &alloc;
+  ctx.running = &running;
+  ctx.power = power;
+  policy_->schedule(queue_, ctx, start_job);
 }
 
 }  // namespace exadigit

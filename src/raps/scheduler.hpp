@@ -1,68 +1,74 @@
 #pragma once
 
 /// @file scheduler.hpp
-/// Job queue and scheduling policies (paper Section III-B4).
+/// Job queue + pluggable scheduling policy (paper Section III-B4).
 ///
 /// The paper ships FCFS and SJF "with plans to soon implement more
-/// sophisticated algorithms"; this library additionally implements EASY
-/// backfill (the de-facto HPC policy) as that planned extension. Telemetry
-/// replay jobs carry fixed start times and bypass the queue entirely
-/// (Section III-B: jobs "may be replayed using the physical twin's
-/// scheduling policy").
+/// sophisticated algorithms"; this library implements those plans as a
+/// strategy layer: the Scheduler owns the bounded queue and rejection/depth
+/// accounting, and delegates ordering + start decisions to a
+/// SchedulingPolicy resolved by name from the SchedulingPolicyRegistry
+/// (policy/policy_registry.hpp). Built-ins: fcfs, sjf, easy_backfill,
+/// priority, power_capped. Telemetry replay jobs carry fixed start times
+/// and bypass the queue entirely (Section III-B: jobs "may be replayed
+/// using the physical twin's scheduling policy").
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "config/system_config.hpp"
 #include "raps/allocator.hpp"
+#include "raps/policy/scheduling_policy.hpp"
 #include "telemetry/schema.hpp"
 
 namespace exadigit {
 
-/// A job currently holding nodes; used for backfill reservations.
-struct RunningJobInfo {
-  double end_time_s = 0.0;
-  int node_count = 0;
-  /// Job id, used as a deterministic tie-break when end times collide (the
-  /// shadow-time scan must not depend on the engine's running-set order).
-  std::int64_t id = 0;
-};
-
-/// Queue + policy. The engine owns allocation; the scheduler decides order.
+/// Queue + policy. The engine owns allocation; the policy decides order.
 class Scheduler {
  public:
+  /// Resolves config.policy / config.policy_params against the
+  /// SchedulingPolicyRegistry; throws ConfigError (listing registered
+  /// names) on an unknown policy or bad params.
   explicit Scheduler(const SchedulerConfig& config);
 
   /// Enqueues an arrived job. Returns false (and counts a rejection) when
   /// the queue is bounded and full.
   bool enqueue(JobRecord job);
 
-  /// Runs one scheduling pass at time `now`: calls `start_job` for each job
-  /// the policy wants started, in order. `start_job` returns true when the
-  /// allocation succeeded; on false the job stays queued. `running` lists
-  /// currently running jobs for backfill reservations.
+  /// Runs one scheduling pass at time `now`: the policy calls `start_job`
+  /// for each job it wants started, in order. `start_job` returns true when
+  /// the allocation succeeded; on false the job stays queued. `running`
+  /// lists currently running jobs for backfill reservations. `power` is
+  /// the engine's power/price feedback for power-aware policies; may be
+  /// null (bare unit tests), in which case such policies degrade as
+  /// documented on each policy.
+  void schedule(double now, const NodeAllocator& alloc,
+                const std::vector<RunningJobInfo>& running, const PowerFeedback* power,
+                const std::function<bool(const JobRecord&)>& start_job);
+
+  /// Convenience overload without power feedback.
   void schedule(double now, const NodeAllocator& alloc,
                 const std::vector<RunningJobInfo>& running,
-                const std::function<bool(const JobRecord&)>& start_job);
+                const std::function<bool(const JobRecord&)>& start_job) {
+    schedule(now, alloc, running, nullptr, start_job);
+  }
 
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] int rejected_count() const { return rejected_; }
-  [[nodiscard]] SchedulerPolicy policy() const { return config_.policy; }
+  /// High-water mark of the queue depth over the run (report stat).
+  [[nodiscard]] int max_queue_depth_seen() const { return max_queue_depth_seen_; }
+  [[nodiscard]] const std::string& policy_name() const { return config_.policy; }
 
  private:
   SchedulerConfig config_;
+  std::unique_ptr<SchedulingPolicy> policy_;
   std::deque<JobRecord> queue_;
   int rejected_ = 0;
-
-  void schedule_fcfs(const NodeAllocator& alloc,
-                     const std::function<bool(const JobRecord&)>& start_job);
-  void schedule_sjf(const NodeAllocator& alloc,
-                    const std::function<bool(const JobRecord&)>& start_job);
-  void schedule_backfill(double now, const NodeAllocator& alloc,
-                         const std::vector<RunningJobInfo>& running,
-                         const std::function<bool(const JobRecord&)>& start_job);
+  int max_queue_depth_seen_ = 0;
 };
 
 }  // namespace exadigit

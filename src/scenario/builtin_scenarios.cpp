@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "common/table.hpp"
 #include "common/units.hpp"
 #include "config/config_json.hpp"
 #include "core/autonomous.hpp"
@@ -63,6 +64,10 @@ std::vector<JobRecord> spec_workload(const ScenarioSpec& spec, const SystemConfi
 
 void add_report_metrics(ScenarioResult& r, const Report& report) {
   r.add_metric("jobs_completed", static_cast<double>(report.jobs_completed));
+  r.add_metric("jobs_rejected", static_cast<double>(report.jobs_rejected));
+  r.add_metric("max_queue_depth", static_cast<double>(report.max_queue_depth));
+  r.add_metric("avg_wait_s", report.avg_wait_s);
+  r.add_metric("makespan_s", report.makespan_s);
   r.add_metric("avg_power_mw", report.avg_power_mw);
   r.add_metric("total_energy_mwh", report.total_energy_mwh);
   r.add_metric("avg_loss_mw", report.avg_loss_mw);
@@ -75,8 +80,22 @@ void add_report_metrics(ScenarioResult& r, const Report& report) {
 // --- workflow adapters -----------------------------------------------------
 
 ScenarioResult run_simulate_scenario(const ScenarioSpec& spec) {
-  check_params(spec, {"cooling", "engine", "hydraulics", "thermal", "threads"});
+  check_params(spec,
+               {"cooling", "engine", "hydraulics", "thermal", "threads", "policy",
+                "policy_params"});
   SystemConfig config = spec.resolve_config();
+  // "policy" / "policy_params": scheduling policy for the built-in
+  // scheduler (see raps/policy/). Equivalent to a config delta on
+  // scheduler.policy / scheduler.params; validated here so a typo fails
+  // before the twin is built.
+  if (spec.params.is_object() && spec.params.contains("policy")) {
+    const std::string policy = spec.params.at("policy").as_string();
+    require_scheduler_policy_name(policy);
+    config.scheduler.policy = policy;
+  }
+  if (spec.params.is_object() && spec.params.contains("policy_params")) {
+    config.scheduler.policy_params = spec.params.at("policy_params");
+  }
   // "engine": "event" (default) or "tick" — the legacy fixed-step loop,
   // kept for A/B validation batches (results are bit-identical; see
   // raps/engine.hpp). Equivalent to a config delta on simulation.engine.
@@ -318,6 +337,100 @@ ScenarioResult run_thermal_scan_scenario(const ScenarioSpec& spec) {
   return r;
 }
 
+/// One variant of a policy_sweep: a policy name, its params, and a unique
+/// display label ("fcfs", "power_capped@25", ...).
+struct PolicyVariant {
+  std::string label;
+  std::string policy;
+  Json params;
+};
+
+std::vector<PolicyVariant> parse_policy_variants(const ScenarioSpec& spec) {
+  require(spec.params.is_object() && spec.params.contains("policies") &&
+              spec.params.at("policies").is_array(),
+          "policy_sweep scenario requires params.policies (an array)");
+  std::vector<PolicyVariant> variants;
+  std::set<std::string> labels;
+  for (const Json& entry : spec.params.at("policies").as_array()) {
+    PolicyVariant v;
+    if (entry.is_string()) {
+      v.policy = entry.as_string();
+      v.label = v.policy;
+    } else if (entry.is_object()) {
+      for (const auto& [key, value] : entry.as_object()) {
+        (void)value;
+        require(key == "policy" || key == "params" || key == "label",
+                "policy_sweep entry fields are policy/params/label, got \"" + key + "\"");
+      }
+      require(entry.contains("policy"), "policy_sweep entry requires \"policy\"");
+      v.policy = entry.at("policy").as_string();
+      if (entry.contains("params")) v.params = entry.at("params");
+      v.label = entry.string_or("label", v.policy);
+    } else {
+      throw ConfigError("policy_sweep entries must be policy-name strings or objects");
+    }
+    require_scheduler_policy_name(v.policy);
+    require(labels.insert(v.label).second,
+            "policy_sweep labels must be unique; duplicate \"" + v.label +
+                "\" (set \"label\" on variants sharing a policy)");
+    variants.push_back(std::move(v));
+  }
+  require(!variants.empty(), "policy_sweep requires at least one policy");
+  return variants;
+}
+
+/// Fans one spec out to N scheduling-policy variants over the *same*
+/// workload (same seed, same jobs) and tabulates the policy-study metrics
+/// the Maiterth et al. follow-on paper compares: makespan, queue wait,
+/// energy, peak power. ROADMAP item 4.
+ScenarioResult run_policy_sweep_scenario(const ScenarioSpec& spec) {
+  check_params(spec, {"policies", "cooling"});
+  const SystemConfig base = spec.resolve_config();
+  const std::vector<PolicyVariant> variants = parse_policy_variants(spec);
+  // Policy studies compare scheduling outcomes; cooling co-simulation is
+  // off by default to keep an N-way sweep cheap.
+  const bool cooling = param_bool(spec, "cooling", false);
+  const std::uint64_t seed = spec.seed_or(42);
+  const double duration = spec.horizon_s();
+  const std::vector<JobRecord> jobs = spec_workload(spec, base);
+
+  ScenarioResult r;
+  r.add_metric("policies", static_cast<double>(variants.size()));
+  r.add_metric("jobs_submitted", static_cast<double>(jobs.size()));
+  AsciiTable table({"Policy", "Jobs", "Makespan (h)", "Avg wait (s)", "Energy (MWh)",
+                    "Peak (MW)", "Rejected"});
+  for (const PolicyVariant& v : variants) {
+    SystemConfig config = base;
+    config.scheduler.policy = v.policy;
+    config.scheduler.policy_params = v.params;
+    DigitalTwinOptions options;
+    options.enable_cooling = cooling;
+    DigitalTwin twin(config, options);
+    if (cooling) twin.set_wetbulb_series(synthetic_wetbulb_series(duration, seed + 1));
+    twin.submit_all(jobs);
+    twin.run_until(duration);
+    const Report report = twin.report();
+
+    r.add_metric(v.label + ".jobs_completed", static_cast<double>(report.jobs_completed));
+    r.add_metric(v.label + ".makespan_s", report.makespan_s);
+    r.add_metric(v.label + ".avg_wait_s", report.avg_wait_s);
+    r.add_metric(v.label + ".total_energy_mwh", report.total_energy_mwh);
+    r.add_metric(v.label + ".max_power_mw", report.max_power_mw);
+    r.add_metric(v.label + ".jobs_rejected", static_cast<double>(report.jobs_rejected));
+    r.add_metric(v.label + ".max_queue_depth", static_cast<double>(report.max_queue_depth));
+    r.channels[v.label + ".power_mw"] = twin.engine().power_series_mw();
+    table.add_row({v.label, AsciiTable::integer(report.jobs_completed),
+                   AsciiTable::num(report.makespan_s / units::kSecondsPerHour, 2),
+                   AsciiTable::num(report.avg_wait_s, 1),
+                   AsciiTable::num(report.total_energy_mwh, 1),
+                   AsciiTable::num(report.max_power_mw, 2),
+                   AsciiTable::integer(report.jobs_rejected)});
+  }
+  r.text = "Scheduling policy sweep (" + std::to_string(jobs.size()) + " jobs, same workload)\n" +
+           table.render();
+  return r;
+}
+
 ScenarioResult run_optimize_setpoint_scenario(const ScenarioSpec& spec) {
   check_params(spec, {"power_mw", "wetbulb_c"});
   const SystemConfig config = spec.resolve_config();
@@ -356,6 +469,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
   registry.register_type("whatif_dc380", run_dc380_scenario);
   registry.register_type("whatif_cooling_extension", run_cooling_extension_scenario);
   registry.register_type("day_sweep", run_day_sweep_scenario);
+  registry.register_type("policy_sweep", run_policy_sweep_scenario);
   registry.register_type("thermal_scan", run_thermal_scan_scenario);
   registry.register_type("optimize_setpoint", run_optimize_setpoint_scenario);
 }

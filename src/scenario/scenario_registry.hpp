@@ -5,7 +5,8 @@
 ///
 /// Mirrors the telemetry reader registry pattern: each twin workflow
 /// (simulate, replay, cooling validation, the what-ifs, the day sweep, the
-/// thermal scan, the setpoint optimizer) registers a factory under a type
+/// policy sweep, the thermal scan, the setpoint optimizer) registers a
+/// factory under a type
 /// name, and a declarative ScenarioSpec selects one by string. New
 /// machines — and new experiments — plug in here without touching the
 /// runner or the CLI (paper Section V's "configuration, not code").
@@ -65,8 +66,8 @@ class ScenarioRegistry {
 
 /// Registers every built-in workflow type:
 ///   simulate, replay, cooling_validation, whatif, whatif_smart_rectifiers,
-///   whatif_dc380, whatif_cooling_extension, day_sweep, thermal_scan,
-///   optimize_setpoint.
+///   whatif_dc380, whatif_cooling_extension, day_sweep, policy_sweep,
+///   thermal_scan, optimize_setpoint.
 void register_builtin_scenarios(ScenarioRegistry& registry);
 
 }  // namespace exadigit

@@ -38,6 +38,13 @@ struct JobRecord {
   double fixed_start_time_s = -1.0;
   /// Partition name for multi-partition machines; empty = default.
   std::string partition;
+  /// Submitting user, for fair-share / user-weighted policies; empty =
+  /// unknown. Never drawn by the synthetic workload generator (keeps
+  /// seeded workloads stable across versions).
+  std::string user;
+  /// Base priority for the "priority" scheduling policy; higher runs
+  /// earlier. 0 for policies that ignore it.
+  double priority = 0.0;
 
   [[nodiscard]] bool is_replay() const { return fixed_start_time_s >= 0.0; }
 

@@ -35,6 +35,8 @@ Json job_to_json(const JobRecord& j) {
   o["mean_gpu_util"] = Json(j.mean_gpu_util);
   o["fixed_start_time_s"] = Json(j.fixed_start_time_s);
   if (!j.partition.empty()) o["partition"] = Json(j.partition);
+  if (!j.user.empty()) o["user"] = Json(j.user);
+  if (j.priority != 0.0) o["priority"] = Json(j.priority);
   if (!j.cpu_util_trace.empty()) {
     Json arr;
     for (double u : j.cpu_util_trace) arr.push_back(Json(u));
@@ -59,6 +61,8 @@ JobRecord job_from_json(const Json& o) {
   j.mean_gpu_util = o.number_or("mean_gpu_util", 0.0);
   j.fixed_start_time_s = o.number_or("fixed_start_time_s", -1.0);
   j.partition = o.string_or("partition", "");
+  j.user = o.string_or("user", "");
+  j.priority = o.number_or("priority", 0.0);
   if (o.contains("cpu_util_trace")) {
     for (const auto& v : o.at("cpu_util_trace").as_array()) {
       j.cpu_util_trace.push_back(v.as_number());

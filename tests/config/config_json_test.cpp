@@ -130,14 +130,51 @@ TEST(ConfigJsonTest, MissingFieldsTakeFrontierDefaults) {
 }
 
 TEST(ConfigJsonTest, SchedulerPolicyNames) {
-  for (const char* name : {"fcfs", "sjf", "easy_backfill"}) {
+  // Legacy names stay parseable, and the new built-ins are accepted.
+  for (const char* name : {"fcfs", "sjf", "easy_backfill", "priority", "power_capped"}) {
     Json j;
     j["scheduler"]["policy"] = Json(name);
     EXPECT_NO_THROW(system_config_from_json(j));
+    EXPECT_EQ(system_config_from_json(j).scheduler.policy, name);
   }
   Json bad;
   bad["scheduler"]["policy"] = Json("lottery");
   EXPECT_THROW(system_config_from_json(bad), ConfigError);
+}
+
+TEST(ConfigJsonTest, UnknownSchedulerPolicyErrorListsValidNames) {
+  Json bad;
+  bad["scheduler"]["policy"] = Json("lottery");
+  try {
+    system_config_from_json(bad);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lottery"), std::string::npos) << what;
+    for (const char* name :
+         {"fcfs", "sjf", "easy_backfill", "priority", "power_capped"}) {
+      EXPECT_NE(what.find(name), std::string::npos) << "missing " << name << ": " << what;
+    }
+  }
+}
+
+TEST(ConfigJsonTest, SchedulerPolicyParamsRoundTrip) {
+  SystemConfig original = frontier_system_config();
+  original.scheduler.policy = "power_capped";
+  original.scheduler.policy_params["cap_mw"] = Json(25.0);
+  const Json j = system_config_to_json(original);
+  EXPECT_TRUE(j.at("scheduler").contains("params"));
+  const SystemConfig back = system_config_from_json(j);
+  EXPECT_EQ(back.scheduler.policy, "power_capped");
+  ASSERT_TRUE(back.scheduler.policy_params.is_object());
+  EXPECT_DOUBLE_EQ(back.scheduler.policy_params.at("cap_mw").as_number(), 25.0);
+  // A second round trip is byte-stable (content-addressed caching relies
+  // on canonical serialization).
+  EXPECT_EQ(system_config_to_json(back).dump(), j.dump());
+
+  // No params => no "params" key (keeps legacy documents byte-identical).
+  const Json plain = system_config_to_json(frontier_system_config());
+  EXPECT_FALSE(plain.at("scheduler").contains("params"));
 }
 
 TEST(ConfigJsonTest, BadEnumValuesThrow) {

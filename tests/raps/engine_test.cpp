@@ -131,7 +131,7 @@ TEST(EngineTest, ValidationErrors) {
 
 TEST(EngineTest, SjfPolicyReordersQueue) {
   SystemConfig config = small_system();
-  config.scheduler.policy = SchedulerPolicy::kSjf;
+  config.scheduler.policy = "sjf";
   RapsEngine engine(config);
   engine.submit(make_constant_job(0.0, 600.0, 512, 0.5, 0.5));  // occupies machine
   JobRecord long_job = make_constant_job(1.0, 5000.0, 256, 0.5, 0.5);
@@ -162,11 +162,15 @@ TEST(EngineTest, MultiPartitionSubmission) {
 /// all jobs complete, the allocator is fully free and completions match
 /// submissions.
 class EngineConservationProperty
-    : public ::testing::TestWithParam<std::pair<SchedulerPolicy, int>> {};
+    : public ::testing::TestWithParam<std::pair<std::string, int>> {};
 
 TEST_P(EngineConservationProperty, NoNodeLeaks) {
   SystemConfig config = small_system();
   config.scheduler.policy = GetParam().first;
+  if (config.scheduler.policy == "power_capped") {
+    // A generous cap: admission control engages but every job still fits.
+    config.scheduler.policy_params["cap_mw"] = Json(1000.0);
+  }
   RapsEngine engine(config);
   WorkloadConfig wl = config.workload;
   wl.mean_arrival_s = 40.0;
@@ -186,10 +190,12 @@ TEST_P(EngineConservationProperty, NoNodeLeaks) {
 
 INSTANTIATE_TEST_SUITE_P(
     PolicySeeds, EngineConservationProperty,
-    ::testing::Values(std::make_pair(SchedulerPolicy::kFcfs, 1),
-                      std::make_pair(SchedulerPolicy::kSjf, 2),
-                      std::make_pair(SchedulerPolicy::kEasyBackfill, 3),
-                      std::make_pair(SchedulerPolicy::kEasyBackfill, 4)));
+    ::testing::Values(std::make_pair("fcfs", 1),
+                      std::make_pair("sjf", 2),
+                      std::make_pair("easy_backfill", 3),
+                      std::make_pair("easy_backfill", 4),
+                      std::make_pair("priority", 5),
+                      std::make_pair("power_capped", 6)));
 
 }  // namespace
 }  // namespace exadigit

@@ -18,7 +18,7 @@ JobRecord job(const std::string& name, int nodes, double wall_s) {
   return j;
 }
 
-SchedulerConfig policy_config(SchedulerPolicy p, int depth = 0) {
+SchedulerConfig policy_config(const std::string& p, int depth = 0) {
   SchedulerConfig c;
   c.policy = p;
   c.max_queue_depth = depth;
@@ -49,7 +49,7 @@ class SchedulerTest : public ::testing::Test {
 };
 
 TEST_F(SchedulerTest, FcfsStartsInArrivalOrder) {
-  Scheduler s(policy_config(SchedulerPolicy::kFcfs));
+  Scheduler s(policy_config("fcfs"));
   s.enqueue(job("a", 50, 100));
   s.enqueue(job("b", 50, 10));
   s.enqueue(job("c", 20, 1));
@@ -59,7 +59,7 @@ TEST_F(SchedulerTest, FcfsStartsInArrivalOrder) {
 }
 
 TEST_F(SchedulerTest, FcfsBlocksStrictlyAtHead) {
-  Scheduler s(policy_config(SchedulerPolicy::kFcfs));
+  Scheduler s(policy_config("fcfs"));
   s.enqueue(job("big", 200, 100));  // can never fit (128-node machine)
   s.enqueue(job("small", 1, 10));
   pass(s);
@@ -69,7 +69,7 @@ TEST_F(SchedulerTest, FcfsBlocksStrictlyAtHead) {
 }
 
 TEST_F(SchedulerTest, SjfPrefersShortJobs) {
-  Scheduler s(policy_config(SchedulerPolicy::kSjf));
+  Scheduler s(policy_config("sjf"));
   s.enqueue(job("long", 64, 5000));
   s.enqueue(job("short", 64, 10));
   s.enqueue(job("medium", 64, 500));
@@ -79,7 +79,7 @@ TEST_F(SchedulerTest, SjfPrefersShortJobs) {
 }
 
 TEST_F(SchedulerTest, SjfSkipsOversizedButStartsRest) {
-  Scheduler s(policy_config(SchedulerPolicy::kSjf));
+  Scheduler s(policy_config("sjf"));
   s.enqueue(job("giant", 500, 1));
   s.enqueue(job("ok", 10, 100));
   pass(s);
@@ -88,7 +88,7 @@ TEST_F(SchedulerTest, SjfSkipsOversizedButStartsRest) {
 }
 
 TEST_F(SchedulerTest, BackfillFillsAroundBlockedHead) {
-  Scheduler s(policy_config(SchedulerPolicy::kEasyBackfill));
+  Scheduler s(policy_config("easy_backfill"));
   // Occupy 100 nodes, ending at t=1000.
   ASSERT_TRUE(alloc_.allocate(100).has_value());
   std::vector<RunningJobInfo> running{{1000.0, 100}};
@@ -101,7 +101,7 @@ TEST_F(SchedulerTest, BackfillFillsAroundBlockedHead) {
 }
 
 TEST_F(SchedulerTest, BackfillAllowsLongJobOnSpareNodes) {
-  Scheduler s(policy_config(SchedulerPolicy::kEasyBackfill));
+  Scheduler s(policy_config("easy_backfill"));
   ASSERT_TRUE(alloc_.allocate(100).has_value());
   std::vector<RunningJobInfo> running{{1000.0, 100}};
   s.enqueue(job("head", 120, 500));
@@ -113,7 +113,7 @@ TEST_F(SchedulerTest, BackfillAllowsLongJobOnSpareNodes) {
 }
 
 TEST_F(SchedulerTest, BackfillDegeneratesToFcfsWhenHeadFits) {
-  Scheduler s(policy_config(SchedulerPolicy::kEasyBackfill));
+  Scheduler s(policy_config("easy_backfill"));
   s.enqueue(job("a", 30, 10));
   s.enqueue(job("b", 30, 10));
   pass(s);
@@ -121,7 +121,7 @@ TEST_F(SchedulerTest, BackfillDegeneratesToFcfsWhenHeadFits) {
 }
 
 TEST_F(SchedulerTest, BoundedQueueRejects) {
-  Scheduler s(policy_config(SchedulerPolicy::kFcfs, 2));
+  Scheduler s(policy_config("fcfs", 2));
   EXPECT_TRUE(s.enqueue(job("a", 1, 1)));
   EXPECT_TRUE(s.enqueue(job("b", 1, 1)));
   EXPECT_FALSE(s.enqueue(job("c", 1, 1)));
@@ -138,7 +138,7 @@ TEST_F(SchedulerTest, InvalidConfigRejected) {
 /// Property: under every policy, a full random workload eventually starts
 /// every job exactly once (no loss, no duplication) when jobs are released
 /// over time.
-class SchedulerDrainProperty : public ::testing::TestWithParam<SchedulerPolicy> {};
+class SchedulerDrainProperty : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(SchedulerDrainProperty, EveryJobStartsExactlyOnce) {
   SystemConfig system = frontier_system_config();
@@ -187,8 +187,8 @@ TEST_P(SchedulerDrainProperty, EveryJobStartsExactlyOnce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Policies, SchedulerDrainProperty,
-                         ::testing::Values(SchedulerPolicy::kFcfs, SchedulerPolicy::kSjf,
-                                           SchedulerPolicy::kEasyBackfill));
+                         ::testing::Values("fcfs", "sjf",
+                                           "easy_backfill"));
 
 }  // namespace
 }  // namespace exadigit

@@ -227,6 +227,55 @@ TEST(ScenarioServiceTest, StatsDocumentTracksTheLifecycle) {
   EXPECT_EQ(total, 1);
 }
 
+/// Acceptance (PR 8): the policy_sweep scenario runs end to end through the
+/// server submit path — the registry-driven service needs no sweep-specific
+/// code, and the wire result round-trips every per-policy metric and series.
+TEST(ScenarioServiceTest, PolicySweepRunsThroughTheSubmitPath) {
+  ScenarioService service(small_options());
+  const std::string batch = R"({"scenarios": [
+    {"name": "sweep", "type": "policy_sweep", "seed": 7, "horizon_hours": 0.1,
+     "params": {"policies": [
+       "fcfs", "easy_backfill",
+       {"policy": "power_capped", "params": {"cap_mw": 18.0}, "label": "capped"}]}}]})";
+  const std::vector<Json> replies = service.handle_request(kClient, run_request(batch));
+  ASSERT_FALSE(replies.empty());
+  EXPECT_EQ(replies[0].string_or("type", ""), "accepted");
+
+  const std::vector<Json> envelopes = drain_for(service, kClient);
+  const std::vector<Json> results = of_type(envelopes, "result");
+  ASSERT_EQ(results.size(), 1u);
+  const ScenarioResult result = ScenarioResult::from_wire_json(results[0].at("result"));
+  EXPECT_EQ(result.status, ScenarioResult::Status::kDone) << result.error;
+  for (const std::string label : {"fcfs", "easy_backfill", "capped"}) {
+    EXPECT_TRUE(result.has_metric(label + ".jobs_completed")) << label;
+    const auto it = result.channels.find(label + ".power_mw");
+    ASSERT_NE(it, result.channels.end()) << label;
+    EXPECT_FALSE(it->second.empty()) << label;
+  }
+  EXPECT_LE(result.metric("capped.max_power_mw"), 18.0);
+  const std::vector<Json> done = of_type(envelopes, "batch_done");
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].at("done").as_int(), 1);
+  EXPECT_EQ(done[0].at("failed").as_int(), 0);
+}
+
+/// An unknown policy inside a sweep fails that scenario with a structured
+/// error naming the valid policies — the batch itself still completes.
+TEST(ScenarioServiceTest, PolicySweepUnknownPolicyFailsWithStructuredError) {
+  ScenarioService service(small_options());
+  const std::string batch = R"({"scenarios": [
+    {"name": "bad", "type": "policy_sweep", "horizon_hours": 0.05,
+     "params": {"policies": ["lottery"]}}]})";
+  (void)service.handle_request(kClient, run_request(batch));
+  const std::vector<Json> envelopes = drain_for(service, kClient);
+  const std::vector<Json> results = of_type(envelopes, "result");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].at("result").at("status").as_string(), "failed");
+  const std::string error = results[0].at("result").string_or("error", "");
+  EXPECT_NE(error.find("lottery"), std::string::npos) << error;
+  EXPECT_NE(error.find("fcfs"), std::string::npos) << error;
+}
+
 TEST(ScenarioServiceTest, EmptyBatchCompletesImmediately) {
   ScenarioService service(small_options());
   const std::vector<Json> replies = service.handle_request(
