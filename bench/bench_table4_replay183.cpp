@@ -22,12 +22,14 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "common/resource.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/experiment.hpp"
 #include "core/replay.hpp"
 #include "perf_json.hpp"
 #include "raps/workload.hpp"
+#include "telemetry/chunk.hpp"
 #include "telemetry/store.hpp"
 
 using namespace exadigit;
@@ -95,6 +97,26 @@ bool datasets_identical(const TelemetryDataset& a, const TelemetryDataset& b) {
     if (!same(a.facility.*(def.member), b.facility.*(def.member))) return false;
   }
   return true;
+}
+
+/// Exact equality of two replay results: every recorded series sample plus
+/// the headline report scalars. This is the bench's bit-identity gate for
+/// the chunked path.
+bool replays_identical(const PowerReplayResult& a, const PowerReplayResult& b) {
+  auto same = [](const TimeSeries& x, const TimeSeries& y) {
+    if (x.size() != y.size()) return false;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x.time(i) != y.time(i) || x.value(i) != y.value(i)) return false;
+    }
+    return true;
+  };
+  return same(a.predicted_power_mw, b.predicted_power_mw) &&
+         same(a.measured_power_mw, b.measured_power_mw) &&
+         same(a.eta_system, b.eta_system) && same(a.cooling_eff, b.cooling_eff) &&
+         same(a.utilization, b.utilization) && same(a.pue, b.pue) &&
+         a.report.jobs_completed == b.report.jobs_completed &&
+         a.report.total_energy_mwh == b.report.total_energy_mwh &&
+         a.power_score.mape_pct == b.power_score.mape_pct;
 }
 
 }  // namespace
@@ -174,6 +196,9 @@ int main(int argc, char** argv) {
   double dataset_save_ms = 0.0;
   double dataset_save_bin_ms = 0.0;
   double dataset_replay_ms = 0.0;
+  double chunked_wall_ms = 0.0;
+  double chunk_peak_resident_mb = 0.0;
+  bool chunked_identical = true;
   std::size_t dataset_samples = 0;
   bool formats_identical = true;
   if (dataset_days > 0.0) {
@@ -226,9 +251,57 @@ int main(int argc, char** argv) {
     dataset_replay_ms = now_ms_since(t);
     std::printf("frame replay (load+sim): %.0f ms, %d jobs completed, mape %.2f %%\n",
                 dataset_replay_ms, rr.report.jobs_completed, rr.power_score.mape_pct);
+
+    // ---- out-of-core chunked replay: the same dataset saved in the v2
+    // chunked layout and streamed through a BinChunkSource under a
+    // resident-bytes budget. Set EXADIGIT_BENCH_DATASET_DAYS=183 for the
+    // true 183-day out-of-core run — peak telemetry residency stays one
+    // chunk regardless of the span. Bit-identity with the monolithic frame
+    // replay above is asserted every run.
+    const char* chunk_env = std::getenv("EXADIGIT_BENCH_CHUNK_SECONDS");
+    const double chunk_seconds =
+        chunk_env != nullptr ? std::atof(chunk_env) : 6.0 * units::kSecondsPerHour;
+    const char* budget_env = std::getenv("EXADIGIT_BENCH_RESIDENT_MB");
+    const double resident_mb = budget_env != nullptr ? std::atof(budget_env) : 64.0;
+    t = std::chrono::steady_clock::now();
+    save_dataset_binary_chunked(source, base + "/binv2", chunk_seconds);
+    const double chunked_save_ms = now_ms_since(t);
+
+    BinChunkSource::Options chunk_options;
+    chunk_options.max_resident_mb = resident_mb;
+    std::size_t chunk_count = 0;
+    std::size_t peak_resident_bytes = 0;
+    PowerReplayResult chunked;
+    for (int rep = 0; rep < reps; ++rep) {
+      BinChunkSource chunk_source(base + "/binv2", chunk_options);
+      chunk_count = chunk_source.chunk_index().size();
+      t = std::chrono::steady_clock::now();
+      PowerReplayResult this_rep = replay_power(config, chunk_source, /*with_cooling=*/false);
+      const double w = now_ms_since(t);
+      peak_resident_bytes = chunk_source.gauge()->peak_bytes();
+      if (rep == 0 || w < chunked_wall_ms) chunked_wall_ms = w;
+      if (rep == 0) chunked = std::move(this_rep);
+    }
+    chunk_peak_resident_mb = static_cast<double>(peak_resident_bytes) / (1024.0 * 1024.0);
+    chunked_identical = replays_identical(chunked, rr);
+    std::printf("chunked replay: save %.0f ms, stream+sim %.0f ms (min of %d reps), "
+                "%zu chunks of %.0f s\n",
+                chunked_save_ms, chunked_wall_ms, reps, chunk_count, chunk_seconds);
+    std::printf("chunk residency: peak %.1f MB (budget %.0f MB), bit-identical to "
+                "monolithic replay: %s\n",
+                chunk_peak_resident_mb, resident_mb, chunked_identical ? "yes" : "NO");
     fs::remove_all(base);
     if (!formats_identical) {
       std::fprintf(stderr, "FAIL: csv and bin loads are not value-identical\n");
+      return 1;
+    }
+    if (!chunked_identical) {
+      std::fprintf(stderr, "FAIL: chunked replay diverged from the monolithic replay\n");
+      return 1;
+    }
+    if (resident_mb > 0.0 && chunk_peak_resident_mb > resident_mb) {
+      std::fprintf(stderr, "FAIL: chunk residency %.1f MB exceeded the %.0f MB budget\n",
+                   chunk_peak_resident_mb, resident_mb);
       return 1;
     }
   }
@@ -260,7 +333,12 @@ int main(int argc, char** argv) {
           Json(dataset_load_bin_ms > 0.0 ? dataset_load_ms / dataset_load_bin_ms : 0.0);
       out["dataset_replay_ms"] = Json(dataset_replay_ms);
       out["dataset_formats_identical"] = Json(formats_identical);
+      out["chunked_wall_ms"] = Json(chunked_wall_ms);
+      out["chunk_peak_resident_mb"] = Json(chunk_peak_resident_mb);
+      out["chunked_identical"] = Json(chunked_identical);
     }
+    out["peak_rss_mb"] =
+        Json(static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0));
     if (!bench::write_perf_json(json_path, out)) return 1;
     std::printf("perf JSON -> %s\n", json_path.c_str());
   }

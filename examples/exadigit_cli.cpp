@@ -11,6 +11,7 @@
 ///   exadigit_cli simulate  [--hours H] [--seed S] [--config system.json]
 ///   exadigit_cli replay    <dataset_dir> [--config system.json] [--no-cooling]
 ///   exadigit_cli record    <output_dir> [--hours H] [--seed S]
+///                          [--format exadigit-csv|exadigit-bin] [--chunk-seconds W]
 ///   exadigit_cli whatif    <smart_rectifiers|dc380> [--hours H]
 ///   exadigit_cli optimize  [--power-mw P] [--wetbulb C]
 ///   exadigit_cli scene     <output.json>
@@ -40,6 +41,7 @@
 #include "raps/workload.hpp"
 #include "scenario/scenario_runner.hpp"
 #include "server/framing.hpp"
+#include "telemetry/chunk.hpp"
 #include "telemetry/store.hpp"
 #include "viz/dashboard.hpp"
 #include "viz/scene_export.hpp"
@@ -61,6 +63,8 @@ struct Args {
   int jobs = 0;           ///< scenario-runner concurrency cap; 0 = batch/hardware
   std::string connect;    ///< host:port of a running exadigit_server
   std::string request_id = "cli";  ///< request id echoed in server envelopes
+  std::string format = kExadigitCsvFormat;  ///< record: output dataset format
+  double chunk_seconds = 0.0;  ///< record: v2 chunk window (exadigit-bin only)
 };
 
 Args parse_args(int argc, char** argv) {
@@ -76,6 +80,8 @@ Args parse_args(int argc, char** argv) {
       .add_int("--jobs", &args.jobs)
       .add_string("--connect", &args.connect)
       .add_string("--id", &args.request_id)
+      .add_string("--format", &args.format)
+      .add_double("--chunk-seconds", &args.chunk_seconds)
       .add_switch("--no-cooling", &args.cooling, false);
   args.positional = parser.parse(argc, argv, 2);
   return args;
@@ -182,9 +188,21 @@ int cmd_record(const Args& args) {
   const TelemetryDataset dataset = physical.record(
       gen.generate(0.0, duration), synthetic_wetbulb_series(duration, args.seed + 1),
       duration);
-  save_dataset(dataset, args.positional[0]);
-  std::printf("recorded %zu jobs over %.1f h into %s\n", dataset.jobs.size(), args.hours,
-              args.positional[0].c_str());
+  if (args.format == kExadigitBinFormat) {
+    if (args.chunk_seconds > 0.0) {
+      save_dataset_binary_chunked(dataset, args.positional[0], args.chunk_seconds);
+    } else {
+      save_dataset_binary(dataset, args.positional[0]);
+    }
+  } else if (args.format == kExadigitCsvFormat) {
+    require(args.chunk_seconds == 0.0, "--chunk-seconds requires --format exadigit-bin");
+    save_dataset(dataset, args.positional[0]);
+  } else {
+    throw ConfigError("record --format must be \"" + std::string(kExadigitCsvFormat) +
+                      "\" or \"" + kExadigitBinFormat + "\"");
+  }
+  std::printf("recorded %zu jobs over %.1f h into %s (%s)\n", dataset.jobs.size(), args.hours,
+              args.positional[0].c_str(), args.format.c_str());
   return 0;
 }
 
@@ -344,7 +362,8 @@ void usage() {
       "commands:\n"
       "  run       <scenarios.json> [--jobs N] [--out DIR] [--seed S]\n"
       "  simulate  [--hours H] [--seed S] [--config f.json] [--no-cooling]\n"
-      "  record    <dir> [--hours H] [--seed S]\n"
+      "  record    <dir> [--hours H] [--seed S] [--format exadigit-csv|exadigit-bin]\n"
+      "            [--chunk-seconds W]  (v2 chunked layout, exadigit-bin only)\n"
       "  replay    <dir> [--config f.json] [--no-cooling]\n"
       "  whatif    <smart_rectifiers|dc380> [--hours H]\n"
       "  optimize  [--power-mw P] [--wetbulb C]\n"

@@ -2,7 +2,8 @@
 /// resident twin serving many experiments).
 ///
 ///   exadigit_server [--host H] [--port P] [--jobs N] [--cache-entries N]
-///                   [--dataset-entries N] [--max-frame-mb N]
+///                   [--dataset-entries N] [--dataset-resident-mb M]
+///                   [--max-frame-mb N]
 ///
 /// Accepts framed JSON requests over TCP (framing and envelopes documented
 /// in src/server/framing.hpp and src/server/scenario_service.hpp) and keeps
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
   int jobs = 0;
   int cache_entries = 256;
   int dataset_entries = 8;
+  double dataset_resident_mb = 512.0;
   int max_frame_mb = 64;
   ArgParser parser;
   parser.add_string("--host", &host)
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
       .add_int("--jobs", &jobs)
       .add_int("--cache-entries", &cache_entries)
       .add_int("--dataset-entries", &dataset_entries)
+      .add_double("--dataset-resident-mb", &dataset_resident_mb)
       .add_int("--max-frame-mb", &max_frame_mb);
   try {
     require(parser.parse(argc, argv, 1).empty(),
@@ -52,6 +55,7 @@ int main(int argc, char** argv) {
     require(port >= 0 && port <= 65535, "--port must be in [0, 65535]");
     require(cache_entries >= 0, "--cache-entries must be >= 0");
     require(dataset_entries >= 0, "--dataset-entries must be >= 0");
+    require(dataset_resident_mb >= 0.0, "--dataset-resident-mb must be >= 0");
     require(max_frame_mb > 0, "--max-frame-mb must be positive");
 
     ServerOptions options;
@@ -60,6 +64,7 @@ int main(int argc, char** argv) {
     options.jobs = jobs;
     options.cache_entries = static_cast<std::size_t>(cache_entries);
     options.dataset_entries = static_cast<std::size_t>(dataset_entries);
+    options.dataset_resident_mb = dataset_resident_mb;
     options.max_frame_bytes = static_cast<std::size_t>(max_frame_mb) << 20;
 
     ScenarioServer server(options);

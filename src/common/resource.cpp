@@ -1,0 +1,24 @@
+#include "common/resource.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace exadigit {
+
+std::size_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  if (!status) return 0;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    // "VmHWM:    123456 kB"
+    std::istringstream fields(line.substr(6));
+    std::size_t kb = 0;
+    if (fields >> kb) return kb * 1024;
+    return 0;
+  }
+  return 0;
+}
+
+}  // namespace exadigit

@@ -1,0 +1,15 @@
+#pragma once
+
+/// @file resource.hpp
+/// Process resource introspection for benches: peak RSS.
+
+#include <cstddef>
+
+namespace exadigit {
+
+/// Peak resident set size of the calling process in bytes (VmHWM from
+/// /proc/self/status). Returns 0 where the proc interface is unavailable
+/// (non-Linux); callers must treat 0 as "unknown", not "tiny".
+[[nodiscard]] std::size_t peak_rss_bytes();
+
+}  // namespace exadigit

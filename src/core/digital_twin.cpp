@@ -38,6 +38,16 @@ void DigitalTwin::set_wetbulb_series(TimeSeries series) {
   wetbulb_series_ = std::move(series);
 }
 
+void DigitalTwin::append_wetbulb_samples(const std::vector<double>& times,
+                                         const std::vector<double>& values) {
+  require(times.size() == values.size(), "wetbulb sample arrays must be equally sized");
+  if (times.empty()) return;
+  if (!wetbulb_series_.has_value()) wetbulb_series_.emplace();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    wetbulb_series_->push_back(times[i], values[i]);
+  }
+}
+
 void DigitalTwin::set_wetbulb_constant(double wetbulb_c) {
   wetbulb_series_.reset();
   wetbulb_constant_ = wetbulb_c;

@@ -75,6 +75,15 @@ class DigitalTwin {
   void set_wetbulb_series(TimeSeries series);
   void set_wetbulb_constant(double wetbulb_c);
 
+  /// Incremental twin of set_wetbulb_series for chunked replay and live
+  /// ingest: appends time-ordered samples to the wet-bulb series, creating
+  /// it on the first non-empty batch. Timestamps must strictly increase
+  /// across batches. The caller must not run the twin past the last
+  /// appended sample time if it intends to append more (the series clamps
+  /// at its end, so later samples could no longer affect earlier steps).
+  void append_wetbulb_samples(const std::vector<double>& times,
+                              const std::vector<double>& values);
+
   void submit(JobRecord job) { engine_.submit(std::move(job)); }
   void submit_all(std::vector<JobRecord> jobs) { engine_.submit_all(std::move(jobs)); }
 

@@ -35,6 +35,53 @@ SeriesScore score_series(const TimeSeries& predicted, const TimeSeries& measured
   return s;
 }
 
+namespace {
+
+/// Shared tail of every replay flavor: series extraction, scoring, report.
+PowerReplayResult assemble_replay_result(const SystemConfig& config, DigitalTwin& twin,
+                                         TimeSeries measured_mw, bool with_cooling,
+                                         double wall_ms) {
+  PowerReplayResult r;
+  r.wall_ms = wall_ms;
+  r.predicted_power_mw = twin.engine().power_series_mw();
+  r.measured_power_mw = std::move(measured_mw);
+  r.eta_system = twin.engine().eta_series();
+  r.utilization = twin.engine().utilization_series();
+  if (with_cooling) {
+    r.cooling_eff = twin.cooling_efficiency_series();
+    r.pue = twin.pue_series();
+  }
+  r.power_score = score_series(r.predicted_power_mw, r.measured_power_mw,
+                               config.simulation.cooling_quantum_s);
+  r.report = twin.report();
+  return r;
+}
+
+/// The latest time <= `horizon` where the engine fires a cooling-quantum
+/// boundary, or `start` when no boundary fires by then. Quantum boundary m
+/// fires at the first tick k with k*tick >= m*quantum - 1e-9 (the
+/// RapsEngine::tick_body predicate, epsilon included); a run_until landing
+/// exactly on such a tick takes its observation sample there and both the
+/// engine tail-flush and the twin's partial plant step are no-ops — so an
+/// intermediate stop at this time is a pure prefix of a longer run.
+double quantum_fire_time(double start, double tick, double quantum, double horizon) {
+  if (horizon <= start) return start;
+  auto fire_tick = [&](long long m) {
+    const double boundary = static_cast<double>(m) * quantum - 1e-9;
+    const double est = std::ceil(boundary / tick);
+    long long k = est > 0.0 && est < 9.0e18 ? static_cast<long long>(est) : 0;
+    while (k > 0 && static_cast<double>(k - 1) * tick >= boundary) --k;
+    while (static_cast<double>(k) * tick < boundary) ++k;
+    return k;
+  };
+  long long m = static_cast<long long>(std::floor((horizon - start) / quantum)) + 1;
+  while (m >= 1 && start + static_cast<double>(fire_tick(m)) * tick > horizon) --m;
+  if (m < 1) return start;
+  return start + static_cast<double>(fire_tick(m)) * tick;
+}
+
+}  // namespace
+
 PowerReplayResult replay_power(const SystemConfig& config, const TelemetryDataset& dataset,
                                bool with_cooling) {
   dataset.validate();
@@ -51,33 +98,65 @@ PowerReplayResult replay_power(const SystemConfig& config, const TelemetryDatase
                                                 sim_begin)
           .count();
 
-  PowerReplayResult r;
-  r.wall_ms = wall_ms;
-  r.predicted_power_mw = twin.engine().power_series_mw();
   TimeSeries measured_mw;
   for (std::size_t i = 0; i < dataset.measured_system_power_w.size(); ++i) {
     measured_mw.push_back(dataset.measured_system_power_w.time(i),
                           units::mw_from_watts(dataset.measured_system_power_w.value(i)));
   }
-  r.measured_power_mw = std::move(measured_mw);
-  r.eta_system = twin.engine().eta_series();
-  r.utilization = twin.engine().utilization_series();
-  if (with_cooling) {
-    r.cooling_eff = twin.cooling_efficiency_series();
-    r.pue = twin.pue_series();
+  return assemble_replay_result(config, twin, std::move(measured_mw), with_cooling, wall_ms);
+}
+
+PowerReplayResult replay_power(const SystemConfig& config, ChunkedTelemetrySource& source,
+                               bool with_cooling) {
+  const DatasetHeader& header = source.header();
+  DigitalTwinOptions options;
+  options.enable_cooling = with_cooling;
+  options.start_time_s = header.start_time_s;
+  DigitalTwin twin(config, options);
+  const double t_end = header.end_time_s();
+
+  const auto sim_begin = std::chrono::steady_clock::now();
+  twin.submit_all(header.jobs);
+  TimeSeries measured_mw;
+  TelemetryChunk chunk;
+  // Replay's only mid-run telemetry dependency is the wet bulb (measured
+  // power is scored after the run); the safe simulation horizon while the
+  // stream is live is therefore the last ingested wet-bulb sample — past
+  // it the series would clamp where the monolithic path interpolates.
+  double wetbulb_horizon = header.start_time_s;
+  while (source.next(chunk)) {
+    const TelemetryChannel* wb = chunk.frame().find(kSystemTag, "wetbulb_c");
+    if (wb != nullptr && !wb->times.empty()) {
+      twin.append_wetbulb_samples(wb->times, wb->values);
+      wetbulb_horizon = wb->times.back();
+    }
+    if (const TelemetryChannel* mp = chunk.frame().find(kSystemTag, "measured_power_w")) {
+      for (std::size_t i = 0; i < mp->times.size(); ++i) {
+        measured_mw.push_back(mp->times[i], units::mw_from_watts(mp->values[i]));
+      }
+    }
+    chunk.release();
+    const double target =
+        quantum_fire_time(header.start_time_s, config.simulation.tick_s,
+                          config.simulation.cooling_quantum_s, std::min(wetbulb_horizon, t_end));
+    if (target > twin.engine().now_s()) twin.run_until(target);
   }
-  r.power_score = score_series(r.predicted_power_mw, r.measured_power_mw,
-                               config.simulation.cooling_quantum_s);
-  r.report = twin.report();
-  return r;
+  // End-of-stream: the wet-bulb series is complete, so running to the end
+  // now clamps exactly where the monolithic path does.
+  twin.run_until(t_end);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                sim_begin)
+          .count();
+  return assemble_replay_result(config, twin, std::move(measured_mw), with_cooling, wall_ms);
 }
 
 PowerReplayResult replay_power(const SystemConfig& config, DatasetFrame&& data,
                                bool with_cooling) {
-  // Materializing the schema view from a columnar frame is all moves, so
-  // this is the frame path: no channel array is ever copied.
-  const TelemetryDataset dataset = std::move(data).to_dataset();
-  return replay_power(config, dataset, with_cooling);
+  // The whole frame moves into a single chunk, so as before no channel
+  // array is ever copied on this path.
+  InMemoryChunkSource source(std::move(data), 0.0);
+  return replay_power(config, source, with_cooling);
 }
 
 CoolingValidationResult validate_cooling(const SystemConfig& config,

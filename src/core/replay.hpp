@@ -17,6 +17,7 @@
 /// "cooling_validation" scenario types in the ScenarioRegistry.
 
 #include "core/digital_twin.hpp"
+#include "telemetry/chunk.hpp"
 #include "telemetry/schema.hpp"
 #include "telemetry/store.hpp"
 
@@ -56,10 +57,22 @@ struct PowerReplayResult {
                                              const TelemetryDataset& dataset,
                                              bool with_cooling);
 
+/// Streaming overload: pulls telemetry chunk by chunk off `source` and
+/// advances the twin incrementally, so peak telemetry residency is one chunk
+/// rather than the whole dataset. Bit-identical to the whole-dataset
+/// overload on the report and on every recorded series sample: between
+/// chunks the twin only ever runs to a cooling-quantum fire tick at or
+/// before the last ingested wet-bulb sample (replay's only mid-run
+/// telemetry dependency), where an intermediate run_until is a pure prefix
+/// of the monolithic one.
+[[nodiscard]] PowerReplayResult replay_power(const SystemConfig& config,
+                                             ChunkedTelemetrySource& source,
+                                             bool with_cooling);
+
 /// Frame-consuming overload: replays a columnar DatasetFrame (as produced
-/// by load_dataset_frame) without copying channel arrays — the channels the
-/// replay needs are moved out of the frame, so a 183-day load feeds the
-/// twin with zero per-sample copies.
+/// by load_dataset_frame) without copying channel arrays — an adapter that
+/// moves the frame into a single-chunk InMemoryChunkSource, so a 183-day
+/// load feeds the twin with zero per-sample copies.
 [[nodiscard]] PowerReplayResult replay_power(const SystemConfig& config, DatasetFrame&& data,
                                              bool with_cooling);
 

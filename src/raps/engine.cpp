@@ -230,14 +230,6 @@ void RapsEngine::tick_body() {
   const std::size_t queue_before = scheduler_.queue_depth();
   process_completions();
   process_arrivals();
-  // A scheduling pass is only useful when nodes were freed or work arrived;
-  // power needs recomputing only when the running set actually changed.
-  const bool freed_or_arrived = jobs_completed_ != completed_before ||
-                                scheduler_.queue_depth() != queue_before ||
-                                running_.size() != running_before;
-  if (freed_or_arrived) schedule_pass();
-  const bool membership_changed =
-      running_.size() != running_before || jobs_completed_ != completed_before;
 
   const double quantum = config_.simulation.cooling_quantum_s;
   const double rel = static_cast<double>(tick_count_) * config_.simulation.tick_s;
@@ -249,6 +241,20 @@ void RapsEngine::tick_body() {
   if (on_quantum) {
     next_quantum_ = static_cast<long long>(std::floor(rel / quantum + 1e-9)) + 1;
   }
+
+  // A scheduling pass is only useful when nodes were freed or work arrived
+  // — except for time-varying policies (price/power aware), which are also
+  // consulted at every quantum boundary while jobs are queued, so a
+  // deferral can be reconsidered as prices move and waits grow. Power
+  // needs recomputing only when the running set actually changed.
+  const bool freed_or_arrived = jobs_completed_ != completed_before ||
+                                scheduler_.queue_depth() != queue_before ||
+                                running_.size() != running_before;
+  const bool periodic_pass_due =
+      on_quantum && scheduler_.queue_depth() > 0 && scheduler_.wants_periodic_pass();
+  if (freed_or_arrived || periodic_pass_due) schedule_pass();
+  const bool membership_changed =
+      running_.size() != running_before || jobs_completed_ != completed_before;
   if (on_quantum || membership_changed || trace_boundary_crossed()) {
     integrate_and_sample(/*fire_cooling=*/on_quantum);
   }

@@ -8,6 +8,7 @@
 #include "raps/policy/backfill_policy.hpp"
 #include "raps/policy/fcfs_policy.hpp"
 #include "raps/policy/power_capped_policy.hpp"
+#include "raps/policy/price_aware_policy.hpp"
 #include "raps/policy/priority_policy.hpp"
 #include "raps/policy/sjf_policy.hpp"
 
@@ -35,6 +36,9 @@ SchedulingPolicyRegistry::SchedulingPolicyRegistry() {
                   [](const Json& params) { return std::make_unique<PriorityPolicy>(params); });
   register_policy("power_capped", [](const Json& params) {
     return std::make_unique<PowerCappedPolicy>(params);
+  });
+  register_policy("price_aware", [](const Json& params) {
+    return std::make_unique<PriceAwarePolicy>(params);
   });
 }
 

@@ -1,0 +1,38 @@
+#include "raps/policy/price_aware_policy.hpp"
+
+#include "common/error.hpp"
+#include "raps/policy/policy_registry.hpp"
+
+namespace exadigit {
+
+PriceAwarePolicy::PriceAwarePolicy(const Json& params) {
+  check_policy_params(params, "price_aware", {"threshold_usd_per_kwh", "max_defer_hours"});
+  require(params.is_object() && params.contains("threshold_usd_per_kwh"),
+          "price_aware policy requires a \"threshold_usd_per_kwh\" param");
+  threshold_usd_per_kwh_ = params.at("threshold_usd_per_kwh").as_number();
+  require(threshold_usd_per_kwh_ > 0.0, "price_aware threshold_usd_per_kwh must be positive");
+  const double max_defer_hours = params.number_or("max_defer_hours", 24.0);
+  require(max_defer_hours > 0.0, "price_aware max_defer_hours must be positive");
+  max_defer_s_ = max_defer_hours * 3600.0;
+}
+
+void PriceAwarePolicy::schedule(std::deque<JobRecord>& queue, const SchedulerContext& ctx,
+                                const std::function<bool(const JobRecord&)>& start_job) {
+  const NodeAllocator& alloc = *ctx.alloc;
+  const bool expensive =
+      ctx.power != nullptr && ctx.power->electricity_usd_per_kwh > threshold_usd_per_kwh_;
+  for (auto it = queue.begin(); it != queue.end();) {
+    const bool fits = it->node_count <= alloc.free_nodes_in(it->partition);
+    // Deferral never reorders: a deferred job is skipped in place and
+    // retried on the next pass, so arrival order is preserved once the
+    // price drops (or the starvation guard trips).
+    const bool deferred = expensive && ctx.now_s - it->submit_time_s < max_defer_s_;
+    if (fits && !deferred && start_job(*it)) {
+      it = queue.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace exadigit

@@ -1,0 +1,52 @@
+#pragma once
+
+/// @file price_aware_policy.hpp
+/// Price-aware scheduling: defer starts while electricity is expensive.
+
+#include "json/json.hpp"
+#include "raps/policy/scheduling_policy.hpp"
+
+namespace exadigit {
+
+/// Price-aware FCFS-order scan: while the engine-reported electricity
+/// price (PowerFeedback::electricity_usd_per_kwh, from EconomicsConfig)
+/// exceeds `threshold_usd_per_kwh`, deferrable jobs stay queued; once the
+/// price is at or under the threshold the policy is a plain greedy
+/// FCFS-order scan. This is the incentive-structure experiment of the
+/// Maiterth et al. follow-on: shift load out of expensive hours without
+/// starving anyone.
+///
+/// A job stops being deferrable once it has waited `max_defer_hours` since
+/// submission — starved jobs start regardless of price (the guard keeps a
+/// permanently-high price from parking the queue forever). Replay jobs are
+/// started by the engine off their fixed schedule and never reach this
+/// scan.
+///
+/// Without engine power feedback (ctx.power == nullptr, e.g. bare
+/// Scheduler unit tests) the price is unknown and the policy degrades to
+/// the greedy FCFS-order scan.
+///
+/// Params: {"threshold_usd_per_kwh": number > 0, required;
+///          "max_defer_hours": number > 0, default 24}.
+class PriceAwarePolicy final : public SchedulingPolicy {
+ public:
+  explicit PriceAwarePolicy(const Json& params);
+
+  [[nodiscard]] const char* name() const override { return "price_aware"; }
+
+  /// Deferral depends on wait time, not queue events: without periodic
+  /// passes the starvation guard could never trip between arrivals.
+  [[nodiscard]] bool wants_periodic_pass() const override { return true; }
+
+  void schedule(std::deque<JobRecord>& queue, const SchedulerContext& ctx,
+                const std::function<bool(const JobRecord&)>& start_job) override;
+
+  [[nodiscard]] double threshold_usd_per_kwh() const { return threshold_usd_per_kwh_; }
+  [[nodiscard]] double max_defer_s() const { return max_defer_s_; }
+
+ private:
+  double threshold_usd_per_kwh_ = 0.0;
+  double max_defer_s_ = 24.0 * 3600.0;
+};
+
+}  // namespace exadigit

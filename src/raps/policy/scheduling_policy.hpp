@@ -80,6 +80,15 @@ class SchedulingPolicy {
   /// Registry name this instance was created under ("fcfs", ...).
   [[nodiscard]] virtual const char* name() const = 0;
 
+  /// True for policies whose decisions depend on *time-varying* context
+  /// (price, live power) rather than only on queue/running-set changes.
+  /// The engine then re-runs the pass at every cooling-quantum boundary
+  /// while jobs are queued — without this, a policy that deferred every
+  /// job would never be consulted again until the next arrival or
+  /// completion, and a deferral could silently become permanent. Default
+  /// false: event-driven policies keep their exact pass cadence.
+  [[nodiscard]] virtual bool wants_periodic_pass() const { return false; }
+
   /// Runs one scheduling pass at ctx.now_s over `queue`.
   virtual void schedule(std::deque<JobRecord>& queue, const SchedulerContext& ctx,
                         const std::function<bool(const JobRecord&)>& start_job) = 0;

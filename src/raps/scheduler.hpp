@@ -62,6 +62,8 @@ class Scheduler {
   /// High-water mark of the queue depth over the run (report stat).
   [[nodiscard]] int max_queue_depth_seen() const { return max_queue_depth_seen_; }
   [[nodiscard]] const std::string& policy_name() const { return config_.policy; }
+  /// Forwarded from the policy: see SchedulingPolicy::wants_periodic_pass.
+  [[nodiscard]] bool wants_periodic_pass() const { return policy_->wants_periodic_pass(); }
 
  private:
   SchedulerConfig config_;

@@ -151,14 +151,22 @@ ScenarioResult run_replay_scenario(const ScenarioSpec& spec) {
   check_params(spec, {"cooling"});
   const SystemConfig config = spec.resolve_config();
   const bool cooling = param_bool(spec, "cooling", true);
-  // Native saved datasets feed the replay columnar (single-pass load, no
-  // channel copies); synthetic recordings and bespoke registry formats go
-  // through the materialized-dataset path.
+  // Streaming knobs route through a ChunkedTelemetrySource (exadigit-bin
+  // datasets never fully materialize); otherwise native saved datasets feed
+  // the replay columnar (single-pass load, no channel copies), and
+  // synthetic recordings and bespoke registry formats go through the
+  // materialized-dataset path.
   const bool columnar =
       spec.source.kind == ScenarioSource::Kind::kDataset && spec.source.format.empty();
-  const PowerReplayResult pr =
-      columnar ? replay_power(config, load_dataset_frame(spec.source.path), cooling)
-               : replay_power(config, spec.resolve_dataset(config), cooling);
+  PowerReplayResult pr;
+  if (spec.source.chunked()) {
+    const std::unique_ptr<ChunkedTelemetrySource> source = spec.resolve_chunk_source(config);
+    pr = replay_power(config, *source, cooling);
+  } else if (columnar) {
+    pr = replay_power(config, load_dataset_frame(spec.source.path), cooling);
+  } else {
+    pr = replay_power(config, spec.resolve_dataset(config), cooling);
+  }
 
   ScenarioResult r;
   r.add_metric("power_rmse_mw", pr.power_score.rmse);

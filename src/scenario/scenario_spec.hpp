@@ -21,6 +21,7 @@
 
 #include "config/system_config.hpp"
 #include "json/json.hpp"
+#include "telemetry/chunk.hpp"
 #include "telemetry/schema.hpp"
 
 namespace exadigit {
@@ -39,6 +40,17 @@ struct ScenarioSource {
   std::string format;
   double hours = 1.0;         ///< recorded window length (kSynthetic)
   std::uint64_t seed = 2024;  ///< workload/recording seed (kSynthetic)
+  /// Streaming knobs (see telemetry/chunk.hpp). chunk_seconds > 0 slices
+  /// the telemetry into windows of that many seconds and replays it through
+  /// a ChunkedTelemetrySource; max_resident_mb > 0 additionally bounds the
+  /// decoded chunk bytes resident at once (exadigit-bin datasets only —
+  /// other sources are in memory regardless). Either knob being set routes
+  /// replay through the chunked path; both zero = monolithic load.
+  double chunk_seconds = 0.0;
+  double max_resident_mb = 0.0;
+
+  /// True when either streaming knob is set.
+  [[nodiscard]] bool chunked() const { return chunk_seconds > 0.0 || max_resident_mb > 0.0; }
 
   static ScenarioSource from_json(const Json& j);
   [[nodiscard]] Json to_json() const;
@@ -74,6 +86,13 @@ struct ScenarioSpec {
   /// synthetic dataset under `config` (same path as `exadigit_cli record`).
   [[nodiscard]] TelemetryDataset resolve_dataset(const SystemConfig& config) const;
 
+  /// Streaming counterpart of resolve_dataset, honoring the source's
+  /// chunk_seconds/max_resident_mb knobs: exadigit-bin datasets stream off
+  /// disk chunk by chunk, everything else (csv, bespoke registry formats,
+  /// synthetic recordings) loads fully and is sliced in memory.
+  [[nodiscard]] std::unique_ptr<ChunkedTelemetrySource> resolve_chunk_source(
+      const SystemConfig& config) const;
+
   /// Parses a spec object; unknown keys are ConfigErrors so typos in batch
   /// files fail loudly rather than silently running defaults.
   static ScenarioSpec from_json(const Json& j);
@@ -108,6 +127,14 @@ struct ScenarioBatch {
 /// scenarios run gives an arbitrary mix of old and new resolution.
 using ScenarioDatasetLoader = std::function<TelemetryDataset(const ScenarioSource&)>;
 void set_scenario_dataset_loader(ScenarioDatasetLoader loader);
+
+/// Chunked twin of the loader seam: when installed, resolve_chunk_source
+/// routes every kDataset source through `opener` (the scenario service uses
+/// this for residency accounting of streamed datasets). Same thread-safety
+/// contract as set_scenario_dataset_loader.
+using ScenarioChunkSourceOpener =
+    std::function<std::unique_ptr<ChunkedTelemetrySource>(const ScenarioSource&)>;
+void set_scenario_chunk_source_opener(ScenarioChunkSourceOpener opener);
 
 /// The paper-style synthetic wet-bulb boundary series used by workload
 /// scenarios: 60 s samples over `duration_s`, deterministic in `seed`.

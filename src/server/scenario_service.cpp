@@ -9,6 +9,7 @@
 #include "scenario/scenario_registry.hpp"
 #include "scenario/scenario_result.hpp"
 #include "scenario/scenario_runner.hpp"
+#include "telemetry/chunk.hpp"
 #include "telemetry/store.hpp"
 
 namespace exadigit {
@@ -85,12 +86,18 @@ ScenarioService::ScenarioService(Options options)
   if (options_.dataset_entries > 0) {
     set_scenario_dataset_loader(
         [this](const ScenarioSource& source) { return load_resident_dataset(source); });
+    set_scenario_chunk_source_opener([this](const ScenarioSource& source) {
+      return open_resident_chunk_source(source);
+    });
   }
 }
 
 ScenarioService::~ScenarioService() {
-  // Uninstall the loader before anything it captures is torn down.
-  if (options_.dataset_entries > 0) set_scenario_dataset_loader({});
+  // Uninstall the seams before anything they capture is torn down.
+  if (options_.dataset_entries > 0) {
+    set_scenario_dataset_loader({});
+    set_scenario_chunk_source_opener({});
+  }
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     stop_ = true;
@@ -452,6 +459,7 @@ Json ScenarioService::stats_json() const {
     const std::lock_guard<std::mutex> lock(dataset_mutex_);
     Json datasets;
     datasets["resident"] = static_cast<std::int64_t>(dataset_index_.size());
+    datasets["resident_bytes"] = static_cast<std::int64_t>(dataset_resident_bytes_);
     datasets["loads"] = static_cast<std::int64_t>(dataset_loads_);
     datasets["hits"] = static_cast<std::int64_t>(dataset_hits_);
     j["datasets"] = std::move(datasets);
@@ -496,7 +504,7 @@ TelemetryDataset ScenarioService::load_resident_dataset(const ScenarioSource& so
   if (it != dataset_index_.end()) {
     ++dataset_hits_;
     dataset_order_.splice(dataset_order_.begin(), dataset_order_, it->second);
-    return *it->second->second;
+    return *it->second->dataset;
   }
   // Loading under the lock serializes concurrent first-touches of the same
   // dataset — exactly the duplicate work residency exists to avoid.
@@ -506,13 +514,43 @@ TelemetryDataset ScenarioService::load_resident_dataset(const ScenarioSource& so
           : TelemetryReaderRegistry::instance().load(source.format, source.path);
   ++dataset_loads_;
   auto resident = std::make_shared<const TelemetryDataset>(std::move(loaded));
-  dataset_order_.emplace_front(key, resident);
+  const std::size_t bytes = dataset_payload_bytes(*resident);
+  dataset_order_.push_front(ResidentDataset{key, resident, bytes});
   dataset_index_[key] = dataset_order_.begin();
-  while (dataset_order_.size() > options_.dataset_entries) {
-    dataset_index_.erase(dataset_order_.back().first);
+  dataset_resident_bytes_ += bytes;
+  // Evict by resident bytes, coldest first, always keeping the entry just
+  // touched: one dataset larger than the whole budget still gets cached
+  // (evicting it would just reload it on every request).
+  const double budget_bytes = options_.dataset_resident_mb * 1024.0 * 1024.0;
+  while (budget_bytes > 0.0 && dataset_order_.size() > 1 &&
+         static_cast<double>(dataset_resident_bytes_) > budget_bytes) {
+    dataset_resident_bytes_ -= dataset_order_.back().bytes;
+    dataset_index_.erase(dataset_order_.back().key);
     dataset_order_.pop_back();
   }
   return *resident;
+}
+
+std::unique_ptr<ChunkedTelemetrySource> ScenarioService::open_resident_chunk_source(
+    const ScenarioSource& source) {
+  BinChunkSource::Options bin_options;
+  bin_options.max_resident_mb = source.max_resident_mb;
+  if (source.format == kExadigitBinFormat) {
+    return std::make_unique<BinChunkSource>(source.path, bin_options);
+  }
+  if (source.format.empty()) {
+    // Auto-detect: binary datasets stream off disk, bypassing the resident
+    // LRU on purpose — a chunked request asked for bounded memory, and the
+    // stream's working set is one chunk, not one dataset.
+    const Json manifest = Json::load_file(source.path + "/manifest.json");
+    if (manifest.string_or("format", "") == kExadigitBinFormat) {
+      return std::make_unique<BinChunkSource>(source.path, bin_options);
+    }
+  }
+  // Non-binary formats must materialize anyway; share that copy through the
+  // resident LRU and slice it in memory.
+  return std::make_unique<InMemoryChunkSource>(
+      dataset_to_frame(load_resident_dataset(source)), source.chunk_seconds);
 }
 
 }  // namespace exadigit

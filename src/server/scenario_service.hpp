@@ -73,9 +73,17 @@ class ScenarioService {
     int jobs = 0;
     /// Result-cache capacity in entries (0 disables result caching).
     std::size_t cache_entries = 256;
-    /// Resident-dataset capacity in datasets (0 disables residency; the
-    /// process-wide dataset loader is then left untouched).
+    /// Enables dataset residency when > 0 (0 leaves the process-wide
+    /// dataset loader and chunk-source opener untouched). No longer an
+    /// eviction cap: the LRU evicts by resident *bytes*, not entry count
+    /// (dataset_resident_mb), because datasets vary by orders of magnitude
+    /// — a 183-day replay dataset is not one of eight equal slots.
     std::size_t dataset_entries = 8;
+    /// Resident-dataset byte budget in MiB (sample payload accounting, the
+    /// same dataset_payload_bytes() measure the chunk gauges use). The LRU
+    /// evicts from the cold end while over budget, always keeping the most
+    /// recently used dataset. 0 = unlimited.
+    double dataset_resident_mb = 512.0;
   };
 
   /// One queued outbound envelope for a specific client connection.
@@ -196,6 +204,12 @@ class ScenarioService {
                         std::vector<Json>* out);
   void record_latency(const std::string& type, double elapsed_ms);
   TelemetryDataset load_resident_dataset(const ScenarioSource& source);
+  /// The chunk-source twin of load_resident_dataset: exadigit-bin datasets
+  /// stream straight off disk (they are out-of-core by design — residency
+  /// caching them would defeat the point), everything else goes through the
+  /// resident LRU and is sliced in memory.
+  [[nodiscard]] std::unique_ptr<ChunkedTelemetrySource> open_resident_chunk_source(
+      const ScenarioSource& source);
   [[nodiscard]] static Json batch_done_envelope(const BatchState& state);
 
   Options options_;
@@ -229,15 +243,20 @@ class ScenarioService {
   std::map<std::string, LatencyTrack> latency_;
   std::map<ConfigMemoKey, std::uint64_t> config_hash_memo_;
 
+  /// One resident dataset plus its payload-byte size, sampled once at load
+  /// (datasets are immutable while resident, so the size never goes stale).
+  struct ResidentDataset {
+    DatasetKey key;
+    std::shared_ptr<const TelemetryDataset> dataset;
+    std::size_t bytes = 0;
+  };
+
   // Resident datasets (separate mutex: loads are slow and must not block
   // the dispatch thread's bookkeeping).
   mutable std::mutex dataset_mutex_;
-  std::list<std::pair<DatasetKey, std::shared_ptr<const TelemetryDataset>>>
-      dataset_order_;  ///< front = most recently used
-  std::map<DatasetKey,
-           std::list<std::pair<DatasetKey,
-                               std::shared_ptr<const TelemetryDataset>>>::iterator>
-      dataset_index_;
+  std::list<ResidentDataset> dataset_order_;  ///< front = most recently used
+  std::map<DatasetKey, std::list<ResidentDataset>::iterator> dataset_index_;
+  std::size_t dataset_resident_bytes_ = 0;  ///< sum of resident entry bytes
   std::uint64_t dataset_loads_ = 0;
   std::uint64_t dataset_hits_ = 0;
 };

@@ -1,0 +1,449 @@
+#include "telemetry/chunk.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <utility>
+
+#include "common/error.hpp"
+#include "json/json.hpp"
+#include "telemetry/bin_format.hpp"
+#include "telemetry/schema.hpp"
+
+namespace exadigit {
+
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+Json chunk_index_to_json(const std::vector<ChunkIndexEntry>& index) {
+  Json arr{Json::Array{}};
+  for (const ChunkIndexEntry& e : index) {
+    Json entry;
+    entry["start_time_s"] = Json(e.start_time_s);
+    entry["end_time_s"] = Json(e.end_time_s);
+    entry["offset"] = Json(static_cast<double>(e.offset));
+    entry["bytes"] = Json(static_cast<double>(e.bytes));
+    arr.push_back(std::move(entry));
+  }
+  return arr;
+}
+
+std::vector<ChunkIndexEntry> chunk_index_from_json(const Json& arr) {
+  std::vector<ChunkIndexEntry> index;
+  for (const Json& entry : arr.as_array()) {
+    ChunkIndexEntry e;
+    e.start_time_s = entry.number_or("start_time_s", 0.0);
+    e.end_time_s = entry.number_or("end_time_s", 0.0);
+    e.offset = static_cast<std::uint64_t>(entry.number_or("offset", 0.0));
+    e.bytes = static_cast<std::uint64_t>(entry.number_or("bytes", 0.0));
+    index.push_back(e);
+  }
+  return index;
+}
+
+/// Reads manifest.json + jobs.json of an exadigit-bin dataset into a
+/// DatasetHeader, extracting the v2 chunk index when present.
+DatasetHeader load_bin_header(const std::string& directory,
+                              std::vector<ChunkIndexEntry>& index_out) {
+  const Json manifest = Json::load_file(directory + "/manifest.json");
+  const std::string format = manifest.string_or("format", "");
+  if (format != kExadigitBinFormat) {
+    throw TelemetryError("chunked read needs an exadigit-bin dataset, manifest says '" +
+                         format + "'");
+  }
+  DatasetHeader header;
+  header.system_name = manifest.string_or("system_name", "");
+  header.start_time_s = manifest.number_or("start_time_s", 0.0);
+  header.duration_s = manifest.number_or("duration_s", 0.0);
+  header.trace_quantum_s = manifest.number_or("trace_quantum_s", 15.0);
+  header.cdu_count = static_cast<std::size_t>(manifest.int_or("cdu_count", 0));
+  if (manifest.contains("chunks")) {
+    index_out = chunk_index_from_json(manifest.at("chunks"));
+  }
+  const Json jobs = Json::load_file(directory + "/jobs.json");
+  for (const Json& j : jobs.as_array()) header.jobs.push_back(telemetry_job_from_json(j));
+  return header;
+}
+
+/// Writes one v2 chunk block (u64 channel_count + non-empty channel blocks).
+void write_chunk_block(std::ostream& os, const TelemetryFrame& frame) {
+  std::uint64_t count = 0;
+  for (const TelemetryChannel& ch : frame.channels()) {
+    if (!ch.times.empty()) ++count;
+  }
+  binfmt::write_pod<std::uint64_t>(os, count);
+  for (const TelemetryChannel& ch : frame.channels()) {
+    if (ch.times.empty()) continue;
+    binfmt::write_channel_block(os, ch.tag, ch.channel, ch.times, ch.values);
+  }
+}
+
+/// Reads one v2 chunk block into a fresh frame.
+TelemetryFrame read_chunk_block(std::istream& is, std::uintmax_t file_size,
+                                const std::string& path) {
+  TelemetryFrame frame;
+  const auto count = binfmt::read_pod<std::uint64_t>(is, "chunk channel count");
+  std::uint64_t samples = 0;
+  for (std::uint64_t c = 0; c < count; ++c) {
+    binfmt::ChannelBlock block = binfmt::read_channel_block(is, file_size, path);
+    samples += block.times.size();
+    frame.adopt_channel(std::move(block.tag), std::move(block.channel),
+                        std::move(block.times), std::move(block.values));
+  }
+  binfmt::note_binary_read(samples);
+  return frame;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ DatasetHeader
+
+void DatasetHeader::validate() const {
+  if (duration_s <= 0.0) throw TelemetryError("dataset duration must be positive");
+  if (trace_quantum_s <= 0.0) throw TelemetryError("trace quantum must be positive");
+  for (const JobRecord& job : jobs) {
+    if (job.node_count <= 0) {
+      throw TelemetryError("job " + job.name + " has non-positive node count");
+    }
+    if (job.wall_time_s <= 0.0) {
+      throw TelemetryError("job " + job.name + " has non-positive wall time");
+    }
+    for (double u : job.cpu_util_trace) {
+      if (u < 0.0 || u > 1.0 || std::isnan(u)) {
+        throw TelemetryError("job " + job.name + " cpu trace out of [0,1]");
+      }
+    }
+    for (double u : job.gpu_util_trace) {
+      if (u < 0.0 || u > 1.0 || std::isnan(u)) {
+        throw TelemetryError("job " + job.name + " gpu trace out of [0,1]");
+      }
+    }
+  }
+}
+
+DatasetHeader DatasetHeader::take_from(DatasetFrame& frame) {
+  DatasetHeader header;
+  header.system_name = std::move(frame.system_name);
+  header.start_time_s = frame.start_time_s;
+  header.duration_s = frame.duration_s;
+  header.trace_quantum_s = frame.trace_quantum_s;
+  header.cdu_count = frame.cdu_count;
+  header.jobs = std::move(frame.jobs);
+  return header;
+}
+
+DatasetHeader DatasetHeader::copy_from(const TelemetryDataset& dataset) {
+  DatasetHeader header;
+  header.system_name = dataset.system_name;
+  header.start_time_s = dataset.start_time_s;
+  header.duration_s = dataset.duration_s;
+  header.trace_quantum_s = dataset.trace_quantum_s;
+  header.cdu_count = dataset.cdus.size();
+  header.jobs = dataset.jobs;
+  return header;
+}
+
+// ----------------------------------------------------------- TelemetryChunk
+
+TelemetryChunk::TelemetryChunk(std::size_t index, double start_time_s, double end_time_s,
+                               TelemetryFrame frame, std::shared_ptr<ResidencyGauge> gauge)
+    : index_(index),
+      start_time_s_(start_time_s),
+      end_time_s_(end_time_s),
+      frame_(std::move(frame)),
+      bytes_(frame_.payload_bytes()),
+      gauge_(std::move(gauge)) {
+  if (gauge_) gauge_->add(bytes_);
+}
+
+TelemetryChunk::TelemetryChunk(TelemetryChunk&& other) noexcept
+    : index_(other.index_),
+      start_time_s_(other.start_time_s_),
+      end_time_s_(other.end_time_s_),
+      frame_(std::move(other.frame_)),
+      bytes_(other.bytes_),
+      gauge_(std::move(other.gauge_)) {
+  other.bytes_ = 0;
+  other.gauge_.reset();
+}
+
+TelemetryChunk& TelemetryChunk::operator=(TelemetryChunk&& other) noexcept {
+  if (this != &other) {
+    release();
+    index_ = other.index_;
+    start_time_s_ = other.start_time_s_;
+    end_time_s_ = other.end_time_s_;
+    frame_ = std::move(other.frame_);
+    bytes_ = other.bytes_;
+    gauge_ = std::move(other.gauge_);
+    other.bytes_ = 0;
+    other.gauge_.reset();
+  }
+  return *this;
+}
+
+void TelemetryChunk::release() {
+  if (gauge_) gauge_->sub(bytes_);
+  gauge_.reset();
+  bytes_ = 0;
+  frame_ = TelemetryFrame{};
+}
+
+// ------------------------------------------------------- InMemoryChunkSource
+
+InMemoryChunkSource::InMemoryChunkSource(DatasetFrame frame, double chunk_seconds)
+    : ChunkedTelemetrySource(DatasetHeader::take_from(frame)),
+      frame_(std::move(frame.frame)),
+      chunk_seconds_(chunk_seconds) {
+  if (chunk_seconds_ > 0.0 && chunk_seconds_ < header_.duration_s) {
+    // ceil with a tolerance so duration == k * chunk_seconds gives exactly k.
+    chunk_count_ = static_cast<std::size_t>(
+        std::ceil(header_.duration_s / chunk_seconds_ - 1e-9));
+    chunk_count_ = std::max<std::size_t>(chunk_count_, 1);
+  }
+  cursors_.assign(frame_.channels().size(), 0);
+}
+
+bool InMemoryChunkSource::next(TelemetryChunk& out) {
+  if (next_index_ >= chunk_count_) return false;
+  const std::size_t k = next_index_++;
+  const double t0 = header_.start_time_s;
+  const bool last = (k + 1 == chunk_count_);
+  const double chunk_start = (chunk_count_ == 1) ? t0 : t0 + static_cast<double>(k) * chunk_seconds_;
+  const double chunk_end =
+      last ? header_.end_time_s() : t0 + static_cast<double>(k + 1) * chunk_seconds_;
+
+  if (chunk_count_ == 1) {
+    // Whole-span chunk: hand the frame over without copying any column.
+    out = TelemetryChunk(k, chunk_start, chunk_end, std::move(frame_), gauge_);
+    return true;
+  }
+
+  TelemetryFrame window;
+  const auto& channels = frame_.channels();
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const TelemetryChannel& ch = channels[i];
+    const std::size_t begin = cursors_[i];
+    std::size_t end = begin;
+    // The last window absorbs every remaining sample (including any past the
+    // nominal dataset end), mirroring how the first absorbs pre-start ones.
+    while (end < ch.times.size() && (last || ch.times[end] < chunk_end)) ++end;
+    cursors_[i] = end;
+    if (end == begin) continue;
+    window.adopt_channel(ch.tag, ch.channel,
+                         std::vector<double>(ch.times.begin() + static_cast<std::ptrdiff_t>(begin),
+                                             ch.times.begin() + static_cast<std::ptrdiff_t>(end)),
+                         std::vector<double>(ch.values.begin() + static_cast<std::ptrdiff_t>(begin),
+                                             ch.values.begin() + static_cast<std::ptrdiff_t>(end)));
+  }
+  out = TelemetryChunk(k, chunk_start, chunk_end, std::move(window), gauge_);
+  return true;
+}
+
+// ---------------------------------------------------------- BinChunkSource
+
+BinChunkSource::BinChunkSource(const std::string& directory, Options options)
+    : path_(directory + "/channels.bin"), options_(options) {
+  header_ = load_bin_header(directory, index_);
+  header_.validate();
+  binfmt::require_little_endian();
+  std::error_code size_ec;
+  file_size_ = std::filesystem::file_size(path_, size_ec);
+  if (size_ec) file_size_ = 0;
+  file_.open(path_, std::ios::binary);
+  require(file_.good(), "cannot open channels.bin for reading: " + path_);
+  binfmt::note_binary_file_read();
+  const int version = binfmt::read_magic(file_, path_);
+  if (version == 1) {
+    // Legacy single-block file: the whole payload after the magic is one
+    // chunk covering the full span (any manifest chunk index is ignored).
+    index_.assign(1, ChunkIndexEntry{header_.start_time_s, header_.end_time_s(),
+                                     sizeof binfmt::kMagicV1,
+                                     file_size_ > sizeof binfmt::kMagicV1
+                                         ? file_size_ - sizeof binfmt::kMagicV1
+                                         : 0});
+  } else if (index_.empty()) {
+    throw TelemetryError("exadigit-bin v2 manifest has no chunk index: " + directory);
+  }
+}
+
+bool BinChunkSource::next(TelemetryChunk& out) {
+  if (next_chunk_ >= index_.size()) return false;
+  const ChunkIndexEntry& entry = index_[next_chunk_];
+  if (options_.max_resident_mb > 0.0 && gauge_->current_bytes() > 0) {
+    const auto budget = static_cast<std::size_t>(options_.max_resident_mb * kMiB);
+    // entry.bytes is the encoded block size, a close upper bound on the
+    // decoded payload. A lone chunk is always admitted (current == 0), so
+    // the budget enforces release-before-next rather than deadlocking.
+    if (gauge_->current_bytes() + entry.bytes > budget) {
+      throw TelemetryError(
+          "chunk residency budget exceeded: " + std::to_string(gauge_->current_bytes()) +
+          " bytes resident + " + std::to_string(entry.bytes) + " byte chunk > max_resident_mb " +
+          std::to_string(options_.max_resident_mb) + " — release chunks before pulling more");
+    }
+  }
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(entry.offset));
+  require(file_.good(), "cannot seek in channels.bin: " + path_);
+  TelemetryFrame frame = read_chunk_block(file_, file_size_, path_);
+  out = TelemetryChunk(next_chunk_, entry.start_time_s, entry.end_time_s, std::move(frame),
+                       gauge_);
+  ++next_chunk_;
+  return true;
+}
+
+// --------------------------------------------------------- LiveAppendSource
+
+LiveAppendSource::LiveAppendSource(DatasetHeader header, std::size_t capacity)
+    : ChunkedTelemetrySource(std::move(header)), capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+void LiveAppendSource::push_locked(std::unique_lock<std::mutex>& lock, double start_time_s,
+                                   double end_time_s, TelemetryFrame frame) {
+  (void)lock;
+  require(end_time_s >= start_time_s, "live chunk window must not be time-inverted");
+  ring_.emplace_back(next_index_++, start_time_s, end_time_s, std::move(frame), gauge_);
+  not_empty_.notify_one();
+}
+
+void LiveAppendSource::push(double start_time_s, double end_time_s, TelemetryFrame frame) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock, [this] { return ring_.size() < capacity_ || closed_; });
+  if (closed_) throw TelemetryError("push on a closed LiveAppendSource");
+  push_locked(lock, start_time_s, end_time_s, std::move(frame));
+}
+
+bool LiveAppendSource::try_push(double start_time_s, double end_time_s, TelemetryFrame frame) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) throw TelemetryError("push on a closed LiveAppendSource");
+  if (ring_.size() >= capacity_) return false;
+  push_locked(lock, start_time_s, end_time_s, std::move(frame));
+  return true;
+}
+
+void LiveAppendSource::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool LiveAppendSource::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+bool LiveAppendSource::next(TelemetryChunk& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return !ring_.empty() || closed_; });
+  if (ring_.empty()) return false;  // closed and drained: end-of-stream
+  out = std::move(ring_.front());
+  ring_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+// --------------------------------------------------------- ChunkedBinWriter
+
+ChunkedBinWriter::ChunkedBinWriter(std::string directory, DatasetHeader header)
+    : directory_(std::move(directory)), header_(std::move(header)) {
+  header_.validate();
+  binfmt::require_little_endian();
+  std::filesystem::create_directories(directory_);
+  const std::string path = directory_ + "/channels.bin";
+  file_.open(path, std::ios::binary);
+  require(file_.good(), "cannot open channels.bin for writing: " + path);
+  file_.write(binfmt::kMagicV2, sizeof binfmt::kMagicV2);
+  offset_ = sizeof binfmt::kMagicV2;
+}
+
+void ChunkedBinWriter::append(double start_time_s, double end_time_s,
+                              const TelemetryFrame& frame) {
+  require(!finished_, "append on a finished ChunkedBinWriter");
+  require(end_time_s >= start_time_s, "chunk window must not be time-inverted");
+  ChunkIndexEntry entry;
+  entry.start_time_s = start_time_s;
+  entry.end_time_s = end_time_s;
+  entry.offset = offset_;
+  write_chunk_block(file_, frame);
+  require(file_.good(), "failed writing channels.bin in " + directory_);
+  offset_ = static_cast<std::uint64_t>(file_.tellp());
+  entry.bytes = offset_ - entry.offset;
+  index_.push_back(entry);
+}
+
+void ChunkedBinWriter::finish() {
+  require(!finished_, "finish on a finished ChunkedBinWriter");
+  file_.close();
+  require(!file_.fail(), "failed closing channels.bin in " + directory_);
+
+  Json jobs{Json::Array{}};
+  for (const JobRecord& j : header_.jobs) jobs.push_back(telemetry_job_to_json(j));
+  jobs.save_file(directory_ + "/jobs.json");
+
+  // Manifest last: the chunk index needs the real channels.bin offsets.
+  Json manifest;
+  manifest["format"] = Json(std::string(kExadigitBinFormat));
+  manifest["system_name"] = Json(header_.system_name);
+  manifest["start_time_s"] = Json(header_.start_time_s);
+  manifest["duration_s"] = Json(header_.duration_s);
+  manifest["trace_quantum_s"] = Json(header_.trace_quantum_s);
+  manifest["cdu_count"] = Json(header_.cdu_count);
+  manifest["chunks"] = chunk_index_to_json(index_);
+  manifest.save_file(directory_ + "/manifest.json");
+  finished_ = true;
+}
+
+// ------------------------------------------------------------- free helpers
+
+DatasetFrame dataset_to_frame(const TelemetryDataset& dataset) {
+  DatasetFrame frame;
+  frame.system_name = dataset.system_name;
+  frame.start_time_s = dataset.start_time_s;
+  frame.duration_s = dataset.duration_s;
+  frame.trace_quantum_s = dataset.trace_quantum_s;
+  frame.cdu_count = dataset.cdus.size();
+  frame.jobs = dataset.jobs;
+  frame.frame = TelemetryFrame::from_dataset(dataset);
+  return frame;
+}
+
+void save_dataset_binary_chunked(const TelemetryDataset& dataset, const std::string& directory,
+                                 double chunk_seconds) {
+  dataset.validate();
+  InMemoryChunkSource slicer(dataset_to_frame(dataset), chunk_seconds);
+
+  ChunkedBinWriter writer(directory, slicer.header());
+  TelemetryChunk chunk;
+  while (slicer.next(chunk)) {
+    writer.append(chunk.start_time_s(), chunk.end_time_s(), chunk.frame());
+    chunk.release();
+  }
+  writer.finish();
+}
+
+std::unique_ptr<ChunkedTelemetrySource> open_chunk_source(const std::string& directory,
+                                                          double chunk_seconds,
+                                                          BinChunkSource::Options options) {
+  const Json manifest = Json::load_file(directory + "/manifest.json");
+  if (manifest.string_or("format", "") == kExadigitBinFormat) {
+    return std::make_unique<BinChunkSource>(directory, options);
+  }
+  return std::make_unique<InMemoryChunkSource>(load_dataset_frame(directory), chunk_seconds);
+}
+
+std::size_t dataset_payload_bytes(const TelemetryDataset& dataset) {
+  std::size_t samples = 0;
+  for (const SystemChannelDef& def : system_channel_defs()) {
+    samples += (dataset.*(def.member)).size();
+  }
+  for (const CduTelemetry& cdu : dataset.cdus) {
+    for (const CduChannelDef& def : cdu_channel_defs()) samples += (cdu.*(def.member)).size();
+  }
+  for (const FacilityChannelDef& def : facility_channel_defs()) {
+    samples += (dataset.facility.*(def.member)).size();
+  }
+  return samples * 2 * sizeof(double);
+}
+
+}  // namespace exadigit

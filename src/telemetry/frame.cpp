@@ -23,6 +23,18 @@ void TelemetryFrame::adopt_channel(std::string tag, std::string channel,
       TelemetryChannel{std::move(tag), std::move(channel), std::move(times), std::move(values)});
 }
 
+void TelemetryFrame::append_channel(std::string tag, std::string channel,
+                                    std::vector<double> times, std::vector<double> values) {
+  require(times.size() == values.size(), "frame channel arrays must be equally sized");
+  TelemetryChannel* existing = find_mutable(tag, channel);
+  if (existing == nullptr) {
+    adopt_channel(std::move(tag), std::move(channel), std::move(times), std::move(values));
+    return;
+  }
+  existing->times.insert(existing->times.end(), times.begin(), times.end());
+  existing->values.insert(existing->values.end(), values.begin(), values.end());
+}
+
 std::size_t TelemetryFrame::sample_count() const {
   std::size_t n = 0;
   for (const TelemetryChannel& ch : channels_) n += ch.size();

@@ -55,9 +55,20 @@ class TelemetryFrame {
   void adopt_channel(std::string tag, std::string channel, std::vector<double> times,
                      std::vector<double> values);
 
+  /// Bulk append-or-create: adopts the arrays when the key is new, otherwise
+  /// appends them to the existing column (chunked ingest revisits the same
+  /// keys once per chunk). Timestamps must continue the existing column.
+  void append_channel(std::string tag, std::string channel, std::vector<double> times,
+                      std::vector<double> values);
+
   [[nodiscard]] std::size_t channel_count() const { return channels_.size(); }
   /// Total samples across all channels.
   [[nodiscard]] std::size_t sample_count() const;
+  /// Bytes of sample payload (the time/value doubles across all channels) —
+  /// the unit chunked-source residency accounting is denominated in.
+  [[nodiscard]] std::size_t payload_bytes() const {
+    return sample_count() * 2 * sizeof(double);
+  }
   [[nodiscard]] const std::vector<TelemetryChannel>& channels() const { return channels_; }
 
   /// The channel at `key`, or nullptr when absent.

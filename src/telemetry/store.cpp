@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/parse.hpp"
 #include "json/json.hpp"
+#include "telemetry/bin_format.hpp"
 
 namespace exadigit {
 
@@ -174,91 +175,30 @@ void stream_channel_csv(const std::string& path, TelemetryFrame& frame) {
 }
 
 // --------------------------------------------------------- binary format
-
-/// channels.bin layout (all integers and doubles little-endian):
-///   magic "EXDGBIN\x01" | u64 channel_count | channel blocks
-/// each channel block:
-///   u32 tag_len | tag bytes | u32 channel_len | channel bytes |
-///   u64 sample_count | double times[n] | double values[n]
-constexpr char kBinMagic[8] = {'E', 'X', 'D', 'G', 'B', 'I', 'N', '\x01'};
-
-void require_little_endian() {
-  // The on-disk format is little-endian; rather than silently writing a
-  // byte-swapped file on exotic hosts, refuse.
-  if constexpr (std::endian::native != std::endian::little) {
-    throw TelemetryError("exadigit-bin requires a little-endian host");
-  }
-}
-
-template <typename T>
-void write_pod(std::ostream& os, T value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof value);
-}
-
-template <typename T>
-T read_pod(std::istream& is, const char* what) {
-  T value{};
-  is.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!is.good()) throw TelemetryError("truncated channels.bin reading " + std::string(what));
-  return value;
-}
-
-void write_channel_block(std::ostream& os, const std::string& tag, const std::string& channel,
-                         const TimeSeries& series) {
-  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(tag.size()));
-  os.write(tag.data(), static_cast<std::streamsize>(tag.size()));
-  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(channel.size()));
-  os.write(channel.data(), static_cast<std::streamsize>(channel.size()));
-  write_pod<std::uint64_t>(os, series.size());
-  const auto bytes = static_cast<std::streamsize>(series.size() * sizeof(double));
-  os.write(reinterpret_cast<const char*>(series.times().data()), bytes);
-  os.write(reinterpret_cast<const char*>(series.values().data()), bytes);
-}
-
-std::string read_bin_string(std::istream& is, const char* what) {
-  const auto len = read_pod<std::uint32_t>(is, what);
-  // A name longer than this is certainly a corrupt or foreign file; fail
-  // before attempting a multi-gigabyte allocation.
-  if (len > 4096) throw TelemetryError("implausible name length in channels.bin");
-  std::string s(len, '\0');
-  is.read(s.data(), len);
-  if (!is.good()) throw TelemetryError("truncated channels.bin reading " + std::string(what));
-  return s;
-}
+//
+// Wire helpers live in bin_format.hpp, shared with the chunked reader and
+// writer in chunk.cpp. This whole-file reader accepts both versions: v1 is
+// one channel-block sequence, v2 is chunk blocks back-to-back (each u64
+// channel_count + blocks) that get appended per (tag, channel) key.
 
 void read_channels_bin(const std::string& path, TelemetryFrame& frame) {
-  require_little_endian();
+  binfmt::require_little_endian();
   std::error_code size_ec;
-  const auto file_size = std::filesystem::file_size(path, size_ec);
+  auto file_size = std::filesystem::file_size(path, size_ec);
+  if (size_ec) file_size = 0;
   std::ifstream f(path, std::ios::binary);
   require(f.good(), "cannot open channels.bin for reading: " + path);
-  char magic[sizeof kBinMagic] = {};
-  f.read(magic, sizeof magic);
-  if (!f.good() || std::memcmp(magic, kBinMagic, sizeof kBinMagic) != 0) {
-    throw TelemetryError("bad channels.bin magic in " + path);
-  }
-  const auto channel_count = read_pod<std::uint64_t>(f, "channel count");
+  const int version = binfmt::read_magic(f, path);
   std::uint64_t samples = 0;
-  for (std::uint64_t c = 0; c < channel_count; ++c) {
-    std::string tag = read_bin_string(f, "tag");
-    std::string channel = read_bin_string(f, "channel name");
-    const auto n = read_pod<std::uint64_t>(f, "sample count");
-    // A corrupt count field must fail cleanly, not attempt an allocation
-    // far beyond the file: the block's arrays need 16 bytes per sample.
-    if (!size_ec && n > file_size / (2 * sizeof(double))) {
-      throw TelemetryError("implausible sample count in channels.bin: " +
-                           std::to_string(n));
+  do {
+    const auto channel_count = binfmt::read_pod<std::uint64_t>(f, "channel count");
+    for (std::uint64_t c = 0; c < channel_count; ++c) {
+      binfmt::ChannelBlock block = binfmt::read_channel_block(f, file_size, path);
+      samples += block.times.size();
+      frame.append_channel(std::move(block.tag), std::move(block.channel),
+                           std::move(block.times), std::move(block.values));
     }
-    std::vector<double> times(n);
-    std::vector<double> values(n);
-    const auto bytes = static_cast<std::streamsize>(n * sizeof(double));
-    f.read(reinterpret_cast<char*>(times.data()), bytes);
-    f.read(reinterpret_cast<char*>(values.data()), bytes);
-    if (!f.good()) throw TelemetryError("truncated channels.bin samples in " + path);
-    samples += n;
-    frame.adopt_channel(std::move(tag), std::move(channel), std::move(times),
-                        std::move(values));
-  }
+  } while (version == 2 && f.peek() != std::char_traits<char>::eof());
   g_binary_file_reads.fetch_add(1, std::memory_order_relaxed);
   g_binary_samples.fetch_add(samples, std::memory_order_relaxed);
 }
@@ -284,6 +224,17 @@ class ExadigitBinReader final : public TelemetryReader {
 };
 
 }  // namespace
+
+namespace binfmt {
+void note_binary_read(std::uint64_t samples) {
+  g_binary_samples.fetch_add(samples, std::memory_order_relaxed);
+}
+void note_binary_file_read() { g_binary_file_reads.fetch_add(1, std::memory_order_relaxed); }
+}  // namespace binfmt
+
+Json telemetry_job_to_json(const JobRecord& job) { return job_to_json(job); }
+
+JobRecord telemetry_job_from_json(const Json& json) { return job_from_json(json); }
 
 DatasetIoStats dataset_io_stats() {
   DatasetIoStats s;
@@ -387,13 +338,13 @@ void save_dataset(const TelemetryDataset& dataset, const std::string& directory)
 
 void save_dataset_binary(const TelemetryDataset& dataset, const std::string& directory) {
   dataset.validate();
-  require_little_endian();
+  binfmt::require_little_endian();
   save_manifest_and_jobs(dataset, directory, kExadigitBinFormat);
 
   const std::string path = directory + "/channels.bin";
   std::ofstream f(path, std::ios::binary);
   require(f.good(), "cannot open channels.bin for writing: " + path);
-  f.write(kBinMagic, sizeof kBinMagic);
+  f.write(binfmt::kMagicV1, sizeof binfmt::kMagicV1);
 
   std::uint64_t channel_count = 0;
   auto for_each_channel = [&dataset](auto&& visit) {
@@ -413,9 +364,9 @@ void save_dataset_binary(const TelemetryDataset& dataset, const std::string& dir
   for_each_channel([&channel_count](const std::string&, const char*, const TimeSeries& s) {
     if (!s.empty()) ++channel_count;
   });
-  write_pod<std::uint64_t>(f, channel_count);
+  binfmt::write_pod<std::uint64_t>(f, channel_count);
   for_each_channel([&f](const std::string& tag, const char* name, const TimeSeries& s) {
-    if (!s.empty()) write_channel_block(f, tag, name, s);
+    if (!s.empty()) binfmt::write_channel_block(f, tag, name, s.times(), s.values());
   });
   require(f.good(), "failed writing channels.bin: " + path);
 }

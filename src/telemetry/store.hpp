@@ -36,6 +36,8 @@
 
 namespace exadigit {
 
+class Json;
+
 /// Native dataset format names (manifest.json "format" values).
 inline constexpr const char* kExadigitCsvFormat = "exadigit-csv";
 inline constexpr const char* kExadigitBinFormat = "exadigit-bin";
@@ -120,5 +122,11 @@ void save_dataset_binary(const TelemetryDataset& dataset, const std::string& dir
 /// The original O(channels x rows) exadigit-csv loader (one full document
 /// scan per channel), kept as the reference path for equivalence tests.
 [[nodiscard]] TelemetryDataset load_dataset_reference(const std::string& directory);
+
+/// jobs.json entry (de)serialization, shared with the chunked writer/reader
+/// (chunk.cpp) so the job schema cannot drift between the monolithic and
+/// chunked layouts.
+[[nodiscard]] Json telemetry_job_to_json(const JobRecord& job);
+[[nodiscard]] JobRecord telemetry_job_from_json(const Json& json);
 
 }  // namespace exadigit

@@ -47,7 +47,8 @@ SystemConfig one_rack_system() {
 
 TEST(PolicyRegistryTest, BuiltinsRegistered) {
   auto& reg = SchedulingPolicyRegistry::instance();
-  for (const char* name : {"fcfs", "sjf", "easy_backfill", "priority", "power_capped"}) {
+  for (const char* name :
+       {"fcfs", "sjf", "easy_backfill", "priority", "power_capped", "price_aware"}) {
     EXPECT_TRUE(reg.contains(name)) << name;
   }
 }
@@ -59,7 +60,8 @@ TEST(PolicyRegistryTest, UnknownPolicyErrorListsRegisteredNames) {
   } catch (const ConfigError& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find("lottery"), std::string::npos) << what;
-    for (const char* name : {"fcfs", "sjf", "easy_backfill", "priority", "power_capped"}) {
+    for (const char* name :
+         {"fcfs", "sjf", "easy_backfill", "priority", "power_capped", "price_aware"}) {
       EXPECT_NE(what.find(name), std::string::npos) << "missing " << name << ": " << what;
     }
   }
@@ -236,6 +238,116 @@ TEST(PowerCappedPolicyTest, JobsStillDrainEventually) {
   engine.submit_all(jobs);
   // The 128-node system is heavily oversubscribed by this burst; give the
   // event-driven engine (cheap, skips idle time) room to drain it fully.
+  engine.run_until(96.0 * units::kSecondsPerHour);
+  EXPECT_EQ(engine.jobs_completed(), static_cast<int>(jobs.size()));
+}
+
+// --- price_aware policy ----------------------------------------------------
+
+class PriceAwarePolicyTest : public ::testing::Test {
+ protected:
+  SystemConfig system_ = one_rack_system();
+  NodeAllocator alloc_{system_};
+  std::vector<std::string> started_;
+
+  /// One pass with the given electricity price fed back (negative = no
+  /// power feedback at all, the bare-Scheduler degradation case).
+  void pass_at_price(Scheduler& s, double usd_per_kwh, double now = 0.0) {
+    PowerFeedback feedback;
+    feedback.electricity_usd_per_kwh = usd_per_kwh;
+    s.schedule(now, alloc_, {}, usd_per_kwh < 0.0 ? nullptr : &feedback,
+               [this](const JobRecord& j) {
+                 auto nodes = alloc_.allocate(j.node_count, j.partition);
+                 if (!nodes.has_value()) return false;
+                 started_.push_back(j.name);
+                 return true;
+               });
+  }
+};
+
+TEST(PriceAwarePolicyParamsTest, ThresholdRequiredAndValidated) {
+  EXPECT_THROW(Scheduler(policy_config("price_aware")), ConfigError);
+  Json zero;
+  zero["threshold_usd_per_kwh"] = Json(0.0);
+  EXPECT_THROW(Scheduler(policy_config("price_aware", zero)), ConfigError);
+  Json bad_defer;
+  bad_defer["threshold_usd_per_kwh"] = Json(0.12);
+  bad_defer["max_defer_hours"] = Json(0.0);
+  EXPECT_THROW(Scheduler(policy_config("price_aware", bad_defer)), ConfigError);
+  Json unknown;
+  unknown["threshold_usd_per_kwh"] = Json(0.12);
+  unknown["surge_factor"] = Json(2.0);
+  EXPECT_THROW(Scheduler(policy_config("price_aware", unknown)), ConfigError);
+  Json ok;
+  ok["threshold_usd_per_kwh"] = Json(0.12);
+  EXPECT_NO_THROW(Scheduler(policy_config("price_aware", ok)));
+}
+
+TEST_F(PriceAwarePolicyTest, DefersWhileExpensiveStartsWhenCheap) {
+  Json params;
+  params["threshold_usd_per_kwh"] = Json(0.10);
+  Scheduler s(policy_config("price_aware", params));
+  s.enqueue(job("a", 30, 100));
+  s.enqueue(job("b", 30, 100));
+  pass_at_price(s, 0.25);
+  EXPECT_TRUE(started_.empty()) << "jobs started during the expensive window";
+  EXPECT_EQ(s.queue_depth(), 2u);
+  pass_at_price(s, 0.05);
+  EXPECT_EQ(started_, (std::vector<std::string>{"a", "b"}));  // arrival order kept
+  EXPECT_EQ(s.queue_depth(), 0u);
+}
+
+TEST_F(PriceAwarePolicyTest, PriceAtThresholdIsNotExpensive) {
+  Json params;
+  params["threshold_usd_per_kwh"] = Json(0.10);
+  Scheduler s(policy_config("price_aware", params));
+  s.enqueue(job("boundary", 10, 100));
+  pass_at_price(s, 0.10);
+  EXPECT_EQ(started_, (std::vector<std::string>{"boundary"}));
+}
+
+TEST_F(PriceAwarePolicyTest, StarvationGuardOverridesPrice) {
+  Json params;
+  params["threshold_usd_per_kwh"] = Json(0.10);
+  params["max_defer_hours"] = Json(1.0);
+  Scheduler s(policy_config("price_aware", params));
+  JobRecord starved = job("starved", 10, 100);
+  starved.submit_time_s = 0.0;
+  JobRecord fresh = job("fresh", 10, 100);
+  fresh.submit_time_s = 2.0 * 3600.0;
+  s.enqueue(starved);
+  s.enqueue(fresh);
+  // At t = 2 h the price is still high: starved has waited past the guard
+  // and starts anyway; fresh keeps waiting for a cheaper hour.
+  pass_at_price(s, 0.25, 2.0 * 3600.0);
+  EXPECT_EQ(started_, (std::vector<std::string>{"starved"}));
+  EXPECT_EQ(s.queue_depth(), 1u);
+}
+
+TEST_F(PriceAwarePolicyTest, NoFeedbackDegradesToGreedyFcfs) {
+  Json params;
+  params["threshold_usd_per_kwh"] = Json(0.01);  // would defer everything
+  Scheduler s(policy_config("price_aware", params));
+  s.enqueue(job("x", 20, 100));
+  s.enqueue(job("y", 20, 100));
+  pass_at_price(s, -1.0);  // nullptr feedback
+  EXPECT_EQ(started_, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(PriceAwareEngineTest, JobsStillDrainUnderPermanentHighPrice) {
+  // Electricity priced permanently above the threshold: the starvation
+  // guard must still drain the whole queue (just later).
+  SystemConfig config = one_rack_system();
+  config.economics.electricity_usd_per_kwh = 0.50;
+  config.scheduler.policy = "price_aware";
+  config.scheduler.policy_params["threshold_usd_per_kwh"] = Json(0.10);
+  config.scheduler.policy_params["max_defer_hours"] = Json(1.0);
+  RapsEngine engine(config);
+  WorkloadConfig wl = config.workload;
+  wl.mean_arrival_s = 120.0;
+  WorkloadGenerator gen(wl, config, Rng(9));
+  const auto jobs = gen.generate(0.0, 1800.0);
+  engine.submit_all(jobs);
   engine.run_until(96.0 * units::kSecondsPerHour);
   EXPECT_EQ(engine.jobs_completed(), static_cast<int>(jobs.size()));
 }

@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "core/physical_twin.hpp"
 #include "json/json.hpp"
 #include "scenario/scenario_registry.hpp"
+#include "telemetry/chunk.hpp"
+#include "telemetry/store.hpp"
 
 namespace exadigit {
 namespace {
@@ -225,6 +229,54 @@ TEST(ScenarioServiceTest, StatsDocumentTracksTheLifecycle) {
     total += bucket.as_array()[1].as_int();
   }
   EXPECT_EQ(total, 1);
+}
+
+TEST(ScenarioServiceTest, DatasetResidencyEvictsByBytesAndReportsThem) {
+  namespace fs = std::filesystem;
+  const std::string base =
+      (fs::temp_directory_path() / "exadigit_service_lru_test").string();
+  fs::remove_all(base);
+
+  // Two tiny recorded datasets, each far larger than the byte budget below.
+  const SystemConfig config = frontier_system_config();
+  SyntheticPhysicalTwin physical(config, PhysicalTwinOptions{});
+  const double duration = 600.0;
+  const TimeSeries wetbulb =
+      TimeSeries::uniform(0.0, 60.0, std::vector<double>(12, 15.0));
+  std::vector<JobRecord> jobs = {make_constant_job(60.0, 300.0, 512, 0.5, 0.5)};
+  const TelemetryDataset first = physical.record(jobs, wetbulb, duration);
+  jobs[0].node_count = 1024;
+  const TelemetryDataset second = physical.record(jobs, wetbulb, duration);
+  save_dataset(first, base + "/a");
+  save_dataset(second, base + "/b");
+
+  ScenarioService::Options options = small_options();
+  options.dataset_entries = 8;          // well above what we load
+  options.dataset_resident_mb = 1e-4;   // ~105 bytes: every load evicts the rest
+  ScenarioService service(options);
+  // The explicit format routes replay through resolve_dataset and therefore
+  // through the service's resident-dataset loader.
+  auto replay_batch = [&](const std::string& dir) {
+    return std::string(R"([{"name": "r-)") + dir + R"(", "type": "replay",
+      "source": {"kind": "dataset", "path": ")" +
+           base + "/" + dir + R"(", "format": "exadigit-csv"},
+      "params": {"cooling": false}}])";
+  };
+  (void)service.handle_request(kClient, run_request(replay_batch("a"), "ra"));
+  (void)drain_for(service, kClient);
+  (void)service.handle_request(kClient, run_request(replay_batch("b"), "rb"));
+  (void)drain_for(service, kClient);
+
+  const Json stats = service.stats_json();
+  const Json& datasets = stats.at("datasets");
+  // Eviction is by bytes, not entry count: the 8-entry cap never tripped,
+  // yet only the most recent dataset stays resident.
+  EXPECT_EQ(datasets.at("loads").as_int(), 2);
+  EXPECT_EQ(datasets.at("hits").as_int(), 0);
+  EXPECT_EQ(datasets.at("resident").as_int(), 1);
+  EXPECT_EQ(datasets.at("resident_bytes").as_int(),
+            static_cast<std::int64_t>(dataset_payload_bytes(second)));
+  fs::remove_all(base);
 }
 
 /// Acceptance (PR 8): the policy_sweep scenario runs end to end through the

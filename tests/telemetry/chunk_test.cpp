@@ -1,0 +1,414 @@
+/// Unit tests for the chunked telemetry layer (telemetry/chunk.hpp): gauge
+/// accounting, in-memory slicing semantics, the exadigit-bin v2 chunked
+/// round trip, v1 compatibility, the resident-bytes budget, and the
+/// thread-safe live-append ring.
+
+#include "telemetry/chunk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "json/json.hpp"
+#include "telemetry/store.hpp"
+
+namespace exadigit {
+namespace {
+
+namespace fs = std::filesystem;
+
+TelemetryDataset small_dataset(double duration_s = 120.0) {
+  TelemetryDataset d;
+  d.system_name = "chunk-test";
+  d.duration_s = duration_s;
+  d.trace_quantum_s = 15.0;
+  const auto n = static_cast<std::size_t>(duration_s / 15.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * 15.0;
+    d.measured_system_power_w.push_back(t, 1.8e7 + 1e5 * std::sin(0.01 * t));
+  }
+  for (std::size_t i = 0; i * 60.0 < duration_s; ++i) {
+    d.wetbulb_c.push_back(static_cast<double>(i) * 60.0, 16.0 + 0.1 * static_cast<double>(i));
+  }
+  d.cdus.resize(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * 15.0;
+    d.cdus[0].rack_power_w.push_back(t, 4e5 + static_cast<double>(i));
+    d.cdus[1].supply_temp_c.push_back(t, 32.0 + 0.01 * static_cast<double>(i));
+  }
+  JobRecord j;
+  j.name = "fill";
+  j.node_count = 64;
+  j.wall_time_s = 60.0;
+  j.mean_cpu_util = 0.5;
+  d.jobs.push_back(j);
+  return d;
+}
+
+/// Sum of the samples across a pulled chunk's channels.
+std::size_t chunk_samples(const TelemetryChunk& chunk) {
+  return chunk.frame().sample_count();
+}
+
+class ChunkFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() / (std::string("exadigit_chunk_test_") + info->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir_;
+};
+
+// --- ResidencyGauge / TelemetryChunk ---------------------------------------
+
+TEST(ResidencyGaugeTest, TracksCurrentAndPeak) {
+  ResidencyGauge gauge;
+  gauge.add(100);
+  gauge.add(50);
+  EXPECT_EQ(gauge.current_bytes(), 150u);
+  EXPECT_EQ(gauge.peak_bytes(), 150u);
+  gauge.sub(100);
+  EXPECT_EQ(gauge.current_bytes(), 50u);
+  EXPECT_EQ(gauge.peak_bytes(), 150u);  // peak is a high-water mark
+  gauge.add(30);
+  EXPECT_EQ(gauge.peak_bytes(), 150u);
+}
+
+TEST(TelemetryChunkTest, RegistersAndReleasesPayload) {
+  auto gauge = std::make_shared<ResidencyGauge>();
+  TelemetryFrame frame;
+  frame.adopt_channel("system", "x", {0.0, 1.0, 2.0}, {1.0, 2.0, 3.0});
+  const std::size_t bytes = frame.payload_bytes();
+  {
+    TelemetryChunk chunk(0, 0.0, 3.0, std::move(frame), gauge);
+    EXPECT_EQ(chunk.payload_bytes(), bytes);
+    EXPECT_EQ(gauge->current_bytes(), bytes);
+
+    TelemetryChunk moved = std::move(chunk);
+    EXPECT_EQ(gauge->current_bytes(), bytes);  // move transfers, not doubles
+    EXPECT_EQ(moved.payload_bytes(), bytes);
+
+    moved.release();
+    EXPECT_EQ(gauge->current_bytes(), 0u);
+    moved.release();  // idempotent
+    EXPECT_EQ(gauge->current_bytes(), 0u);
+  }
+  EXPECT_EQ(gauge->peak_bytes(), bytes);
+}
+
+TEST(TelemetryChunkTest, DestructionDeregisters) {
+  auto gauge = std::make_shared<ResidencyGauge>();
+  {
+    TelemetryFrame frame;
+    frame.adopt_channel("system", "x", {0.0}, {1.0});
+    TelemetryChunk chunk(0, 0.0, 1.0, std::move(frame), gauge);
+    EXPECT_GT(gauge->current_bytes(), 0u);
+  }
+  EXPECT_EQ(gauge->current_bytes(), 0u);
+}
+
+// --- InMemoryChunkSource ---------------------------------------------------
+
+TEST(InMemoryChunkSourceTest, WholeFrameAsSingleChunk) {
+  const TelemetryDataset d = small_dataset();
+  const std::size_t total = TelemetryFrame::from_dataset(d).sample_count();
+  InMemoryChunkSource source(dataset_to_frame(d), 0.0);
+  EXPECT_EQ(source.chunk_count(), 1u);
+  EXPECT_EQ(source.header().system_name, "chunk-test");
+  EXPECT_EQ(source.header().jobs.size(), 1u);
+
+  TelemetryChunk chunk;
+  ASSERT_TRUE(source.next(chunk));
+  EXPECT_EQ(chunk.start_time_s(), 0.0);
+  EXPECT_EQ(chunk.end_time_s(), d.duration_s);
+  EXPECT_EQ(chunk_samples(chunk), total);
+  EXPECT_EQ(source.gauge()->current_bytes(), chunk.payload_bytes());
+  chunk.release();
+  EXPECT_FALSE(source.next(chunk));
+}
+
+TEST(InMemoryChunkSourceTest, SlicingPreservesEverySampleInOrder) {
+  const TelemetryDataset d = small_dataset(120.0);
+  const TelemetryFrame reference = TelemetryFrame::from_dataset(d);
+  // 50 s windows over 120 s: 3 chunks, the last absorbing the 100..120 tail.
+  InMemoryChunkSource source(dataset_to_frame(d), 50.0);
+  EXPECT_EQ(source.chunk_count(), 3u);
+
+  TelemetryFrame reassembled;
+  TelemetryChunk chunk;
+  std::size_t chunks_seen = 0;
+  while (source.next(chunk)) {
+    ++chunks_seen;
+    for (const TelemetryChannel& ch : chunk.frame().channels()) {
+      for (double t : ch.times) {
+        if (chunk.index() + 1 < source.chunk_count()) {
+          EXPECT_LT(t, chunk.end_time_s()) << ch.channel;
+        }
+      }
+      reassembled.append_channel(ch.tag, ch.channel, ch.times, ch.values);
+    }
+    chunk.release();
+  }
+  EXPECT_EQ(chunks_seen, 3u);
+  ASSERT_EQ(reassembled.sample_count(), reference.sample_count());
+  for (const TelemetryChannel& ref : reference.channels()) {
+    const TelemetryChannel* got = reassembled.find(ref.tag, ref.channel);
+    ASSERT_NE(got, nullptr) << ref.tag << "/" << ref.channel;
+    ASSERT_EQ(got->times, ref.times) << ref.tag << "/" << ref.channel;
+    ASSERT_EQ(got->values, ref.values) << ref.tag << "/" << ref.channel;
+  }
+}
+
+TEST(InMemoryChunkSourceTest, ExactMultipleGivesExactChunkCount) {
+  InMemoryChunkSource source(dataset_to_frame(small_dataset(120.0)), 30.0);
+  EXPECT_EQ(source.chunk_count(), 4u);  // no phantom 5th window
+}
+
+TEST(InMemoryChunkSourceTest, OversizedWindowIsOneChunk) {
+  InMemoryChunkSource source(dataset_to_frame(small_dataset(120.0)), 1e6);
+  EXPECT_EQ(source.chunk_count(), 1u);
+}
+
+// --- chunked bin round trip ------------------------------------------------
+
+TEST_F(ChunkFileTest, ChunkedSaveRoundTripsThroughWholeFileLoader) {
+  const TelemetryDataset d = small_dataset();
+  save_dataset_binary_chunked(d, dir_, 40.0);
+  // The regular loader reads a v2 file end-to-end (chunk blocks appended).
+  const TelemetryDataset loaded = load_dataset(dir_);
+  EXPECT_EQ(loaded.system_name, d.system_name);
+  ASSERT_EQ(loaded.jobs.size(), d.jobs.size());
+  ASSERT_EQ(loaded.measured_system_power_w.size(), d.measured_system_power_w.size());
+  for (std::size_t i = 0; i < d.measured_system_power_w.size(); ++i) {
+    EXPECT_EQ(loaded.measured_system_power_w.time(i), d.measured_system_power_w.time(i));
+    EXPECT_EQ(loaded.measured_system_power_w.value(i), d.measured_system_power_w.value(i));
+  }
+  ASSERT_EQ(loaded.cdus.size(), d.cdus.size());
+  EXPECT_EQ(loaded.cdus[0].rack_power_w.size(), d.cdus[0].rack_power_w.size());
+}
+
+TEST_F(ChunkFileTest, BinChunkSourceStreamsIndexedChunks) {
+  const TelemetryDataset d = small_dataset(120.0);
+  save_dataset_binary_chunked(d, dir_, 40.0);
+
+  BinChunkSource source(dir_);
+  EXPECT_EQ(source.chunk_index().size(), 3u);
+  EXPECT_EQ(source.header().system_name, d.system_name);
+  EXPECT_EQ(source.header().jobs.size(), d.jobs.size());
+  // Index entries tile the span with increasing offsets.
+  std::uint64_t prev_end_offset = 0;
+  double prev_end_time = source.header().start_time_s;
+  for (const ChunkIndexEntry& e : source.chunk_index()) {
+    EXPECT_EQ(e.start_time_s, prev_end_time);
+    EXPECT_GT(e.bytes, 0u);
+    EXPECT_GE(e.offset, prev_end_offset);
+    prev_end_offset = e.offset + e.bytes;
+    prev_end_time = e.end_time_s;
+  }
+  EXPECT_EQ(prev_end_time, source.header().end_time_s());
+
+  TelemetryFrame reassembled;
+  TelemetryChunk chunk;
+  std::size_t count = 0;
+  while (source.next(chunk)) {
+    ++count;
+    for (const TelemetryChannel& ch : chunk.frame().channels()) {
+      reassembled.append_channel(ch.tag, ch.channel, ch.times, ch.values);
+    }
+    chunk.release();
+  }
+  EXPECT_EQ(count, 3u);
+  const TelemetryFrame reference = TelemetryFrame::from_dataset(d);
+  ASSERT_EQ(reassembled.sample_count(), reference.sample_count());
+  for (const TelemetryChannel& ref : reference.channels()) {
+    const TelemetryChannel* got = reassembled.find(ref.tag, ref.channel);
+    ASSERT_NE(got, nullptr) << ref.tag << "/" << ref.channel;
+    EXPECT_EQ(got->times, ref.times);
+    EXPECT_EQ(got->values, ref.values);
+  }
+}
+
+TEST_F(ChunkFileTest, LegacyV1FileReadsAsOneChunk) {
+  const TelemetryDataset d = small_dataset();
+  save_dataset_binary(d, dir_);  // v1 writer
+
+  BinChunkSource source(dir_);
+  ASSERT_EQ(source.chunk_index().size(), 1u);
+  TelemetryChunk chunk;
+  ASSERT_TRUE(source.next(chunk));
+  EXPECT_EQ(chunk_samples(chunk), TelemetryFrame::from_dataset(d).sample_count());
+  chunk.release();
+  EXPECT_FALSE(source.next(chunk));
+}
+
+TEST_F(ChunkFileTest, ResidencyBudgetForcesReleaseBeforeNext) {
+  const TelemetryDataset d = small_dataset(240.0);
+  save_dataset_binary_chunked(d, dir_, 60.0);
+
+  BinChunkSource::Options options;
+  options.max_resident_mb = 1e-4;  // ~105 bytes: any second chunk busts it
+  BinChunkSource source(dir_, options);
+  ASSERT_GE(source.chunk_index().size(), 2u);
+
+  TelemetryChunk held;
+  ASSERT_TRUE(source.next(held));  // a lone chunk is always admitted
+  TelemetryChunk second;
+  EXPECT_THROW((void)source.next(second), TelemetryError);
+  held.release();
+  EXPECT_TRUE(source.next(second));  // after release the stream continues
+  second.release();
+}
+
+TEST_F(ChunkFileTest, BudgetedStreamCoversWholeDatasetWhenReleasing) {
+  const TelemetryDataset d = small_dataset(240.0);
+  save_dataset_binary_chunked(d, dir_, 60.0);
+  BinChunkSource::Options options;
+  options.max_resident_mb = 1e-4;
+  BinChunkSource source(dir_, options);
+  std::size_t samples = 0;
+  TelemetryChunk chunk;
+  while (source.next(chunk)) {
+    samples += chunk_samples(chunk);
+    chunk.release();
+  }
+  EXPECT_EQ(samples, TelemetryFrame::from_dataset(d).sample_count());
+  EXPECT_GT(source.gauge()->peak_bytes(), 0u);
+  EXPECT_LE(source.gauge()->peak_bytes(),
+            static_cast<std::size_t>(options.max_resident_mb * 1024.0 * 1024.0) +
+                source.chunk_index().front().bytes);
+}
+
+TEST_F(ChunkFileTest, V2ManifestWithoutChunkIndexThrows) {
+  const TelemetryDataset d = small_dataset();
+  save_dataset_binary_chunked(d, dir_, 40.0);
+  Json manifest = Json::load_file(dir_ + "/manifest.json");
+  manifest.as_object().erase("chunks");
+  manifest.save_file(dir_ + "/manifest.json");
+  EXPECT_THROW(BinChunkSource{dir_}, TelemetryError);
+}
+
+TEST_F(ChunkFileTest, OpenChunkSourceDispatchesOnManifestFormat) {
+  const TelemetryDataset d = small_dataset();
+  save_dataset_binary_chunked(d, dir_ + "/bin", 40.0);
+  save_dataset(d, dir_ + "/csv");
+
+  const auto bin = open_chunk_source(dir_ + "/bin", 40.0);
+  EXPECT_NE(dynamic_cast<BinChunkSource*>(bin.get()), nullptr);
+  const auto csv = open_chunk_source(dir_ + "/csv", 40.0);
+  EXPECT_NE(dynamic_cast<InMemoryChunkSource*>(csv.get()), nullptr);
+  EXPECT_EQ(bin->header().system_name, csv->header().system_name);
+}
+
+TEST(DatasetPayloadBytesTest, MatchesFrameAccounting) {
+  const TelemetryDataset d = small_dataset();
+  EXPECT_EQ(dataset_payload_bytes(d), TelemetryFrame::from_dataset(d).payload_bytes());
+}
+
+TEST(DatasetHeaderTest, ValidateRejectsBadHeaders) {
+  DatasetHeader header;
+  header.duration_s = 0.0;
+  EXPECT_THROW(header.validate(), TelemetryError);
+  header.duration_s = 10.0;
+  header.trace_quantum_s = 0.0;
+  EXPECT_THROW(header.validate(), TelemetryError);
+  header.trace_quantum_s = 15.0;
+  JobRecord bad;
+  bad.name = "bad";
+  bad.node_count = 0;
+  bad.wall_time_s = 1.0;
+  header.jobs.push_back(bad);
+  EXPECT_THROW(header.validate(), TelemetryError);
+  header.jobs[0].node_count = 1;
+  header.jobs[0].cpu_util_trace = {1.5};
+  EXPECT_THROW(header.validate(), TelemetryError);
+  header.jobs[0].cpu_util_trace = {0.5};
+  EXPECT_NO_THROW(header.validate());
+}
+
+// --- LiveAppendSource ------------------------------------------------------
+
+DatasetHeader live_header() {
+  DatasetHeader header;
+  header.system_name = "live";
+  header.duration_s = 300.0;
+  return header;
+}
+
+TelemetryFrame one_sample_frame(double t) {
+  TelemetryFrame frame;
+  frame.adopt_channel("system", "measured_power_w", {t}, {1.8e7});
+  return frame;
+}
+
+TEST(LiveAppendSourceTest, PushNextCloseDrains) {
+  LiveAppendSource source(live_header(), 4);
+  source.push(0.0, 60.0, one_sample_frame(0.0));
+  source.push(60.0, 120.0, one_sample_frame(60.0));
+  source.close();
+
+  TelemetryChunk chunk;
+  ASSERT_TRUE(source.next(chunk));
+  EXPECT_EQ(chunk.index(), 0u);
+  EXPECT_EQ(chunk.start_time_s(), 0.0);
+  chunk.release();
+  ASSERT_TRUE(source.next(chunk));
+  EXPECT_EQ(chunk.index(), 1u);
+  chunk.release();
+  EXPECT_FALSE(source.next(chunk));  // closed and drained
+  EXPECT_FALSE(source.next(chunk));  // stays at end-of-stream
+}
+
+TEST(LiveAppendSourceTest, TryPushReportsFullRing) {
+  LiveAppendSource source(live_header(), 1);
+  EXPECT_TRUE(source.try_push(0.0, 60.0, one_sample_frame(0.0)));
+  EXPECT_FALSE(source.try_push(60.0, 120.0, one_sample_frame(60.0)));
+  TelemetryChunk chunk;
+  ASSERT_TRUE(source.next(chunk));
+  chunk.release();
+  EXPECT_TRUE(source.try_push(60.0, 120.0, one_sample_frame(60.0)));
+}
+
+TEST(LiveAppendSourceTest, PushAfterCloseThrows) {
+  LiveAppendSource source(live_header(), 2);
+  source.close();
+  EXPECT_TRUE(source.closed());
+  EXPECT_THROW(source.push(0.0, 60.0, one_sample_frame(0.0)), TelemetryError);
+  EXPECT_THROW((void)source.try_push(0.0, 60.0, one_sample_frame(0.0)), TelemetryError);
+}
+
+TEST(LiveAppendSourceTest, ProducerConsumerWithBackpressure) {
+  constexpr std::size_t kChunks = 64;
+  LiveAppendSource source(live_header(), 2);  // tight ring: producer blocks
+  std::thread producer([&source] {
+    for (std::size_t i = 0; i < kChunks; ++i) {
+      const double t = static_cast<double>(i) * 60.0;
+      source.push(t, t + 60.0, one_sample_frame(t));
+    }
+    source.close();
+  });
+
+  std::size_t consumed = 0;
+  TelemetryChunk chunk;
+  while (source.next(chunk)) {
+    EXPECT_EQ(chunk.index(), consumed);
+    EXPECT_EQ(chunk_samples(chunk), 1u);
+    ++consumed;
+    chunk.release();
+  }
+  producer.join();
+  EXPECT_EQ(consumed, kChunks);
+  EXPECT_EQ(source.gauge()->current_bytes(), 0u);
+  // Backpressure bounds residency to the ring capacity plus the in-flight
+  // chunk: 3 one-sample frames at most.
+  EXPECT_LE(source.gauge()->peak_bytes(), 3 * 2 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace exadigit
