@@ -120,8 +120,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   if (!bench::parse_json_flag(argc, argv, "bench_coupled_replay24h", &json_path)) return 2;
 
-  const char* env = std::getenv("EXADIGIT_BENCH_HOURS");
-  const double hours = env != nullptr ? std::atof(env) : 24.0;
+  const double hours = bench::env_double("EXADIGIT_BENCH_HOURS", 24.0);
   const double duration = hours * units::kSecondsPerHour;
   const SystemConfig spec = frontier_system_config();
 
@@ -154,9 +153,7 @@ int main(int argc, char** argv) {
               dataset.jobs.size());
 
   const int reps = bench::bench_reps();
-  const char* threads_env = std::getenv("EXADIGIT_BENCH_THREADS");
-  const int bench_threads =
-      resolve_thread_count(threads_env != nullptr ? std::atoi(threads_env) : 0);
+  const int bench_threads = resolve_thread_count(bench::env_int("EXADIGIT_BENCH_THREADS", 0));
 
   const CoupledRun fast =
       time_coupled_replay(spec, dataset, HydraulicsEval::kDedup, EngineMode::kEventDriven,

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parse.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/physical_twin.hpp"
@@ -26,8 +27,11 @@ using namespace exadigit;
 
 namespace {
 double env_hours(const char* name, double fallback) {
+  // Locale-independent (std::atof honours LC_NUMERIC); malformed falls back.
   const char* v = std::getenv(name);
-  return v != nullptr ? std::atof(v) : fallback;
+  double value = fallback;
+  if (v != nullptr && !try_parse_double(v, &value)) value = fallback;
+  return value;
 }
 
 void print_series(const char* label, const TimeSeries& pred, const TimeSeries& meas) {

@@ -77,8 +77,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   if (!bench::parse_json_flag(argc, argv, "bench_fig9_replay24h", &json_path)) return 2;
 
-  const char* env = std::getenv("EXADIGIT_BENCH_HOURS");
-  const double hours = env != nullptr ? std::atof(env) : 24.0;
+  const double hours = bench::env_double("EXADIGIT_BENCH_HOURS", 24.0);
   const double duration = hours * units::kSecondsPerHour;
   const SystemConfig spec = frontier_system_config();
 

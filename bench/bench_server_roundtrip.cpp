@@ -29,8 +29,7 @@ using namespace exadigit;
 namespace {
 
 double env_hours() {
-  const char* env = std::getenv("EXADIGIT_BENCH_HOURS");
-  const double hours = env != nullptr ? std::atof(env) : 0.05;
+  const double hours = bench::env_double("EXADIGIT_BENCH_HOURS", 0.05);
   return hours > 0.0 ? hours : 0.05;
 }
 

@@ -125,9 +125,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   if (!bench::parse_json_flag(argc, argv, "bench_table4_replay183", &json_path)) return 2;
 
-  const char* env = std::getenv("EXADIGIT_BENCH_DAYS");
   DaySweepConfig sweep;
-  sweep.days = env != nullptr ? std::atoi(env) : 183;
+  sweep.days = bench::env_int("EXADIGIT_BENCH_DAYS", 183);
   sweep.seed = 20230906;
   sweep.hpl_day_probability = 0.05;
   sweep.with_cooling = false;  // Table IV statistics are power-side (the
@@ -189,8 +188,7 @@ int main(int argc, char** argv) {
               wall, wall / sweep.days, reps);
 
   // ---- dataset-scale ingest: columnar CSV vs binary, then a frame replay.
-  const char* dataset_env = std::getenv("EXADIGIT_BENCH_DATASET_DAYS");
-  const double dataset_days = dataset_env != nullptr ? std::atof(dataset_env) : 7.0;
+  const double dataset_days = bench::env_double("EXADIGIT_BENCH_DATASET_DAYS", 7.0);
   double dataset_load_ms = 0.0;
   double dataset_load_bin_ms = 0.0;
   double dataset_save_ms = 0.0;
@@ -258,11 +256,9 @@ int main(int argc, char** argv) {
     // true 183-day out-of-core run — peak telemetry residency stays one
     // chunk regardless of the span. Bit-identity with the monolithic frame
     // replay above is asserted every run.
-    const char* chunk_env = std::getenv("EXADIGIT_BENCH_CHUNK_SECONDS");
     const double chunk_seconds =
-        chunk_env != nullptr ? std::atof(chunk_env) : 6.0 * units::kSecondsPerHour;
-    const char* budget_env = std::getenv("EXADIGIT_BENCH_RESIDENT_MB");
-    const double resident_mb = budget_env != nullptr ? std::atof(budget_env) : 64.0;
+        bench::env_double("EXADIGIT_BENCH_CHUNK_SECONDS", 6.0 * units::kSecondsPerHour);
+    const double resident_mb = bench::env_double("EXADIGIT_BENCH_RESIDENT_MB", 64.0);
     t = std::chrono::steady_clock::now();
     save_dataset_binary_chunked(source, base + "/binv2", chunk_seconds);
     const double chunked_save_ms = now_ms_since(t);

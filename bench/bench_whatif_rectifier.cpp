@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parse.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/whatif.hpp"
@@ -16,8 +17,10 @@
 using namespace exadigit;
 
 int main() {
+  // Locale-independent (std::atof honours LC_NUMERIC); malformed falls back.
   const char* env = std::getenv("EXADIGIT_BENCH_WHATIF_DAYS");
-  const double days = env != nullptr ? std::atof(env) : 2.0;
+  double days = 2.0;
+  if (env != nullptr && !try_parse_double(env, &days)) days = 2.0;
   const double duration = days * units::kSecondsPerDay;
   const SystemConfig config = frontier_system_config();
 

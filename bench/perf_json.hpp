@@ -11,17 +11,35 @@
 
 #include "common/arg_parser.hpp"
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "json/json.hpp"
 
 namespace exadigit::bench {
+
+/// EXADIGIT_BENCH_* knobs are numbers in env vars; parse them with the
+/// locale-independent common/parse.hpp wrappers (std::atof/atoi honour
+/// LC_NUMERIC, so a comma-decimal locale would silently misread "1.5").
+/// A malformed or missing value falls back — benches must run, not argue.
+inline double env_double(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  double value = fallback;
+  if (env != nullptr && !try_parse_double(env, &value)) value = fallback;
+  return value;
+}
+
+inline int env_int(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  int value = fallback;
+  if (env != nullptr && !try_parse_int(env, &value)) value = fallback;
+  return value;
+}
 
 /// Repetitions per timed configuration (EXADIGIT_BENCH_REPS, default 3).
 /// The benches report the minimum wall time across reps: on a shared or
 /// single-core CI box the minimum is the least noisy estimator of the
 /// code's cost, and the committed baselines in bench/baselines/ assume it.
 inline int bench_reps() {
-  const char* env = std::getenv("EXADIGIT_BENCH_REPS");
-  const int reps = env != nullptr ? std::atoi(env) : 3;
+  const int reps = env_int("EXADIGIT_BENCH_REPS", 3);
   return reps >= 1 ? reps : 1;
 }
 

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/arg_parser.hpp"
+#include "common/parse.hpp"
 #include "common/socket.hpp"
 #include "common/units.hpp"
 #include "config/config_json.hpp"
@@ -282,7 +283,11 @@ TcpSocket connect_to_server(const Args& args) {
   require(colon != std::string::npos && colon + 1 < args.connect.size(),
           "--connect expects host:port");
   const std::string host = args.connect.substr(0, colon);
-  const int port = static_cast<int>(std::stol(args.connect.substr(colon + 1)));
+  // Locale-independent parse; also rejects trailing junk ("8080x") that
+  // std::stol silently accepted.
+  int port = 0;
+  require(try_parse_int(args.connect.substr(colon + 1), &port),
+          "--connect expects a numeric port");
   require(port > 0 && port <= 65535, "--connect port must be in [1, 65535]");
   TcpSocket socket = TcpSocket::connect(host, static_cast<std::uint16_t>(port));
   socket.set_nodelay(true);

@@ -1,7 +1,6 @@
 #include "common/arg_parser.hpp"
 
-#include <cstddef>
-#include <stdexcept>
+#include <cstdint>
 
 #include "common/error.hpp"
 #include "common/parse.hpp"
@@ -70,39 +69,41 @@ std::vector<std::string> ArgParser::parse(int argc, char** argv, int first) cons
     }
     if (i + 1 >= argc) throw ConfigError("missing value for " + arg);
     const std::string value = argv[++i];
-    try {
-      std::size_t consumed = 0;
-      switch (match->kind) {
-        case Kind::kDouble: {
-          // Locale-independent: std::stod would honour LC_NUMERIC.
-          double parsed = 0.0;
-          if (!try_parse_double(value, &parsed)) {
-            throw ConfigError("bad value for " + arg + ": " + value);
-          }
-          *static_cast<double*>(match->target) = parsed;
-          consumed = value.size();
-          break;
+    // All numeric kinds go through the locale-independent from_chars
+    // wrappers in common/parse.hpp: the std::sto* family honours LC_NUMERIC
+    // and accepted partially-consumed input that then needed a separate
+    // length check. Malformed, trailing-junk, and overflow values all take
+    // the same ConfigError path.
+    switch (match->kind) {
+      case Kind::kDouble: {
+        double parsed = 0.0;
+        if (!try_parse_double(value, &parsed)) {
+          throw ConfigError("bad value for " + arg + ": " + value);
         }
-        case Kind::kInt:
-          *static_cast<int*>(match->target) = std::stoi(value, &consumed);
-          break;
-        case Kind::kUint64:
-          *static_cast<std::uint64_t*>(match->target) = std::stoull(value, &consumed);
-          break;
-        case Kind::kString:
-          *static_cast<std::string*>(match->target) = value;
-          consumed = value.size();
-          break;
-        case Kind::kSwitch:
-          break;
+        *static_cast<double*>(match->target) = parsed;
+        break;
       }
-      if (consumed != value.size()) {
-        throw ConfigError("bad value for " + arg + ": " + value);
+      case Kind::kInt: {
+        int parsed = 0;
+        if (!try_parse_int(value, &parsed)) {
+          throw ConfigError("bad value for " + arg + ": " + value);
+        }
+        *static_cast<int*>(match->target) = parsed;
+        break;
       }
-    } catch (const ConfigError&) {
-      throw;
-    } catch (const std::exception&) {
-      throw ConfigError("bad value for " + arg + ": " + value);
+      case Kind::kUint64: {
+        std::uint64_t parsed = 0;
+        if (!try_parse_uint64(value, &parsed)) {
+          throw ConfigError("bad value for " + arg + ": " + value);
+        }
+        *static_cast<std::uint64_t*>(match->target) = parsed;
+        break;
+      }
+      case Kind::kString:
+        *static_cast<std::string*>(match->target) = value;
+        break;
+      case Kind::kSwitch:
+        break;
     }
   }
   return positional;

@@ -7,15 +7,37 @@
 
 namespace exadigit {
 
-bool try_parse_double(std::string_view text, double* out) noexcept {
-  // std::from_chars rejects the leading whitespace and '+' that hand-edited
-  // CSVs occasionally carry; std::stod accepted both, so keep doing so.
+namespace {
+
+/// std::from_chars rejects the leading whitespace and '+' that hand-edited
+/// CSVs and CLI values occasionally carry; the std::sto* family accepted
+/// both, so keep doing so.
+std::string_view strip_ws_and_plus(std::string_view text) noexcept {
   while (!text.empty() && (text.front() == ' ' || text.front() == '\t' ||
                            text.front() == '\n' || text.front() == '\r' ||
                            text.front() == '\v' || text.front() == '\f')) {
     text.remove_prefix(1);
   }
   if (!text.empty() && text.front() == '+') text.remove_prefix(1);
+  return text;
+}
+
+template <typename T>
+bool try_parse_integer(std::string_view text, T* out) noexcept {
+  text = strip_ws_and_plus(text);
+  T value{};
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || first == last) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool try_parse_double(std::string_view text, double* out) noexcept {
+  text = strip_ws_and_plus(text);
   double value = 0.0;
   const char* first = text.data();
   const char* last = first + text.size();
@@ -23,6 +45,14 @@ bool try_parse_double(std::string_view text, double* out) noexcept {
   if (ec != std::errc{} || ptr != last || first == last) return false;
   *out = value;
   return true;
+}
+
+bool try_parse_int(std::string_view text, int* out) noexcept {
+  return try_parse_integer(text, out);
+}
+
+bool try_parse_uint64(std::string_view text, std::uint64_t* out) noexcept {
+  return try_parse_integer(text, out);
 }
 
 double parse_double(std::string_view text, const char* what) {

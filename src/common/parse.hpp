@@ -11,6 +11,7 @@
 /// single-pass dataset loader's fast path (no istream, no exceptions on
 /// the happy path, no temporary strings).
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -20,6 +21,18 @@ namespace exadigit {
 /// Returns false (leaving `*out` untouched) on empty input, trailing junk,
 /// or out-of-range values.
 [[nodiscard]] bool try_parse_double(std::string_view text, double* out) noexcept;
+
+/// Parses `text` as a base-10 int, requiring the whole of `text` to be
+/// consumed. Tolerates the leading whitespace and '+' that std::stoi
+/// accepted (ArgParser values inherit CLI quoting quirks). Returns false on
+/// empty input, trailing junk, or overflow. Locale-independent: std::stoi
+/// honours LC_NUMERIC grouping.
+[[nodiscard]] bool try_parse_int(std::string_view text, int* out) noexcept;
+
+/// Like try_parse_int for std::uint64_t. A leading '-' fails rather than
+/// wrapping (std::stoull silently negates; that behaviour has never been
+/// wanted here).
+[[nodiscard]] bool try_parse_uint64(std::string_view text, std::uint64_t* out) noexcept;
 
 /// Parses `text` as a double; throws TelemetryError naming `what` when the
 /// text is not a complete numeric token.

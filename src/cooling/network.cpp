@@ -125,6 +125,7 @@ NetworkSolution FlowNetwork::solve(double flow_scale_m3s) const {
   return sol;
 }
 
+// exadigit-hot-begin(network-solve)
 void FlowNetwork::solve_into(NetworkSolution& out, double flow_scale_m3s) const {
   solve_with(ws_, flow_scale_m3s, out);
 }
@@ -347,9 +348,11 @@ void FlowNetwork::solve_impl(SolveWorkspace& ws, double flow_scale_m3s,
   }
 
   if (res_norm > tol) {
+    // Cold error path: allocation here is fine, the solve is already lost.
     throw SolverError("flow network '" + label_ + "' failed to converge: residual " +
-                      std::to_string(res_norm) + " m^3/s after " +
-                      std::to_string(iter) + " iterations");
+                      std::to_string(res_norm) +  // exadigit-lint: allow(hot-path-alloc)
+                      " m^3/s after " +
+                      std::to_string(iter) + " iterations");  // exadigit-lint: allow(hot-path-alloc)
   }
 
   // `flows` is already consistent with `pressure`: every exit path above
@@ -361,6 +364,7 @@ void FlowNetwork::solve_impl(SolveWorkspace& ws, double flow_scale_m3s,
   out.residual_m3s = res_norm;
   warm_pressures_.assign(pressure.begin(), pressure.end());
 }
+// exadigit-hot-end
 
 double FlowNetwork::pressure_rise(const NetworkSolution& sol, BranchId id) const {
   const Branch& b = branches_.at(id);

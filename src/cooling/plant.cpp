@@ -328,6 +328,7 @@ void CoolingPlantModel::update_controls(const CoolingInputs& inputs, double dt) 
   outputs_.fan_speed = fan_speed;
 }
 
+// exadigit-hot-begin(plant-hydraulics-thermal)
 void CoolingPlantModel::solve_hydraulics() {
   const bool dedup = hydraulics_eval_ == HydraulicsEval::kDedup;
   const double sec_scale = config_.cooling.cdu.secondary_design_flow_m3s;
@@ -577,6 +578,7 @@ void CoolingPlantModel::integrate_thermal(const CoolingInputs& inputs, double dt
     }
   }
 }
+// exadigit-hot-end
 
 void CoolingPlantModel::collect_outputs(const CoolingInputs& inputs) {
   const double q_pri_total = pri_net_.flow(pri_solution_, pri_pump_branch_);

@@ -124,6 +124,7 @@ PowerReplayResult replay_power(const SystemConfig& config, ChunkedTelemetrySourc
   // stream is live is therefore the last ingested wet-bulb sample — past
   // it the series would clamp where the monolithic path interpolates.
   double wetbulb_horizon = header.start_time_s;
+  // exadigit-hot-begin(chunked-replay)
   while (source.next(chunk)) {
     const TelemetryChannel* wb = chunk.frame().find(kSystemTag, "wetbulb_c");
     if (wb != nullptr && !wb->times.empty()) {
@@ -141,6 +142,7 @@ PowerReplayResult replay_power(const SystemConfig& config, ChunkedTelemetrySourc
                           config.simulation.cooling_quantum_s, std::min(wetbulb_horizon, t_end));
     if (target > twin.engine().now_s()) twin.run_until(target);
   }
+  // exadigit-hot-end
   // End-of-stream: the wet-bulb series is complete, so running to the end
   // now clamps exactly where the monolithic path does.
   twin.run_until(t_end);

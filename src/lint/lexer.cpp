@@ -1,0 +1,271 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace exadigit::lint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Encoding prefixes that may precede a string literal. When one of these
+/// identifiers is immediately followed by a quote, the quote belongs to the
+/// literal, not to a fresh token ("u8R" + '"' opens a raw string).
+bool is_string_prefix(std::string_view ident) {
+  return ident == "R" || ident == "L" || ident == "u" || ident == "U" ||
+         ident == "u8" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+bool is_raw_prefix(std::string_view ident) {
+  return !ident.empty() && ident.back() == 'R';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexedSource run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        line_has_code_ = false;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '#' && !line_has_code_) {
+        lex_preprocessor();
+        continue;
+      }
+      if (c == '"') {
+        lex_string(/*raw=*/false, "");
+        continue;
+      }
+      if (c == '\'') {
+        lex_char();
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        lex_number();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        lex_identifier();
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(TokenKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+    line_has_code_ = true;
+  }
+
+  void lex_line_comment() {
+    const int start = line_;
+    const bool own = !line_has_code_;
+    pos_ += 2;  // "//"
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    out_.comments.push_back(
+        Comment{std::string(src_.substr(begin, pos_ - begin)), start, own});
+  }
+
+  void lex_block_comment() {
+    const int start = line_;
+    const bool own = !line_has_code_;
+    pos_ += 2;  // "/*"
+    const std::size_t begin = pos_;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        end = pos_;
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    out_.comments.push_back(
+        Comment{std::string(src_.substr(begin, end - begin)), start, own});
+  }
+
+  /// One whole directive, backslash continuations joined. Line comments end
+  /// the directive text; block comments inside it are skipped so a
+  /// commented-out path can never look like an include path.
+  void lex_preprocessor() {
+    const int start = line_;
+    line_has_code_ = true;  // a trailing comment on a directive is not standalone
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        if (!text.empty() && text.back() == '\\') {
+          text.pop_back();
+          text.push_back(' ');
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        break;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        text.push_back(' ');
+        continue;
+      }
+      text.push_back(c);
+      ++pos_;
+    }
+    emit(TokenKind::kPreprocessor, std::move(text), start);
+  }
+
+  void lex_string(bool raw, std::string_view prefix) {
+    const int start = line_;
+    std::string text(prefix);
+    text.push_back('"');
+    ++pos_;  // opening quote
+    if (raw) {
+      // R"delim( ... )delim"
+      std::string delim;
+      while (pos_ < src_.size() && src_[pos_] != '(') {
+        delim.push_back(src_[pos_]);
+        ++pos_;
+      }
+      if (pos_ < src_.size()) ++pos_;  // '('
+      const std::string close = ")" + delim + "\"";
+      const std::size_t found = src_.find(close, pos_);
+      const std::size_t end = found == std::string_view::npos ? src_.size() : found;
+      for (std::size_t i = pos_; i < end; ++i) {
+        if (src_[i] == '\n') ++line_;
+      }
+      text.append(delim);
+      text.push_back('(');
+      text.append(src_.substr(pos_, end - pos_));
+      text.append(close);
+      pos_ = found == std::string_view::npos ? src_.size() : end + close.size();
+    } else {
+      while (pos_ < src_.size()) {
+        const char c = src_[pos_];
+        if (c == '\\' && pos_ + 1 < src_.size()) {
+          text.push_back(c);
+          text.push_back(src_[pos_ + 1]);
+          pos_ += 2;
+          continue;
+        }
+        if (c == '\n') break;  // unterminated: stop at EOL, stay graceful
+        ++pos_;
+        text.push_back(c);
+        if (c == '"') break;
+      }
+    }
+    emit(TokenKind::kString, std::move(text), start);
+  }
+
+  void lex_char() {
+    const int start = line_;
+    std::string text;
+    text.push_back('\'');
+    ++pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        text.push_back(c);
+        text.push_back(src_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') break;
+      ++pos_;
+      text.push_back(c);
+      if (c == '\'') break;
+    }
+    emit(TokenKind::kChar, std::move(text), start);
+  }
+
+  void lex_number() {
+    const int start = line_;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        // Exponent signs: 1e+3, 0x1p-4.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (peek(1) == '+' || peek(1) == '-')) {
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    emit(TokenKind::kNumber, std::string(src_.substr(begin, pos_ - begin)), start);
+  }
+
+  void lex_identifier() {
+    const int start = line_;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    std::string ident(src_.substr(begin, pos_ - begin));
+    if (pos_ < src_.size() && src_[pos_] == '"' && is_string_prefix(ident)) {
+      lex_string(is_raw_prefix(ident), ident);
+      return;
+    }
+    emit(TokenKind::kIdentifier, std::move(ident), start);
+  }
+
+  void lex_punct() {
+    const int start = line_;
+    if (src_[pos_] == ':' && peek(1) == ':') {
+      pos_ += 2;
+      emit(TokenKind::kPunct, "::", start);
+      return;
+    }
+    emit(TokenKind::kPunct, std::string(1, src_[pos_]), start);
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool line_has_code_ = false;
+  LexedSource out_;
+};
+
+}  // namespace
+
+LexedSource lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace exadigit::lint

@@ -1,0 +1,58 @@
+#pragma once
+
+/// @file lexer.hpp
+/// A lightweight C++ token scanner for the exadigit_lint pass.
+///
+/// This is not a compiler front end: it has no preprocessor evaluation, no
+/// symbol table, and no grammar. It produces exactly the stream the lint
+/// rules need — identifiers, punctuation, literals, and whole preprocessor
+/// directives — while being *correct* about the three things a grep-based
+/// linter gets wrong: string literals (including raw strings and encoding
+/// prefixes), comments (line and block, multi-line), and backslash-continued
+/// preprocessor lines. A banned identifier inside a comment or a string is
+/// never a finding.
+///
+/// Comments are captured separately (with their line numbers and whether
+/// they stand alone on their line) because two lint mechanisms live in
+/// them: per-line suppressions (`// exadigit-lint: allow(<rule>)`) and
+/// hot-path region markers (`// exadigit-hot-begin(<name>)` /
+/// `// exadigit-hot-end`).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exadigit::lint {
+
+enum class TokenKind {
+  kIdentifier,    ///< identifiers and keywords (the lexer does not distinguish)
+  kNumber,        ///< numeric literals, including digit separators (1'000)
+  kString,        ///< string literals: "...", raw R"d(...)d", any encoding prefix
+  kChar,          ///< character literals: 'x', '\n'
+  kPunct,         ///< punctuation; "::" is fused into a single token
+  kPreprocessor,  ///< one whole directive (continuation lines joined)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;  ///< token spelling; for directives, the joined logical line
+  int line = 0;      ///< 1-based line where the token starts
+};
+
+struct Comment {
+  std::string text;      ///< comment body, without the // or /* */ markers
+  int line = 0;          ///< 1-based line where the comment starts
+  bool own_line = false; ///< no code token precedes the comment on its line
+};
+
+struct LexedSource {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Scans `source` into tokens and comments. Never throws on malformed input:
+/// an unterminated string/comment simply ends at EOF (lint must degrade
+/// gracefully on files that do not compile).
+[[nodiscard]] LexedSource lex(std::string_view source);
+
+}  // namespace exadigit::lint

@@ -1,0 +1,95 @@
+// exadigit_lint — the in-repo static-analysis pass.
+//
+// Usage:
+//   exadigit_lint [paths...] [--root DIR] [--format text|json] [--out FILE]
+//                 [--rules r1,r2] [--list-rules]
+//
+// Scans src/ examples/ bench/ tests/ under --root (default: the current
+// directory) when no paths are given. Exits 0 when the tree is clean, 1 on
+// findings, 2 on usage or I/O errors. See README.md "Static analysis" for
+// the rule catalogue and the suppression syntax.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/arg_parser.hpp"
+#include "common/error.hpp"
+#include "lint/report.hpp"
+#include "lint/runner.hpp"
+
+namespace {
+
+void split_csv(const std::string& csv, std::vector<std::string>& out) {
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::string item =
+        csv.substr(begin, comma == std::string::npos ? std::string::npos : comma - begin);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+}
+
+int run(int argc, char** argv) {
+  std::string root = ".";
+  std::string format = "text";
+  std::string out_path;
+  std::string rules_csv;
+  bool list_rules = false;
+
+  exadigit::ArgParser parser;
+  parser.add_string("--root", &root)
+      .add_string("--format", &format)
+      .add_string("--out", &out_path)
+      .add_string("--rules", &rules_csv)
+      .add_switch("--list-rules", &list_rules, true);
+  const std::vector<std::string> paths = parser.parse(argc, argv, 1);
+
+  if (list_rules) {
+    for (const auto& rule : exadigit::lint::make_default_rules()) {
+      std::cout << rule->name() << "\n    " << rule->description() << "\n";
+    }
+    return 0;
+  }
+  if (format != "text" && format != "json") {
+    throw exadigit::ConfigError("--format must be text or json, got: " + format);
+  }
+
+  exadigit::lint::RunOptions options;
+  options.root = root;
+  options.paths = paths;
+  split_csv(rules_csv, options.rules);
+
+  const exadigit::lint::RunResult result = exadigit::lint::run_lint(options);
+  const std::string rendered = format == "json"
+                                   ? exadigit::lint::report_json(result).dump(2) + "\n"
+                                   : exadigit::lint::format_text(result);
+  if (out_path.empty()) {
+    std::cout << rendered;
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) throw exadigit::ConfigError("cannot write " + out_path);
+    out << rendered;
+    // Findings still belong on the console when the report goes to a file —
+    // CI logs should show *why* the job failed, not just that it did.
+    if (!result.findings.empty()) std::cerr << exadigit::lint::format_text(result);
+  }
+  return result.findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "exadigit_lint: " << e.what() << "\n"
+              << "usage: exadigit_lint [paths...] [--root DIR] [--format text|json]\n"
+              << "                     [--out FILE] [--rules r1,r2] [--list-rules]\n";
+    return 2;
+  }
+}

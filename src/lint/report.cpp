@@ -1,0 +1,50 @@
+#include "lint/report.hpp"
+
+#include <cstdint>
+#include <utility>
+
+namespace exadigit::lint {
+
+std::string format_text(const RunResult& result) {
+  std::string out;
+  for (const Finding& f : result.findings) {
+    out += f.path + ":" + std::to_string(f.line) + ": [" + f.rule + "] " + f.message + "\n";
+  }
+  out += "exadigit_lint: " + std::to_string(result.files.size()) + " files, " +
+         std::to_string(result.rules_run.size()) + " rules, " +
+         std::to_string(result.findings.size()) + " finding(s), " +
+         std::to_string(result.findings_suppressed) + " suppressed\n";
+  return out;
+}
+
+Json report_json(const RunResult& result) {
+  Json doc;
+  doc["schema"] = Json("exadigit-lint-report/v1");
+  doc["files_scanned"] = Json(result.files.size());
+  Json rules;
+  for (const auto& [name, description] : result.rules_run) {
+    Json rule;
+    rule["name"] = Json(name);
+    rule["description"] = Json(description);
+    rules.push_back(std::move(rule));
+  }
+  if (rules.is_null()) rules = Json(Json::Array{});
+  doc["rules"] = std::move(rules);
+  doc["finding_count"] = Json(result.findings.size());
+  Json findings(Json::Array{});
+  for (const Finding& f : result.findings) {
+    Json item;
+    item["rule"] = Json(f.rule);
+    item["file"] = Json(f.path);
+    item["line"] = Json(static_cast<std::int64_t>(f.line));
+    item["message"] = Json(f.message);
+    findings.push_back(std::move(item));
+  }
+  doc["findings"] = std::move(findings);
+  doc["suppressions_used"] = Json(result.suppressions_used);
+  doc["findings_suppressed"] = Json(result.findings_suppressed);
+  doc["clean"] = Json(result.findings.empty());
+  return doc;
+}
+
+}  // namespace exadigit::lint

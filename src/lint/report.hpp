@@ -1,0 +1,35 @@
+#pragma once
+
+/// @file report.hpp
+/// Reporters for lint results. The text form is the human/CI-log view
+/// (`path:line: [rule] message`, one per line, clickable in editors); the
+/// JSON form (`exadigit-lint-report/v1`) is the machine artifact CI uploads
+/// as LINT_report.json alongside the BENCH_*.json trajectory:
+///
+/// {
+///   "schema": "exadigit-lint-report/v1",
+///   "files_scanned": 212,
+///   "rules": [{"name": "...", "description": "..."}, ...],
+///   "finding_count": 0,
+///   "findings": [{"rule": "...", "file": "...", "line": 87,
+///                 "message": "..."}, ...],
+///   "suppressions_used": 1,
+///   "findings_suppressed": 2,
+///   "clean": true
+/// }
+
+#include <string>
+
+#include "json/json.hpp"
+#include "lint/runner.hpp"
+
+namespace exadigit::lint {
+
+/// One line per finding plus a one-line summary. Returns the summary alone
+/// when there are no findings.
+[[nodiscard]] std::string format_text(const RunResult& result);
+
+/// The exadigit-lint-report/v1 document (see file header for the schema).
+[[nodiscard]] Json report_json(const RunResult& result);
+
+}  // namespace exadigit::lint

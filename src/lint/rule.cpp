@@ -1,0 +1,118 @@
+#include "lint/rule.hpp"
+
+#include <cctype>
+
+namespace exadigit::lint {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parses "exadigit-lint: allow(a, b)" out of a comment body, if present.
+bool parse_allow(std::string_view text, std::vector<std::string>* rules) {
+  const std::size_t tag = text.find("exadigit-lint:");
+  if (tag == std::string_view::npos) return false;
+  const std::size_t allow = text.find("allow(", tag);
+  if (allow == std::string_view::npos) return false;
+  const std::size_t open = allow + 5;  // index of '('
+  const std::size_t close = text.find(')', open);
+  if (close == std::string_view::npos) return false;
+  std::string_view list = text.substr(open + 1, close - open - 1);
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    const std::string_view item = trim(list.substr(0, comma));
+    if (!item.empty()) rules->emplace_back(item);
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  return !rules->empty();
+}
+
+/// Matches a comment that IS a region marker — the trimmed body must be
+/// exactly `tag` or `tag(<name>)`, so prose that merely mentions a marker
+/// (docs, this very file) never opens a region. Returns false on no match;
+/// on match, `name` receives the optional parenthesized label.
+bool parse_marker(std::string_view text, std::string_view tag, std::string* name) {
+  text = trim(text);
+  if (text.substr(0, tag.size()) != tag) return false;
+  std::string_view rest = trim(text.substr(tag.size()));
+  if (rest.empty()) {
+    name->clear();
+    return true;
+  }
+  if (rest.front() != '(' || rest.back() != ')') return false;
+  *name = std::string(trim(rest.substr(1, rest.size() - 2)));
+  return true;
+}
+
+}  // namespace
+
+LintFile LintFile::from_string(std::string path, std::string_view content) {
+  LintFile file;
+  file.path = std::move(path);
+  file.lex = ::exadigit::lint::lex(content);
+
+  int open_begin = -1;
+  std::string open_name;
+  for (const Comment& c : file.lex.comments) {
+    std::vector<std::string> rules;
+    if (parse_allow(c.text, &rules)) {
+      file.suppressions.push_back(Suppression{c.line, c.own_line, std::move(rules), false});
+      continue;
+    }
+    std::string marker_name;
+    if (parse_marker(c.text, "exadigit-hot-begin", &marker_name)) {
+      if (open_begin >= 0) {
+        file.annotation_errors.push_back(
+            Finding{"lint-annotations", file.path, c.line,
+                    "exadigit-hot-begin while the region opened at line " +
+                        std::to_string(open_begin) + " is still open (regions do not nest)"});
+        continue;
+      }
+      open_begin = c.line;
+      open_name = std::move(marker_name);
+      continue;
+    }
+    if (parse_marker(c.text, "exadigit-hot-end", &marker_name)) {
+      if (open_begin < 0) {
+        file.annotation_errors.push_back(Finding{
+            "lint-annotations", file.path, c.line, "exadigit-hot-end without a matching begin"});
+        continue;
+      }
+      file.hot_regions.push_back(HotRegion{open_begin, c.line, open_name});
+      open_begin = -1;
+      open_name.clear();
+    }
+  }
+  if (open_begin >= 0) {
+    file.annotation_errors.push_back(
+        Finding{"lint-annotations", file.path, open_begin,
+                "exadigit-hot-begin never closed by an exadigit-hot-end"});
+  }
+  return file;
+}
+
+bool LintFile::in_hot_region(int line) const {
+  for (const HotRegion& r : hot_regions) {
+    if (line >= r.begin_line && line <= r.end_line) return true;
+  }
+  return false;
+}
+
+bool path_in_dir(std::string_view path, std::string_view dir) {
+  if (path.size() < dir.size() || path.substr(0, dir.size()) != dir) return false;
+  return path.size() == dir.size() || path[dir.size()] == '/';
+}
+
+bool path_has_prefix(std::string_view path, std::string_view prefix) {
+  return path.size() >= prefix.size() && path.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace exadigit::lint

@@ -1,0 +1,95 @@
+#pragma once
+
+/// @file rule.hpp
+/// The exadigit_lint rule engine: a scanned file (tokens + annotations), the
+/// Finding record, and the Rule interface every check implements.
+///
+/// Annotations are plain comments, so they survive clang-format and need no
+/// build-system support:
+///
+///   - `// exadigit-lint: allow(<rule>[, <rule>...])` suppresses findings of
+///     the named rules on the comment's line; when the comment stands alone
+///     on its line, it also covers the following line.
+///   - `// exadigit-hot-begin(<name>)` ... `// exadigit-hot-end` bracket a
+///     hot-path region in which the hot-path-alloc rule is active. Regions
+///     do not nest; an unmatched marker is itself a finding, so annotation
+///     hygiene is enforced by the same pass.
+///
+/// Rules carry their own path scoping (`applies_to`): the allowlists that
+/// make a rule's contract precise (e.g. locale-parsing permits the
+/// `src/common/parse.*` implementation itself) live next to the check, not
+/// in caller configuration, so every invocation of the tool enforces the
+/// same policy.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace exadigit::lint {
+
+/// One rule violation at a source location. `path` is repository-relative
+/// with '/' separators; reporters print `path:line: [rule] message`.
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+};
+
+/// A `// exadigit-lint: allow(...)` site.
+struct Suppression {
+  int line = 0;            ///< line the comment starts on
+  bool standalone = false; ///< comment is alone on its line: also covers line+1
+  std::vector<std::string> rules;
+  mutable bool used = false;  ///< set when a finding is suppressed by this site
+};
+
+/// An `// exadigit-hot-begin` ... `// exadigit-hot-end` region, inclusive of
+/// the marker lines.
+struct HotRegion {
+  int begin_line = 0;
+  int end_line = 0;
+  std::string name;
+};
+
+/// A lexed file plus its lint annotations — the unit every rule checks.
+struct LintFile {
+  std::string path;  ///< repo-relative, '/'-separated
+  LexedSource lex;
+  std::vector<HotRegion> hot_regions;
+  std::vector<Suppression> suppressions;
+  /// Malformed annotations (unmatched hot markers); reported as findings of
+  /// the pseudo-rule "lint-annotations" by the runner.
+  std::vector<Finding> annotation_errors;
+
+  /// Lexes `content` and extracts suppressions and hot regions.
+  [[nodiscard]] static LintFile from_string(std::string path, std::string_view content);
+
+  [[nodiscard]] bool in_hot_region(int line) const;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::string_view description() const = 0;
+  /// Whether this rule scans the file at `path` (repo-relative). Default:
+  /// every scanned file.
+  [[nodiscard]] virtual bool applies_to(std::string_view path) const {
+    (void)path;
+    return true;
+  }
+  virtual void check(const LintFile& file, std::vector<Finding>& out) const = 0;
+};
+
+/// True when `path` is `dir` itself or lexically inside it
+/// ("src/core" matches "src/core/replay.cpp", not "src/core_x/a.cpp").
+[[nodiscard]] bool path_in_dir(std::string_view path, std::string_view dir);
+
+/// True when `path` starts with `prefix` as a plain string — used for
+/// file-stem allowlists like "src/common/parse." matching both .hpp and .cpp.
+[[nodiscard]] bool path_has_prefix(std::string_view path, std::string_view prefix);
+
+}  // namespace exadigit::lint

@@ -1,0 +1,44 @@
+#pragma once
+
+/// @file rules.hpp
+/// The built-in exadigit_lint rule set. Each rule mechanically enforces an
+/// invariant the project otherwise guarantees only by test or review:
+///
+///   determinism-containers  std::unordered_{map,set} iteration order is
+///                           implementation-defined, which breaks the
+///                           SchedulingPolicy determinism contract
+///                           (src/raps/policy/scheduling_policy.hpp) and the
+///                           bit-identical replay guarantee. Banned in
+///                           src/raps/policy, src/core, src/cooling,
+///                           src/power.
+///   determinism-random      rand()/std::rand/std::random_device are
+///                           unseedable or global-state RNGs; all randomness
+///                           must flow through the seeded src/common/rng.*.
+///   locale-parsing          std::stod/stoi/strtod/atof/sscanf honour
+///                           LC_NUMERIC; numeric parsing must use the
+///                           std::from_chars wrappers in src/common/parse.*.
+///   hot-path-alloc          inside // exadigit-hot-begin/end regions, flag
+///                           operator new, malloc-family calls,
+///                           std::to_string, and by-value std::string /
+///                           std::vector constructions — the hot paths are
+///                           allocation-free by design (PRs 3-6).
+///   relative-includes       #include "../..." breaks the single src/ include
+///                           root and makes file moves silently change what
+///                           gets included.
+///
+/// To add a rule: implement lint::Rule (rules.cpp has five templates to crib
+/// from), append it in make_default_rules(), and give it positive/negative
+/// fixtures in tests/lint/rules_test.cpp. The self-scan test then enforces
+/// it over the whole tree.
+
+#include <memory>
+#include <vector>
+
+#include "lint/rule.hpp"
+
+namespace exadigit::lint {
+
+/// The full built-in rule set, in reporting order.
+[[nodiscard]] std::vector<std::unique_ptr<Rule>> make_default_rules();
+
+}  // namespace exadigit::lint

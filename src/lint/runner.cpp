@@ -1,0 +1,159 @@
+#include "lint/runner.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace exadigit::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+/// Directories never worth descending into: build trees and VCS/tool state.
+bool skip_directory(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name.rfind("build", 0) == 0 || (!name.empty() && name.front() == '.') ||
+         name == "__pycache__" || name == "_deps";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw ConfigError("lint: cannot read " + p.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// Repo-relative '/'-separated form of `p` under `root`.
+std::string relative_path(const fs::path& p, const fs::path& root) {
+  return p.lexically_relative(root).generic_string();
+}
+
+bool suppresses(const Suppression& s, const Finding& f) {
+  if (f.line != s.line && !(s.standalone && f.line == s.line + 1)) return false;
+  for (const std::string& rule : s.rules) {
+    if (rule == f.rule) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t check_file(const LintFile& file,
+                       const std::vector<std::unique_ptr<Rule>>& rules,
+                       std::vector<Finding>& out, std::size_t* suppressions_used) {
+  std::vector<Finding> raw = file.annotation_errors;
+  for (const auto& rule : rules) {
+    if (rule->applies_to(file.path)) rule->check(file, raw);
+  }
+  std::size_t suppressed = 0;
+  for (Finding& f : raw) {
+    bool keep = true;
+    for (const Suppression& s : file.suppressions) {
+      if (suppresses(s, f)) {
+        if (!s.used && suppressions_used != nullptr) ++*suppressions_used;
+        s.used = true;
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      out.push_back(std::move(f));
+    } else {
+      ++suppressed;
+    }
+  }
+  return suppressed;
+}
+
+RunResult run_lint(const RunOptions& options) {
+  const fs::path root(options.root);
+  if (!fs::is_directory(root)) {
+    throw ConfigError("lint: root is not a directory: " + options.root);
+  }
+
+  // Resolve the rule set up front so an unknown --rules name fails fast.
+  std::vector<std::unique_ptr<Rule>> all = make_default_rules();
+  std::vector<std::unique_ptr<Rule>> rules;
+  if (options.rules.empty()) {
+    rules = std::move(all);
+  } else {
+    for (const std::string& want : options.rules) {
+      bool found = false;
+      for (auto& rule : all) {
+        if (rule != nullptr && rule->name() == want) {
+          rules.push_back(std::move(rule));
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::string known;
+        for (const auto& rule : make_default_rules()) {
+          if (!known.empty()) known += ", ";
+          known += rule->name();
+        }
+        throw ConfigError("lint: unknown rule '" + want + "' (known: " + known + ")");
+      }
+    }
+  }
+
+  std::vector<std::string> scan = options.paths;
+  if (scan.empty()) {
+    for (const char* dir : {"src", "examples", "bench", "tests"}) {
+      if (fs::is_directory(root / dir)) scan.emplace_back(dir);
+    }
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& entry : scan) {
+    const fs::path p = root / entry;
+    if (fs::is_regular_file(p)) {
+      files.push_back(relative_path(p, root));
+      continue;
+    }
+    if (!fs::is_directory(p)) {
+      throw ConfigError("lint: no such file or directory under root: " + entry);
+    }
+    fs::recursive_directory_iterator it(p), end;
+    for (; it != end; ++it) {
+      if (it->is_directory() && skip_directory(it->path())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && is_cpp_source(it->path())) {
+        files.push_back(relative_path(it->path(), root));
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  RunResult result;
+  result.files = files;
+  for (const auto& rule : rules) {
+    result.rules_run.emplace_back(std::string(rule->name()), std::string(rule->description()));
+  }
+  for (const std::string& file : files) {
+    const LintFile lf = LintFile::from_string(file, read_file(root / file));
+    result.findings_suppressed +=
+        check_file(lf, rules, result.findings, &result.suppressions_used);
+  }
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+}  // namespace exadigit::lint

@@ -1,0 +1,55 @@
+#pragma once
+
+/// @file runner.hpp
+/// Drives the lint pass: walks the requested trees, lexes each C++ source
+/// file, runs every applicable rule, and applies `// exadigit-lint:
+/// allow(...)` suppressions. The walk and the finding list are fully
+/// deterministic (files sorted lexicographically, findings sorted by
+/// path/line/rule) so repeated runs — and the JSON artifact CI uploads —
+/// are byte-stable.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/rule.hpp"
+#include "lint/rules.hpp"
+
+namespace exadigit::lint {
+
+struct RunOptions {
+  /// Filesystem root that repo-relative paths and rule allowlists anchor to.
+  std::string root = ".";
+  /// Directories or files to scan, relative to `root`. Empty means the
+  /// default tree: src, examples, bench, tests (whichever exist).
+  std::vector<std::string> paths;
+  /// Rule names to run; empty means every registered rule. Unknown names
+  /// throw ConfigError listing the registry.
+  std::vector<std::string> rules;
+};
+
+struct RunResult {
+  std::vector<Finding> findings;  ///< unsuppressed, sorted by path/line/rule
+  std::vector<std::pair<std::string, std::string>> rules_run;  ///< name, description
+  std::vector<std::string> files;  ///< scanned files, repo-relative, sorted
+  std::size_t suppressions_used = 0;
+  std::size_t findings_suppressed = 0;
+};
+
+/// Checks one lexed file against `rules`, appending unsuppressed findings to
+/// `out`. Annotation errors (unmatched hot markers) are reported under the
+/// pseudo-rule "lint-annotations". Returns the number of findings suppressed;
+/// `suppressions_used` (when non-null) is incremented once per allow() site
+/// that suppressed at least one finding.
+std::size_t check_file(const LintFile& file,
+                       const std::vector<std::unique_ptr<Rule>>& rules,
+                       std::vector<Finding>& out, std::size_t* suppressions_used);
+
+/// Runs the full pass over the filesystem. Throws ConfigError on an unknown
+/// rule name or an unreadable root; unreadable individual files throw too
+/// (a lint pass that silently skips files is not enforcing anything).
+[[nodiscard]] RunResult run_lint(const RunOptions& options);
+
+}  // namespace exadigit::lint

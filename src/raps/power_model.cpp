@@ -171,6 +171,7 @@ void RapsPowerModel::set_thread_pool(ThreadPool* pool) {
   }
 }
 
+// exadigit-hot-begin(power-advance)
 const PowerSample& RapsPowerModel::advance(double now) {
   // Slot order is deterministic, which keeps delta accumulation (and hence
   // floating-point rounding) reproducible across runs and engine modes.
@@ -274,6 +275,7 @@ void RapsPowerModel::refresh_dirty_racks() {
   }
   dirty_racks_.clear();
 }
+// exadigit-hot-end
 
 void RapsPowerModel::rebuild_all_racks(bool use_memo) {
   memo_.clear();

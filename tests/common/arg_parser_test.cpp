@@ -67,6 +67,52 @@ TEST(ArgParserTest, MissingAndMalformedValuesThrow) {
   }
 }
 
+// Integer values go through the locale-independent common/parse.hpp path
+// (the old std::stoi/std::stoull honoured LC_NUMERIC and threw on overflow
+// from inside a try block). Malformed and overflow values must surface as
+// ConfigError, and the accepted formats must not regress.
+TEST(ArgParserTest, IntOverflowAndMalformedValuesThrow) {
+  int jobs = 0;
+  std::uint64_t seed = 0;
+  ArgParser parser;
+  parser.add_int("--jobs", &jobs).add_uint64("--seed", &seed);
+  for (const char* bad : {"99999999999999999999", "2147483648", "-2147483649",
+                          "1e3", "0x10", "", "--", "4.5"}) {
+    auto argv = argv_of<3>({"prog", "--jobs", bad});
+    EXPECT_THROW(parser.parse(3, argv.data(), 1), ConfigError) << "value: " << bad;
+  }
+  for (const char* bad : {"99999999999999999999999", "-1", "12junk", "1.0"}) {
+    auto argv = argv_of<3>({"prog", "--seed", bad});
+    EXPECT_THROW(parser.parse(3, argv.data(), 1), ConfigError) << "value: " << bad;
+  }
+}
+
+TEST(ArgParserTest, IntBoundaryAndLenientFormsParse) {
+  int jobs = 0;
+  std::uint64_t seed = 0;
+  ArgParser parser;
+  parser.add_int("--jobs", &jobs).add_uint64("--seed", &seed);
+  {
+    auto argv = argv_of<5>({"prog", "--jobs", "2147483647", "--seed",
+                            "18446744073709551615"});
+    parser.parse(5, argv.data(), 1);
+    EXPECT_EQ(jobs, 2147483647);
+    EXPECT_EQ(seed, 18446744073709551615ull);
+  }
+  {
+    // std::stoi tolerated leading whitespace and '+'; keep accepting both.
+    auto argv = argv_of<5>({"prog", "--jobs", " +12", "--seed", "+7"});
+    parser.parse(5, argv.data(), 1);
+    EXPECT_EQ(jobs, 12);
+    EXPECT_EQ(seed, 7u);
+  }
+  {
+    auto argv = argv_of<3>({"prog", "--jobs", "-3"});
+    parser.parse(3, argv.data(), 1);
+    EXPECT_EQ(jobs, -3);
+  }
+}
+
 TEST(ArgParserTest, TrackRecordsPresence) {
   std::uint64_t seed = 42;
   double hours = 1.0;

@@ -48,5 +48,39 @@ TEST(ParseTest, FormatIsShortestRoundTrip) {
   }
 }
 
+TEST(ParseTest, ParsesIntWithStoiLeniencyAndFullConsumption) {
+  int v = -1;
+  EXPECT_TRUE(try_parse_int("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(try_parse_int("-17", &v));
+  EXPECT_EQ(v, -17);
+  EXPECT_TRUE(try_parse_int(" +8", &v));
+  EXPECT_EQ(v, 8);
+  EXPECT_TRUE(try_parse_int("2147483647", &v));
+  EXPECT_EQ(v, 2147483647);
+  v = 99;
+  for (const char* bad : {"", " ", "+", "12x", "1.5", "1e2", "2147483648",
+                          "-2147483649", "0x1f"}) {
+    EXPECT_FALSE(try_parse_int(bad, &v)) << "input: " << bad;
+    EXPECT_EQ(v, 99) << "out must stay untouched on failure";
+  }
+}
+
+TEST(ParseTest, ParsesUint64FullRangeAndRejectsNegatives) {
+  std::uint64_t v = 1;
+  EXPECT_TRUE(try_parse_uint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(try_parse_uint64("18446744073709551615", &v));
+  EXPECT_EQ(v, 18446744073709551615ull);
+  EXPECT_TRUE(try_parse_uint64("+7", &v));
+  EXPECT_EQ(v, 7u);
+  v = 99;
+  // std::stoull silently negated "-1" to 2^64-1; that wrap is now an error.
+  for (const char* bad : {"-1", "18446744073709551616", "", "3.0", "junk"}) {
+    EXPECT_FALSE(try_parse_uint64(bad, &v)) << "input: " << bad;
+    EXPECT_EQ(v, 99u);
+  }
+}
+
 }  // namespace
 }  // namespace exadigit

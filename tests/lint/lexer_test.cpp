@@ -1,0 +1,157 @@
+#include "lint/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace exadigit::lint {
+namespace {
+
+bool has_identifier(const LexedSource& lexed, const std::string& text) {
+  return std::any_of(lexed.tokens.begin(), lexed.tokens.end(), [&](const Token& t) {
+    return t.kind == TokenKind::kIdentifier && t.text == text;
+  });
+}
+
+const Token* find_token(const LexedSource& lexed, TokenKind kind) {
+  for (const Token& t : lexed.tokens) {
+    if (t.kind == kind) return &t;
+  }
+  return nullptr;
+}
+
+TEST(LintLexerTest, TokenizesIdentifiersNumbersAndFusedScope) {
+  const LexedSource lexed = lex("std::unordered_map<int, x2> m = 1'000;");
+  EXPECT_TRUE(has_identifier(lexed, "std"));
+  EXPECT_TRUE(has_identifier(lexed, "unordered_map"));
+  EXPECT_TRUE(has_identifier(lexed, "x2"));
+  // "::" must come through as one punct token so rules can check
+  // std-qualification by looking exactly two tokens back.
+  const auto scope = std::find_if(lexed.tokens.begin(), lexed.tokens.end(),
+                                  [](const Token& t) { return t.text == "::"; });
+  ASSERT_NE(scope, lexed.tokens.end());
+  EXPECT_EQ(scope->kind, TokenKind::kPunct);
+  // The digit separator stays inside one number token; no char literal opens.
+  const Token* num = find_token(lexed, TokenKind::kNumber);
+  ASSERT_NE(num, nullptr);
+  EXPECT_EQ(num->text, "1'000");
+}
+
+TEST(LintLexerTest, BannedNamesInsideStringsAndCommentsAreNotIdentifiers) {
+  const LexedSource lexed = lex(
+      "const char* s = \"std::stod inside a string\";\n"
+      "// std::rand in a line comment\n"
+      "/* std::unordered_map in a block comment */\n");
+  EXPECT_FALSE(has_identifier(lexed, "stod"));
+  EXPECT_FALSE(has_identifier(lexed, "rand"));
+  EXPECT_FALSE(has_identifier(lexed, "unordered_map"));
+  ASSERT_EQ(lexed.comments.size(), 2u);
+}
+
+TEST(LintLexerTest, RawStringsSwallowDelimitersQuotesAndNewlines) {
+  // A raw string with an embedded )" that is not its terminator, plus an
+  // encoding-prefixed raw string spanning lines. Nothing inside either may
+  // surface as an identifier.
+  const LexedSource lexed = lex(
+      "auto a = R\"xy(contains )\" quote and atof( call)xy\";\n"
+      "auto b = u8R\"(line one\n"
+      "std::stoi(line two))\";\n"
+      "after;\n");
+  EXPECT_FALSE(has_identifier(lexed, "atof"));
+  EXPECT_FALSE(has_identifier(lexed, "stoi"));
+  ASSERT_TRUE(has_identifier(lexed, "after"));
+  // Line accounting must survive the multi-line raw string.
+  const auto after = std::find_if(lexed.tokens.begin(), lexed.tokens.end(),
+                                  [](const Token& t) { return t.text == "after"; });
+  EXPECT_EQ(after->line, 4);
+}
+
+TEST(LintLexerTest, EncodedStringsAndCharLiterals) {
+  const LexedSource lexed = lex(
+      "auto a = L\"wide rand()\"; auto b = u8\"utf8\";\n"
+      "char c = '\\''; char d = '\"';\n"
+      "ident;\n");
+  EXPECT_FALSE(has_identifier(lexed, "rand"));
+  EXPECT_TRUE(has_identifier(lexed, "ident"));
+  const int chars = static_cast<int>(
+      std::count_if(lexed.tokens.begin(), lexed.tokens.end(),
+                    [](const Token& t) { return t.kind == TokenKind::kChar; }));
+  EXPECT_EQ(chars, 2);
+}
+
+TEST(LintLexerTest, MultiLineBlockCommentKeepsLineNumbers) {
+  const LexedSource lexed = lex(
+      "/* one\n"
+      " * two\n"
+      " * three */\n"
+      "code;\n");
+  ASSERT_EQ(lexed.comments.size(), 1u);
+  EXPECT_EQ(lexed.comments[0].line, 1);
+  EXPECT_TRUE(lexed.comments[0].own_line);
+  const auto code = std::find_if(lexed.tokens.begin(), lexed.tokens.end(),
+                                 [](const Token& t) { return t.text == "code"; });
+  ASSERT_NE(code, lexed.tokens.end());
+  EXPECT_EQ(code->line, 4);
+}
+
+TEST(LintLexerTest, OwnLineFlagDistinguishesTrailingComments) {
+  const LexedSource lexed = lex(
+      "int x = 0;  // trailing\n"
+      "// standalone\n");
+  ASSERT_EQ(lexed.comments.size(), 2u);
+  EXPECT_FALSE(lexed.comments[0].own_line);
+  EXPECT_TRUE(lexed.comments[1].own_line);
+}
+
+TEST(LintLexerTest, PreprocessorDirectiveIsOneTokenWithContinuations) {
+  const LexedSource lexed = lex(
+      "#define WIDE(a, b) \\\n"
+      "  ((a) + (b))\n"
+      "#include \"foo/bar.hpp\"\n"
+      "int y;\n");
+  const int directives = static_cast<int>(
+      std::count_if(lexed.tokens.begin(), lexed.tokens.end(),
+                    [](const Token& t) { return t.kind == TokenKind::kPreprocessor; }));
+  EXPECT_EQ(directives, 2);
+  const Token* def = find_token(lexed, TokenKind::kPreprocessor);
+  ASSERT_NE(def, nullptr);
+  // Continuation joined into the logical line.
+  EXPECT_NE(def->text.find("(a) + (b)"), std::string::npos);
+  // The code after the directive keeps its physical line.
+  const auto y = std::find_if(lexed.tokens.begin(), lexed.tokens.end(),
+                              [](const Token& t) { return t.text == "y"; });
+  ASSERT_NE(y, lexed.tokens.end());
+  EXPECT_EQ(y->line, 4);
+}
+
+TEST(LintLexerTest, CommentTrailingADirectiveIsNotOwnLine) {
+  // A suppression must be attachable to an #include line: the comment after
+  // a directive is a trailing comment, never a standalone one.
+  const LexedSource lexed = lex("#include <memory>  // why\n");
+  ASSERT_EQ(lexed.comments.size(), 1u);
+  EXPECT_FALSE(lexed.comments[0].own_line);
+  const Token* dir = find_token(lexed, TokenKind::kPreprocessor);
+  ASSERT_NE(dir, nullptr);
+  // The comment body must not leak into the directive text.
+  EXPECT_EQ(dir->text.find("why"), std::string::npos);
+}
+
+TEST(LintLexerTest, ExponentSignsStayInsideNumberTokens) {
+  const LexedSource lexed = lex("double d = 1.5e+3 + 2E-7;");
+  const int plusses = static_cast<int>(
+      std::count_if(lexed.tokens.begin(), lexed.tokens.end(),
+                    [](const Token& t) { return t.text == "+"; }));
+  EXPECT_EQ(plusses, 1);  // only the one between the literals
+}
+
+TEST(LintLexerTest, UnterminatedConstructsEndAtEofWithoutThrowing) {
+  EXPECT_NO_THROW((void)lex("auto s = \"never closed"));
+  EXPECT_NO_THROW((void)lex("/* never closed"));
+  EXPECT_NO_THROW((void)lex("auto r = R\"tag(never closed"));
+  const LexedSource lexed = lex("/* open\nstd::rand()");
+  EXPECT_FALSE(has_identifier(lexed, "rand"));
+}
+
+}  // namespace
+}  // namespace exadigit::lint

@@ -1,0 +1,108 @@
+#include "lint/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+#include "json/json.hpp"
+#include "lint/runner.hpp"
+
+#ifndef EXADIGIT_SOURCE_ROOT
+#error "EXADIGIT_SOURCE_ROOT must point at the repository checkout"
+#endif
+
+namespace exadigit::lint {
+namespace {
+
+RunResult sample_result() {
+  RunResult r;
+  r.files = {"src/a.cpp", "src/b.cpp"};
+  r.rules_run = {{"determinism-random", "seeded RNG only"}};
+  r.findings.push_back({"determinism-random", "src/a.cpp", 7, "rand() is banned"});
+  r.findings.push_back({"determinism-random", "src/b.cpp", 12, "rand() is banned"});
+  r.suppressions_used = 1;
+  r.findings_suppressed = 3;
+  return r;
+}
+
+TEST(LintReportTest, TextFormatIsFileLineRulePerFinding) {
+  const std::string text = format_text(sample_result());
+  EXPECT_NE(text.find("src/a.cpp:7: [determinism-random] rand() is banned"),
+            std::string::npos);
+  EXPECT_NE(text.find("src/b.cpp:12:"), std::string::npos);
+  EXPECT_NE(text.find("2 files"), std::string::npos);
+  EXPECT_NE(text.find("2 finding(s)"), std::string::npos);
+}
+
+TEST(LintReportTest, CleanRunTextIsSummaryOnly) {
+  RunResult r;
+  r.files = {"src/a.cpp"};
+  const std::string text = format_text(r);
+  EXPECT_EQ(text.find(':'), text.rfind(':'));  // no path:line lines
+  EXPECT_NE(text.find("0 finding(s)"), std::string::npos);
+}
+
+TEST(LintReportTest, JsonDocumentMatchesSchemaV1AndRoundTrips) {
+  const Json doc = Json::parse(report_json(sample_result()).dump(2));
+  EXPECT_EQ(doc.at("schema").as_string(), "exadigit-lint-report/v1");
+  EXPECT_EQ(doc.at("files_scanned").as_number(), 2.0);
+  EXPECT_EQ(doc.at("finding_count").as_number(), 2.0);
+  EXPECT_FALSE(doc.at("clean").as_bool());
+  EXPECT_EQ(doc.at("suppressions_used").as_number(), 1.0);
+  EXPECT_EQ(doc.at("findings_suppressed").as_number(), 3.0);
+  ASSERT_TRUE(doc.at("rules").is_array());
+  EXPECT_EQ(doc.at("rules").at(0).at("name").as_string(), "determinism-random");
+  ASSERT_EQ(doc.at("findings").as_array().size(), 2u);
+  const Json& f = doc.at("findings").at(0);
+  EXPECT_EQ(f.at("rule").as_string(), "determinism-random");
+  EXPECT_EQ(f.at("file").as_string(), "src/a.cpp");
+  EXPECT_EQ(f.at("line").as_number(), 7.0);
+  EXPECT_EQ(f.at("message").as_string(), "rand() is banned");
+}
+
+TEST(LintRunnerTest, UnknownRuleNameThrowsConfigError) {
+  RunOptions opts;
+  opts.root = EXADIGIT_SOURCE_ROOT;
+  opts.rules = {"no-such-rule"};
+  EXPECT_THROW((void)run_lint(opts), ConfigError);
+}
+
+TEST(LintRunnerTest, MissingRootThrowsConfigError) {
+  RunOptions opts;
+  opts.root = "/nonexistent/exadigit/checkout";
+  EXPECT_THROW((void)run_lint(opts), ConfigError);
+}
+
+TEST(LintRunnerTest, ScanIsDeterministicAndFiltersRules) {
+  RunOptions opts;
+  opts.root = EXADIGIT_SOURCE_ROOT;
+  opts.paths = {"src/lint"};
+  opts.rules = {"relative-includes"};
+  const RunResult first = run_lint(opts);
+  const RunResult second = run_lint(opts);
+  EXPECT_EQ(first.files, second.files);
+  ASSERT_EQ(first.rules_run.size(), 1u);
+  EXPECT_EQ(first.rules_run[0].first, "relative-includes");
+  EXPECT_FALSE(first.files.empty());
+  EXPECT_TRUE(std::is_sorted(first.files.begin(), first.files.end()));
+  EXPECT_TRUE(first.findings.empty());
+}
+
+// The tool's own acceptance test: the checkout it was built from must be
+// clean under every rule. A finding here means a banned construct landed in
+// the tree (fix it or add an explicit allow() with justification).
+TEST(LintRunnerTest, RepositoryTreeSelfScanIsClean) {
+  RunOptions opts;
+  opts.root = EXADIGIT_SOURCE_ROOT;
+  const RunResult result = run_lint(opts);
+  for (const Finding& f : result.findings) {
+    ADD_FAILURE() << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  }
+  EXPECT_GT(result.files.size(), 100u);  // the walk really covered the tree
+  EXPECT_EQ(result.rules_run.size(), 5u);
+}
+
+}  // namespace
+}  // namespace exadigit::lint

@@ -1,0 +1,219 @@
+#include "lint/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/rule.hpp"
+#include "lint/runner.hpp"
+
+namespace exadigit::lint {
+namespace {
+
+struct ScanResult {
+  std::vector<Finding> findings;
+  std::size_t suppressed = 0;
+  std::size_t sites_used = 0;
+};
+
+/// Runs the default rule set over an in-memory fixture at `path`.
+ScanResult scan(const std::string& path, const std::string& source) {
+  static const std::vector<std::unique_ptr<Rule>> rules = make_default_rules();
+  const LintFile file = LintFile::from_string(path, source);
+  ScanResult r;
+  r.suppressed = check_file(file, rules, r.findings, &r.sites_used);
+  return r;
+}
+
+int count_rule(const ScanResult& r, const std::string& rule) {
+  return static_cast<int>(std::count_if(
+      r.findings.begin(), r.findings.end(),
+      [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(LintRulesTest, UnorderedContainersFlaggedOnlyInDeterministicLayers) {
+  const std::string src =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m;\n"
+      "std::unordered_set<int> s;\n";
+  // Scoped layers: include line + two declarations.
+  EXPECT_EQ(count_rule(scan("src/core/engine.cpp", src), "determinism-containers"), 3);
+  EXPECT_EQ(count_rule(scan("src/raps/policy/fugaku.cpp", src), "determinism-containers"), 3);
+  EXPECT_EQ(count_rule(scan("src/cooling/plant.cpp", src), "determinism-containers"), 3);
+  EXPECT_EQ(count_rule(scan("src/power/grid.cpp", src), "determinism-containers"), 3);
+  // Outside the scoped layers the rule does not run at all.
+  EXPECT_EQ(count_rule(scan("src/viz/render.cpp", src), "determinism-containers"), 0);
+  EXPECT_EQ(count_rule(scan("src/raps/telemetry_map.cpp", src), "determinism-containers"), 0);
+  // Directory matching is lexical, not a prefix match on the string.
+  EXPECT_EQ(count_rule(scan("src/core_extras/x.cpp", src), "determinism-containers"), 0);
+}
+
+TEST(LintRulesTest, UnorderedMentionsInCommentsAndOrderedContainersPass) {
+  const ScanResult r = scan("src/core/engine.cpp",
+                            "// std::unordered_map would be wrong here\n"
+                            "std::map<int, int> m;\n"
+                            "const char* doc = \"std::unordered_set\";\n");
+  EXPECT_EQ(count_rule(r, "determinism-containers"), 0);
+}
+
+TEST(LintRulesTest, RandomSourcesFlaggedEverywhereExceptRngImpl) {
+  const std::string src =
+      "int a = rand();\n"
+      "int b = std::rand();\n"
+      "std::random_device rd;\n"
+      "double c = drand48();\n";
+  EXPECT_EQ(count_rule(scan("src/viz/render.cpp", src), "determinism-random"), 4);
+  EXPECT_EQ(count_rule(scan("tests/core/engine_test.cpp", src), "determinism-random"), 4);
+  // The seeded RNG implementation itself is the one allowed home.
+  EXPECT_EQ(count_rule(scan("src/common/rng.cpp", src), "determinism-random"), 0);
+  EXPECT_EQ(count_rule(scan("src/common/rng.hpp", src), "determinism-random"), 0);
+}
+
+TEST(LintRulesTest, RandAsSubstringOrMemberIsNotFlagged) {
+  const ScanResult r = scan("src/core/engine.cpp",
+                            "int strand = 0;\n"
+                            "int operand = strand + 1;\n"
+                            "double v = rng.rand();\n");  // member call, not ::rand
+  EXPECT_EQ(count_rule(r, "determinism-random"), 0);
+}
+
+TEST(LintRulesTest, LocaleParsersFlaggedOutsideParseWrappers) {
+  const std::string src =
+      "double a = std::stod(text);\n"
+      "int b = atoi(buf);\n"
+      "long c = strtol(buf, &end, 10);\n"
+      "sscanf(buf, \"%d\", &b);\n";
+  EXPECT_EQ(count_rule(scan("src/telemetry/reader.cpp", src), "locale-parsing"), 4);
+  EXPECT_EQ(count_rule(scan("bench/bench_x.cpp", src), "locale-parsing"), 4);
+  // The from_chars wrappers are the allowed implementation site.
+  EXPECT_EQ(count_rule(scan("src/common/parse.cpp", src), "locale-parsing"), 0);
+  EXPECT_EQ(count_rule(scan("src/common/parse.hpp", src), "locale-parsing"), 0);
+}
+
+TEST(LintRulesTest, LocaleNamesWithoutCallsAreNotFlagged) {
+  // A local function named like a banned parser is suspicious but not the
+  // libc call; only call-like or std-qualified uses count.
+  const ScanResult r = scan("src/core/engine.cpp",
+                            "int atoi;\n"
+                            "auto fn = &my::stoi;\n");
+  EXPECT_EQ(count_rule(r, "locale-parsing"), 0);
+}
+
+TEST(LintRulesTest, HotPathAllocFlagsOnlyInsideMarkedRegions) {
+  const std::string src =
+      "void cold() { auto* p = new int(3); std::string s = make(); }\n"
+      "// exadigit-hot-begin(kernel)\n"
+      "void hot() {\n"
+      "  auto* p = new int(3);\n"
+      "  void* q = malloc(8);\n"
+      "  std::string label = std::to_string(3);\n"
+      "  std::vector<double> scratch;\n"
+      "}\n"
+      "// exadigit-hot-end\n"
+      "void cold2() { std::vector<int> v; }\n";
+  const ScanResult r = scan("src/core/engine.cpp", src);
+  // new, malloc, std::string by value, std::to_string, std::vector by value.
+  EXPECT_EQ(count_rule(r, "hot-path-alloc"), 5);
+  for (const Finding& f : r.findings) {
+    EXPECT_GE(f.line, 4);
+    EXPECT_LE(f.line, 7);
+  }
+}
+
+TEST(LintRulesTest, HotPathReferencesPointersAndMembersPass) {
+  const ScanResult r = scan("src/core/engine.cpp",
+                            "// exadigit-hot-begin\n"
+                            "void hot(std::string& name, const std::vector<double>& xs,\n"
+                            "         std::string* out) {\n"
+                            "  std::size_t n = std::string::npos;\n"
+                            "  double v = report.to_string();\n"  // member, not std::
+                            "  use(name, xs, out, n, v);\n"
+                            "}\n"
+                            "// exadigit-hot-end\n");
+  EXPECT_EQ(count_rule(r, "hot-path-alloc"), 0);
+}
+
+TEST(LintRulesTest, RelativeIncludesFlagged) {
+  const ScanResult r = scan("src/viz/render.cpp",
+                            "#include \"../core/engine.hpp\"\n"
+                            "#include \"viz/../common/log.hpp\"\n"
+                            "#include \"viz/palette.hpp\"\n"
+                            "#include <vector>\n");
+  EXPECT_EQ(count_rule(r, "relative-includes"), 2);
+}
+
+TEST(LintRulesTest, SameLineSuppressionSilencesOnlyTheNamedRule) {
+  const ScanResult r = scan(
+      "src/core/engine.cpp",
+      "int a = rand();  // exadigit-lint: allow(determinism-random)\n"
+      "int b = rand();  // exadigit-lint: allow(locale-parsing)\n");  // wrong rule
+  EXPECT_EQ(count_rule(r, "determinism-random"), 1);
+  EXPECT_EQ(r.findings[0].line, 2);
+  EXPECT_EQ(r.suppressed, 1u);
+  EXPECT_EQ(r.sites_used, 1u);
+}
+
+TEST(LintRulesTest, StandaloneSuppressionCoversTheNextLine) {
+  const ScanResult r = scan("src/core/engine.cpp",
+                            "// exadigit-lint: allow(determinism-random)\n"
+                            "int a = rand();\n"
+                            "int b = rand();\n");  // line 3: out of reach
+  EXPECT_EQ(count_rule(r, "determinism-random"), 1);
+  EXPECT_EQ(r.findings[0].line, 3);
+}
+
+TEST(LintRulesTest, SuppressionListCoversMultipleRules) {
+  const ScanResult r = scan(
+      "src/core/engine.cpp",
+      "// exadigit-hot-begin\n"
+      "// exadigit-lint: allow(determinism-random, hot-path-alloc)\n"
+      "std::string s = std::to_string(rand());\n"
+      "// exadigit-hot-end\n");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_GE(r.suppressed, 3u);  // rand + to_string + string-by-value
+  EXPECT_EQ(r.sites_used, 1u);
+}
+
+TEST(LintRulesTest, UnmatchedHotMarkersAreAnnotationFindings) {
+  EXPECT_EQ(count_rule(scan("src/core/a.cpp", "// exadigit-hot-begin(x)\nint a;\n"),
+                       "lint-annotations"),
+            1);
+  EXPECT_EQ(count_rule(scan("src/core/b.cpp", "int a;\n// exadigit-hot-end\n"),
+                       "lint-annotations"),
+            1);
+  // The nested begin is the error; the end still closes the open region.
+  EXPECT_EQ(count_rule(scan("src/core/c.cpp",
+                            "// exadigit-hot-begin(outer)\n"
+                            "// exadigit-hot-begin(inner)\n"
+                            "// exadigit-hot-end\n"),
+                       "lint-annotations"),
+            1);
+}
+
+TEST(LintRulesTest, ProseMentionsOfMarkersDoNotOpenRegions) {
+  // Documentation that *talks about* the markers (like this suite, or the
+  // rule engine's own headers) must not create hot regions or findings.
+  const ScanResult r = scan(
+      "src/core/doc.cpp",
+      "// Wrap hot loops in exadigit-hot-begin / exadigit-hot-end markers.\n"
+      "std::string s = std::to_string(1);\n");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(LintRulesTest, DefaultRegistryNamesAreStable) {
+  const std::vector<std::unique_ptr<Rule>> rules = make_default_rules();
+  std::vector<std::string> names;
+  names.reserve(rules.size());
+  for (const auto& rule : rules) names.emplace_back(rule->name());
+  const std::vector<std::string> expected = {
+      "determinism-containers", "determinism-random", "locale-parsing",
+      "hot-path-alloc", "relative-includes"};
+  EXPECT_EQ(names, expected);
+  for (const auto& rule : rules) EXPECT_FALSE(rule->description().empty());
+}
+
+}  // namespace
+}  // namespace exadigit::lint
